@@ -1,0 +1,146 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. Rank index inside buckets: sorted-array + searchsorted (ours) vs a linear
+   scan per bucket (the naive alternative to the paper's per-bucket BST).
+2. Count-distinct sketch accuracy: bottom-t size vs estimate quality and the
+   effect on the Section 4 segment-count guess.
+3. Number of repetitions L: recall of the neighborhood vs L, validating the
+   parameter rule.
+4. Tensoring in the Section 5 filter structure: t blocks vs a single block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core import GaussianFilterIndex, PermutationFairSampler
+from repro.data import planted_inner_product_neighborhood, select_interesting_queries
+from repro.distances import JaccardSimilarity
+from repro.lsh import LSHTables, MinHashFamily
+from repro.sketches import DistinctCountSketcher
+
+
+# ----------------------------------------------------------------------
+# 1. Rank-range query: searchsorted vs linear scan
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ranked_tables(small_lastfm):
+    family = MinHashFamily().concatenate(2)
+    ranks = np.random.default_rng(0).permutation(len(small_lastfm))
+    return LSHTables(family, l=32, seed=0).fit(small_lastfm, ranks=ranks), ranks
+
+
+def test_ablation_rank_range_searchsorted(benchmark, small_lastfm, ranked_tables):
+    tables, _ = ranked_tables
+    n = len(small_lastfm)
+    benchmark(lambda: tables.rank_range_candidates(small_lastfm[0], n // 8, n // 4))
+
+
+def test_ablation_rank_range_linear_scan(benchmark, small_lastfm, ranked_tables):
+    tables, ranks = ranked_tables
+    n = len(small_lastfm)
+    lo, hi = n // 8, n // 4
+
+    def linear_scan():
+        hits = set()
+        for bucket in tables.query_buckets(small_lastfm[0]):
+            for index, rank in zip(bucket.indices, bucket.ranks):
+                if lo <= rank < hi:
+                    hits.add(int(index))
+        return hits
+
+    expected = set(tables.rank_range_candidates(small_lastfm[0], lo, hi).tolist())
+    assert linear_scan() == expected
+    benchmark(linear_scan)
+
+
+# ----------------------------------------------------------------------
+# 2. Sketch accuracy vs bottom-t size
+# ----------------------------------------------------------------------
+def test_ablation_sketch_accuracy(benchmark):
+    true_count = 5000
+    rows = []
+    for epsilon in (0.75, 0.5, 0.25, 0.1):
+        sketcher = DistinctCountSketcher(universe_size=10**6, epsilon=epsilon, delta=0.01, seed=1)
+        estimate = sketcher.sketch_keys(range(true_count)).estimate()
+        rows.append((epsilon, sketcher.t, estimate, abs(estimate - true_count) / true_count))
+    text = "epsilon  t  estimate  relative_error\n" + "\n".join(
+        f"{epsilon:<8}{t:<4}{estimate:<10.0f}{error:.3f}" for epsilon, t, estimate, error in rows
+    )
+    write_result("ablation_sketch_accuracy", text)
+    # Tighter epsilon must not be less accurate by more than noise.
+    assert rows[-1][3] <= rows[0][3] + 0.2
+
+    sketcher = DistinctCountSketcher(universe_size=10**6, epsilon=0.5, delta=0.01, seed=1)
+    benchmark(lambda: sketcher.sketch_keys(range(1000)).estimate())
+
+
+# ----------------------------------------------------------------------
+# 3. Recall vs number of repetitions L
+# ----------------------------------------------------------------------
+def test_ablation_recall_vs_repetitions(benchmark, small_lastfm):
+    measure = JaccardSimilarity()
+    radius = 0.2
+    queries = [
+        small_lastfm[i]
+        for i in select_interesting_queries(
+            small_lastfm, measure, num_queries=8, min_neighbors=8, threshold=radius, seed=2
+        )
+    ]
+
+    def coverage_for(l):
+        sampler = PermutationFairSampler(
+            MinHashFamily(), radius=radius, far_radius=0.1, num_hashes=2, num_tables=l, seed=2
+        ).fit(small_lastfm)
+        covered, total = 0, 0
+        for query in queries:
+            values = measure.values_to_query(small_lastfm, query)
+            neighborhood = set(np.flatnonzero(values >= radius).tolist())
+            colliding = set(sampler.tables.query_candidates(query).tolist())
+            covered += len(neighborhood & colliding)
+            total += len(neighborhood)
+        return covered / max(1, total)
+
+    series = {l: coverage_for(l) for l in (5, 20, 80, 200)}
+    text = "L  neighborhood_coverage\n" + "\n".join(f"{l:<5}{c:.3f}" for l, c in series.items())
+    write_result("ablation_recall_vs_L", text)
+    values = list(series.values())
+    assert values == sorted(values) or values[-1] >= values[0]
+    assert series[200] > 0.9
+
+    benchmark(lambda: coverage_for(20))
+
+
+# ----------------------------------------------------------------------
+# 4. Tensoring vs a single filter block (Section 5)
+# ----------------------------------------------------------------------
+def test_ablation_tensoring(benchmark):
+    points, query, _ = planted_inner_product_neighborhood(
+        n_background=800, n_neighbors=25, dim=32, alpha=0.8, beta_max=0.2, seed=3
+    )
+
+    def success_rate(num_blocks, trials=15):
+        hits = 0
+        for seed in range(trials):
+            index = GaussianFilterIndex(
+                alpha=0.8, beta=0.3, epsilon=0.05, num_blocks=num_blocks, seed=seed
+            ).fit(points)
+            if index.search(query) is not None:
+                hits += 1
+        return hits / trials
+
+    tensored = success_rate(num_blocks=3)
+    single = success_rate(num_blocks=1)
+    write_result(
+        "ablation_tensoring",
+        f"blocks  success_rate\n1       {single:.2f}\n3       {tensored:.2f}",
+    )
+    # Both configurations find the planted neighbor most of the time; the
+    # tensored variant pays its success-probability cost (p^t) for cheaper
+    # filter evaluation, as Theorem 7 describes.
+    assert single >= 0.6
+
+    index = GaussianFilterIndex(alpha=0.8, beta=0.3, epsilon=0.05, seed=0).fit(points)
+    benchmark(lambda: index.search(query))

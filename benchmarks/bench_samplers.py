@@ -1,0 +1,102 @@
+"""Query-time benchmarks for every sampler on a common set-data workload.
+
+These are not paper figures but support the running-time claims of
+Theorems 1, 2 and 4: the fair samplers' per-query cost should stay within a
+small factor of the standard LSH query and far below the brute-force scan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CollectAllFairSampler,
+    ExactUniformSampler,
+    IndependentFairSampler,
+    PermutationFairSampler,
+    RankPerturbationSampler,
+    StandardLSHSampler,
+)
+from repro.data import select_interesting_queries
+from repro.distances import JaccardSimilarity
+from repro.lsh import MinHashFamily
+
+RADIUS = 0.2
+FAR = 0.1
+
+
+@pytest.fixture(scope="module")
+def workload(small_lastfm):
+    measure = JaccardSimilarity()
+    query_index = select_interesting_queries(
+        small_lastfm, measure, num_queries=1, min_neighbors=10, threshold=RADIUS, seed=2
+    )[0]
+    return {"dataset": small_lastfm, "query": small_lastfm[query_index], "exclude": query_index}
+
+
+def _lsh_kwargs():
+    return dict(radius=RADIUS, far_radius=FAR, recall=0.95, seed=7)
+
+
+def test_query_exact_baseline(benchmark, workload):
+    sampler = ExactUniformSampler(JaccardSimilarity(), RADIUS, seed=7).fit(workload["dataset"])
+    result = benchmark(lambda: sampler.sample(workload["query"], exclude_index=workload["exclude"]))
+    assert result is None or isinstance(result, int)
+
+
+def test_query_standard_lsh(benchmark, workload):
+    sampler = StandardLSHSampler(MinHashFamily(), **_lsh_kwargs()).fit(workload["dataset"])
+    benchmark(lambda: sampler.sample(workload["query"], exclude_index=workload["exclude"]))
+
+
+def test_query_collect_all_fair(benchmark, workload):
+    sampler = CollectAllFairSampler(MinHashFamily(), **_lsh_kwargs()).fit(workload["dataset"])
+    benchmark(lambda: sampler.sample(workload["query"], exclude_index=workload["exclude"]))
+
+
+def test_query_permutation_fair_section3(benchmark, workload):
+    sampler = PermutationFairSampler(MinHashFamily(), **_lsh_kwargs()).fit(workload["dataset"])
+    benchmark(lambda: sampler.sample(workload["query"], exclude_index=workload["exclude"]))
+
+
+def test_query_rank_perturbation_appendix_a(benchmark, workload):
+    sampler = RankPerturbationSampler(MinHashFamily(), **_lsh_kwargs()).fit(workload["dataset"])
+    benchmark(lambda: sampler.sample(workload["query"], exclude_index=workload["exclude"]))
+
+
+def test_query_independent_fair_section4(benchmark, workload):
+    sampler = IndependentFairSampler(MinHashFamily(), **_lsh_kwargs()).fit(workload["dataset"])
+    benchmark(lambda: sampler.sample(workload["query"], exclude_index=workload["exclude"]))
+
+
+def test_query_k_sample_without_replacement(benchmark, workload):
+    sampler = PermutationFairSampler(MinHashFamily(), **_lsh_kwargs()).fit(workload["dataset"])
+    benchmark(lambda: sampler.sample_k(workload["query"], 5, replacement=False))
+
+
+def test_query_weighted_fair_extension(benchmark, workload):
+    """Weighted (distance-sensitive) sampling via rejection over the Section 4 sampler."""
+    from repro.core import IndependentFairSampler, WeightedFairSampler, exponential_similarity_weight
+
+    weight = exponential_similarity_weight(scale=4.0)
+    sampler = WeightedFairSampler(
+        IndependentFairSampler(MinHashFamily(), **_lsh_kwargs()),
+        weight=weight,
+        max_weight=weight(1.0),
+        seed=7,
+    ).fit(workload["dataset"])
+    benchmark(lambda: sampler.sample(workload["query"], exclude_index=workload["exclude"]))
+
+
+def test_query_filter_fair_section5(benchmark):
+    """Section 5 sampler on an inner-product workload (unit vectors)."""
+    import numpy as np
+
+    from repro.core import FilterFairSampler
+    from repro.data import planted_inner_product_neighborhood
+
+    points, query, _ = planted_inner_product_neighborhood(
+        n_background=800, n_neighbors=30, dim=32, alpha=0.8, beta_max=0.2, seed=3
+    )
+    sampler = FilterFairSampler(alpha=0.8, beta=0.3, num_structures=6, epsilon=0.05, seed=3).fit(points)
+    benchmark(lambda: sampler.sample(query))

@@ -1,0 +1,40 @@
+"""Throughput benchmarks for the count-distinct sketch substrate (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches import BottomTSketch, DistinctCountSketcher
+
+
+@pytest.fixture(scope="module")
+def sketcher():
+    return DistinctCountSketcher(universe_size=100_000, epsilon=0.5, delta=0.01, seed=0)
+
+
+def test_sketch_build_small_bucket(benchmark, sketcher):
+    """Sketching a typical LSH bucket (a few dozen members)."""
+    keys = list(range(40))
+    benchmark(lambda: sketcher.sketch_keys(keys))
+
+
+def test_sketch_build_large_bucket(benchmark, sketcher):
+    keys = list(range(2000))
+    benchmark(lambda: sketcher.sketch_keys(keys))
+
+
+def test_sketch_merge_pair(benchmark, sketcher):
+    a = sketcher.sketch_keys(range(0, 500))
+    b = sketcher.sketch_keys(range(250, 750))
+    benchmark(lambda: a.merge(b))
+
+
+def test_sketch_merge_many(benchmark, sketcher):
+    """Merging L = 64 bucket sketches, the per-query cost of the Section 4 estimate."""
+    parts = [sketcher.sketch_keys(range(i * 30, i * 30 + 40)) for i in range(64)]
+    benchmark(lambda: BottomTSketch.merge_all(parts))
+
+
+def test_sketch_estimate(benchmark, sketcher):
+    sketch = sketcher.sketch_keys(range(3000))
+    benchmark(sketch.estimate)

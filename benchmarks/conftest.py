@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every figure-level benchmark both (a) times the core operation with
+pytest-benchmark and (b) regenerates the figure's rows/series with a reduced
+but structurally faithful configuration, writing the text rendering to
+``benchmarks/results/`` so the numbers quoted in EXPERIMENTS.md can be
+re-derived with a single ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a figure reproduction to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def small_lastfm():
+    """A reduced Last.FM-like dataset shared by the benchmarks."""
+    from repro.data import generate_lastfm_like
+
+    return generate_lastfm_like(num_users=300, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_movielens():
+    """A reduced MovieLens-like dataset shared by the benchmarks."""
+    from repro.data import generate_movielens_like
+
+    return generate_movielens_like(num_users=300, seed=1)

@@ -1,0 +1,118 @@
+"""Discrimination discovery via independent range sampling.
+
+The paper points out (Section 1 and the conclusion) that independent range
+sampling can support discrimination discovery in databases: by drawing
+*independent* samples of the users similar to a target user, an analyst can
+compare outcome rates (e.g. loan approval) across protected groups in that
+neighborhood with statistical significance — without paying for the full
+neighborhood on every probe.
+
+This example builds a synthetic "credit applications" table, uses the
+Section 4 r-NNIS structure to sample similar applicants independently, and
+runs a simple two-proportion z-test on the sampled approval rates between two
+groups.
+
+Run with::
+
+    python examples/discrimination_discovery.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import IndependentFairSampler
+from repro.distances import JaccardSimilarity
+from repro.lsh import MinHashFamily
+
+
+def build_population(num_applicants: int = 500, seed: int = 0):
+    """Synthetic applicants: each a set of categorical attributes, a group and an outcome.
+
+    Attribute ids encode legally admissible features (income band, employment
+    type, region, ...).  Applicants are generated around a small number of
+    archetype profiles (so genuinely similar applicants exist, as in real
+    application data).  The hidden data-generating process approves group 0
+    applicants more often than group 1 applicants *with identical features* —
+    the discrimination the analyst wants to detect.
+    """
+    rng = np.random.default_rng(seed)
+    num_pools, pool_size = 10, 6
+    attribute_pools = [list(range(base, base + pool_size)) for base in range(0, num_pools * pool_size, pool_size)]
+    archetypes = [
+        [int(rng.choice(pool)) for pool in attribute_pools] for _ in range(10)
+    ]
+    applicants, groups, outcomes = [], [], []
+    for _ in range(num_applicants):
+        profile = list(archetypes[int(rng.integers(0, len(archetypes)))])
+        # Mutate a few attributes so applicants of the same archetype are
+        # similar but not identical.
+        for position in rng.choice(num_pools, size=3, replace=False):
+            profile[position] = int(rng.choice(attribute_pools[position]))
+        features = frozenset(profile)
+        group = int(rng.random() < 0.4)
+        merit = len(features & frozenset(range(0, 30))) / 10.0
+        bias = -0.25 if group == 1 else 0.0
+        approved = int(rng.random() < min(0.95, max(0.05, 0.4 + merit / 2 + bias)))
+        applicants.append(features)
+        groups.append(group)
+        outcomes.append(approved)
+    return applicants, np.array(groups), np.array(outcomes)
+
+
+def two_proportion_z(successes_a, total_a, successes_b, total_b) -> float:
+    """z statistic for the difference of two proportions (0 when undefined)."""
+    if total_a == 0 or total_b == 0:
+        return 0.0
+    p_a, p_b = successes_a / total_a, successes_b / total_b
+    pooled = (successes_a + successes_b) / (total_a + total_b)
+    denom = math.sqrt(pooled * (1 - pooled) * (1 / total_a + 1 / total_b))
+    return 0.0 if denom == 0 else (p_a - p_b) / denom
+
+
+def main() -> None:
+    applicants, groups, outcomes = build_population()
+    radius = 0.3  # "similar applicant" = Jaccard similarity of features >= 0.3
+
+    sampler = IndependentFairSampler(
+        MinHashFamily(), radius=radius, far_radius=0.1, recall=0.95, seed=1
+    ).fit(applicants)
+
+    # The analyst probes the neighborhood of a target applicant with
+    # independent samples instead of retrieving all similar applicants.
+    # Pick a target that actually has a populated neighborhood.
+    from repro.data import select_interesting_queries
+
+    target_index = select_interesting_queries(
+        applicants, JaccardSimilarity(), num_queries=1, min_neighbors=20,
+        threshold=radius, seed=1,
+    )[0]
+    target = applicants[target_index]
+    sample_budget = 200
+    tallies = {0: [0, 0], 1: [0, 0]}  # group -> [approvals, total]
+    for _ in range(sample_budget):
+        index = sampler.sample(target, exclude_index=target_index)
+        if index is None:
+            continue
+        group = int(groups[index])
+        tallies[group][0] += int(outcomes[index])
+        tallies[group][1] += 1
+
+    (a_succ, a_tot), (b_succ, b_tot) = tallies[0], tallies[1]
+    z = two_proportion_z(a_succ, a_tot, b_succ, b_tot)
+    print(f"target applicant {target_index}: sampled {a_tot + b_tot} similar applicants")
+    print(f"  group 0 approval rate: {a_succ}/{a_tot}"
+          f" = {a_succ / max(1, a_tot):.2f}")
+    print(f"  group 1 approval rate: {b_succ}/{b_tot}"
+          f" = {b_succ / max(1, b_tot):.2f}")
+    print(f"  two-proportion z statistic: {z:.2f}"
+          f" ({'significant difference' if abs(z) > 1.96 else 'no significant difference'} at 5%)")
+    print("\nBecause every similar applicant is sampled with equal probability and")
+    print("samples are independent across probes, these counts are an unbiased basis")
+    print("for the significance test — a biased (standard LSH) sampler would not be.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Diverse recommendations by sampling k items from a similarity range.
+
+Adomavicius and Kwon (cited in the paper) make recommendation lists more
+diverse by sampling k items at random from a larger top-l candidate list.
+The paper's data structures provide exactly this primitive without
+materializing the candidate list: sample k near neighbors of the user vector
+uniformly (with or without replacement).
+
+This example compares, on a synthetic user-item set dataset:
+
+* top-k by similarity (the classical recommendation list),
+* k uniform samples without replacement from the r-neighborhood
+  (the Section 3 structure's native k-sampling),
+
+and reports intra-list diversity (average pairwise Jaccard distance) and
+catalog coverage over many users.
+
+Run with::
+
+    python examples/diversity_sampling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PermutationFairSampler
+from repro.data import generate_movielens_like, select_interesting_queries
+from repro.distances import JaccardSimilarity
+from repro.lsh import MinHashFamily
+
+
+def intra_list_distance(dataset, indices, measure) -> float:
+    """Average pairwise Jaccard *distance* among the recommended users' sets."""
+    if len(indices) < 2:
+        return 0.0
+    distances = []
+    for position, first in enumerate(indices):
+        for second in indices[position + 1:]:
+            distances.append(1.0 - measure.value(dataset[first], dataset[second]))
+    return float(np.mean(distances))
+
+
+def main() -> None:
+    dataset = generate_movielens_like(num_users=250, seed=5)
+    measure = JaccardSimilarity()
+    radius = 0.2
+    k = 5
+
+    sampler = PermutationFairSampler(
+        MinHashFamily(), radius=radius, far_radius=0.1, recall=0.95, seed=6
+    ).fit(dataset)
+
+    query_indices = select_interesting_queries(
+        dataset, measure, num_queries=15, min_neighbors=k + 2, threshold=radius, seed=6
+    )
+
+    topk_diversity, fair_diversity = [], []
+    topk_coverage, fair_coverage = set(), set()
+    for query_index in query_indices:
+        query = dataset[query_index]
+        values = measure.values_to_query(dataset, query)
+        values[query_index] = -1.0  # never recommend the user to themselves
+
+        top_k = list(np.argsort(-values)[:k])
+        fair_k = [
+            i for i in sampler.sample_k(query, k + 1, replacement=False) if i != query_index
+        ][:k]
+
+        topk_diversity.append(intra_list_distance(dataset, top_k, measure))
+        fair_diversity.append(intra_list_distance(dataset, fair_k, measure))
+        topk_coverage.update(int(i) for i in top_k)
+        fair_coverage.update(int(i) for i in fair_k)
+
+    print(f"{len(query_indices)} users, {k} recommendations each, similarity threshold r={radius}")
+    print(f"{'strategy':<28}{'intra-list diversity':>22}{'catalog coverage':>20}")
+    print(f"{'top-k by similarity':<28}{np.mean(topk_diversity):>22.3f}{len(topk_coverage):>20}")
+    print(f"{'fair k-sample (Section 3)':<28}{np.mean(fair_diversity):>22.3f}{len(fair_coverage):>20}")
+    print("\nUniform sampling from the neighborhood trades a little similarity for")
+    print("more diverse lists and broader coverage, with every eligible item getting")
+    print("the same chance of exposure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment this reproduction targets may lack the ``wheel`` package, in
+which case PEP 660 editable installs fail; keeping a ``setup.py`` allows the
+legacy ``pip install -e . --no-use-pep517 --no-build-isolation`` path.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""repro — Fair Near Neighbor Search: Independent Range Sampling in High Dimensions.
+
+A from-scratch reproduction of Aumüller, Pagh and Silvestri (PODS 2020).  The
+package provides fair (uniform, independent) r-near-neighbor sampling data
+structures on top of a complete LSH substrate, plus the baselines, datasets,
+fairness audit tooling and experiment harness needed to regenerate every
+figure of the paper's evaluation section.
+
+Quickstart
+----------
+>>> from repro import PermutationFairSampler, MinHashFamily
+>>> sets = [frozenset({1, 2, 3}), frozenset({1, 2, 4}), frozenset({7, 8, 9})]
+>>> sampler = PermutationFairSampler(MinHashFamily(), radius=0.4, seed=0).fit(sets)
+>>> sampler.sample(frozenset({1, 2, 3, 4})) in (0, 1)
+True
+"""
+
+from repro.core import (
+    ApproximateNeighborhoodSampler,
+    CollectAllFairSampler,
+    ExactUniformSampler,
+    FilterFairSampler,
+    GaussianFilterIndex,
+    IndependentFairSampler,
+    LSHNeighborSampler,
+    NeighborSampler,
+    PermutationFairSampler,
+    QueryResult,
+    QueryStats,
+    RankPerturbationSampler,
+    StandardLSHSampler,
+    sample_with_replacement,
+    sample_without_replacement,
+)
+from repro.distances import (
+    AngularDistance,
+    CosineSimilarity,
+    EuclideanDistance,
+    HammingDistance,
+    InnerProductSimilarity,
+    JaccardSimilarity,
+    ball_indices,
+    ball_size,
+)
+from repro.lsh import (
+    BitSamplingFamily,
+    ConcatenatedFamily,
+    HyperplaneFamily,
+    LSHFamily,
+    LSHParameters,
+    LSHTables,
+    MinHashFamily,
+    OneBitMinHashFamily,
+    PStableFamily,
+    compute_rho,
+    select_parameters,
+)
+from repro.fairness import FairnessAuditor, total_variation_from_uniform
+from repro.exceptions import (
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core samplers
+    "NeighborSampler",
+    "LSHNeighborSampler",
+    "ExactUniformSampler",
+    "StandardLSHSampler",
+    "CollectAllFairSampler",
+    "ApproximateNeighborhoodSampler",
+    "PermutationFairSampler",
+    "RankPerturbationSampler",
+    "IndependentFairSampler",
+    "GaussianFilterIndex",
+    "FilterFairSampler",
+    "QueryResult",
+    "QueryStats",
+    "sample_with_replacement",
+    "sample_without_replacement",
+    # distances
+    "EuclideanDistance",
+    "HammingDistance",
+    "JaccardSimilarity",
+    "InnerProductSimilarity",
+    "AngularDistance",
+    "CosineSimilarity",
+    "ball_indices",
+    "ball_size",
+    # lsh
+    "LSHFamily",
+    "ConcatenatedFamily",
+    "MinHashFamily",
+    "OneBitMinHashFamily",
+    "HyperplaneFamily",
+    "PStableFamily",
+    "BitSamplingFamily",
+    "LSHParameters",
+    "LSHTables",
+    "compute_rho",
+    "select_parameters",
+    # fairness
+    "FairnessAuditor",
+    "total_variation_from_uniform",
+    # exceptions
+    "ReproError",
+    "NotFittedError",
+    "EmptyDatasetError",
+    "InvalidParameterError",
+]

@@ -1,0 +1,63 @@
+"""Fair near-neighbor samplers — the paper's primary contribution.
+
+The samplers all answer the same question — "give me a point of
+``B_S(q, r)``" — but with different guarantees and costs:
+
+========================  =======================================================
+:class:`ExactUniformSampler`       brute force; exact uniform; O(n) per query
+:class:`StandardLSHSampler`        classical LSH query; fast; **biased** towards
+                                   close points (the baseline whose unfairness the
+                                   paper demonstrates)
+:class:`CollectAllFairSampler`     "fair LSH" baseline of Section 6: collect every
+                                   colliding near point, dedupe, sample uniformly
+:class:`ApproximateNeighborhoodSampler`  the relaxed notion of Har-Peled and
+                                   Mahabadi analysed in Section 6.2
+:class:`PermutationFairSampler`    Section 3: rank-permutation r-NNS structure
+:class:`RankPerturbationSampler`   Appendix A: repeated-query independent sampling
+:class:`IndependentFairSampler`    Section 4: full r-NNIS structure with segments
+                                   and count-distinct sketches
+:class:`GaussianFilterIndex`       Section 5 / Appendix B: nearly-linear-space
+                                   locality-sensitive filter index for inner product
+:class:`FilterFairSampler`         Section 5.2: alpha-NNIS query on top of the
+                                   filter index
+========================  =======================================================
+"""
+
+from repro.core.result import QueryResult, QueryStats
+from repro.core.base import NeighborSampler, LSHNeighborSampler
+from repro.core.exact import ExactUniformSampler
+from repro.core.standard_lsh import StandardLSHSampler
+from repro.core.fair_collect import CollectAllFairSampler
+from repro.core.approximate import ApproximateNeighborhoodSampler
+from repro.core.fair_nns import PermutationFairSampler
+from repro.core.rank_perturbation import RankPerturbationSampler
+from repro.core.fair_nnis import IndependentFairSampler
+from repro.core.filter_nn import GaussianFilterIndex
+from repro.core.filter_nnis import FilterFairSampler
+from repro.core.weighted import (
+    WeightedFairSampler,
+    exponential_similarity_weight,
+    inverse_distance_weight,
+)
+from repro.core.sampling import sample_with_replacement, sample_without_replacement
+
+__all__ = [
+    "QueryResult",
+    "QueryStats",
+    "NeighborSampler",
+    "LSHNeighborSampler",
+    "ExactUniformSampler",
+    "StandardLSHSampler",
+    "CollectAllFairSampler",
+    "ApproximateNeighborhoodSampler",
+    "PermutationFairSampler",
+    "RankPerturbationSampler",
+    "IndependentFairSampler",
+    "GaussianFilterIndex",
+    "FilterFairSampler",
+    "WeightedFairSampler",
+    "exponential_similarity_weight",
+    "inverse_distance_weight",
+    "sample_with_replacement",
+    "sample_without_replacement",
+]

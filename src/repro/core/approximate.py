@@ -1,0 +1,63 @@
+"""Approximate-neighborhood sampling (the relaxed notion analysed in Q2).
+
+Har-Peled and Mahabadi's relaxed fairness notion samples uniformly from some
+set ``S'`` that contains every r-near neighbor and no point farther than
+``cr``.  In the concrete LSH instantiation discussed in Section 1.2 and
+evaluated in Section 6.2, ``S' = B(q, cr) ∩ (union of colliding buckets)``:
+the query collects everything found in the ``L`` buckets and returns a
+uniform point among those with similarity at least ``cr`` (distance at most
+``cr``).  This avoids filtering down to the exact neighborhood — hence the
+speed-up — but, as the Figure 2 instance shows, points whose neighborhoods
+are tightly clustered end up strongly under-represented.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import LSHNeighborSampler
+from repro.core.result import QueryResult, QueryStats
+from repro.types import Point
+
+
+class ApproximateNeighborhoodSampler(LSHNeighborSampler):
+    """Uniform sampling over the colliding points within the relaxed radius.
+
+    The relaxed threshold is the ``far_radius`` (``cr``) passed at
+    construction time; the ``radius`` (``r``) is kept so callers can still
+    ask whether the returned point was a true near neighbor.
+    """
+
+    def sample_detailed(self, query: Point, exclude_index: int = None) -> QueryResult:
+        self._check_fitted()
+        stats = QueryStats()
+        candidates = self.tables.query_candidates(query)
+        if exclude_index is not None:
+            candidates = candidates[candidates != exclude_index]
+        stats.buckets_probed = self.tables.num_tables
+        stats.candidates_examined = int(self.tables.query_candidates_multiset(query).size)
+        if candidates.size == 0:
+            return QueryResult(index=None, value=None, stats=stats)
+        values = np.asarray(
+            [self.measure.value(self._dataset[int(i)], query) for i in candidates], dtype=float
+        )
+        stats.distance_evaluations = int(candidates.size)
+        relaxed_mask = self.measure.within_mask(values, self.far_radius)
+        relaxed = candidates[relaxed_mask]
+        if relaxed.size == 0:
+            return QueryResult(index=None, value=None, stats=stats)
+        position = int(self._query_rng.integers(0, relaxed.size))
+        chosen = int(relaxed[position])
+        chosen_value = float(values[relaxed_mask][position])
+        return QueryResult(index=chosen, value=chosen_value, stats=stats)
+
+    def candidate_set(self, query: Point) -> np.ndarray:
+        """The realized set ``S'`` for this query (distinct colliding points within ``cr``)."""
+        self._check_fitted()
+        candidates = self.tables.query_candidates(query)
+        if candidates.size == 0:
+            return candidates
+        values = np.asarray(
+            [self.measure.value(self._dataset[int(i)], query) for i in candidates], dtype=float
+        )
+        return candidates[self.measure.within_mask(values, self.far_radius)]

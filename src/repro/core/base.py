@@ -1,0 +1,253 @@
+"""Abstract sampler interfaces.
+
+:class:`NeighborSampler` is the public face of every data structure in
+:mod:`repro.core`; :class:`LSHNeighborSampler` adds the shared construction
+logic for the samplers that sit on top of the LSH table layer (standard LSH,
+collect-all fair LSH, the approximate-neighborhood baseline, and the
+Section 3 / Appendix A / Section 4 structures).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.distances.base import Measure
+from repro.exceptions import EmptyDatasetError, InvalidParameterError, NotFittedError
+from repro.lsh.family import LSHFamily
+from repro.lsh.params import LSHParameters, select_parameters
+from repro.lsh.tables import LSHTables
+from repro.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.core.result import QueryResult
+from repro.types import Dataset, Point
+
+
+class NeighborSampler(abc.ABC):
+    """A data structure answering r-near-neighbor sampling queries.
+
+    Subclasses are constructed with all their parameters and then bound to a
+    dataset via :meth:`fit` (constructors that accept a ``dataset`` argument
+    call ``fit`` themselves).  After fitting, :meth:`sample` returns the
+    index of a point of ``B_S(q, r)`` — for the fair samplers, a uniformly
+    distributed one — or ``None`` when no near neighbor is found.
+    """
+
+    #: The measure used to decide near/far; set during fit.
+    measure: Measure
+    #: The near threshold ``r`` (a distance or a similarity).
+    radius: float
+
+    def __init__(self) -> None:
+        self._dataset: Optional[Dataset] = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        """The indexed dataset."""
+        self._check_fitted()
+        return self._dataset
+
+    @property
+    def num_points(self) -> int:
+        """Number of indexed points."""
+        self._check_fitted()
+        return len(self._dataset)
+
+    @abc.abstractmethod
+    def fit(self, dataset: Dataset) -> "NeighborSampler":
+        """Build the data structure over *dataset* and return ``self``."""
+
+    @abc.abstractmethod
+    def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        """Answer one query, returning the sampled index plus work counters.
+
+        ``exclude_index`` removes one dataset point from consideration — the
+        standard way to query with a point that is itself part of the indexed
+        dataset (e.g. recommending for an existing user) without having the
+        structure hand the query back to itself.
+        """
+
+    # ------------------------------------------------------------------
+    def sample(self, query: Point, exclude_index: Optional[int] = None) -> Optional[int]:
+        """Return the index of a sampled r-near neighbor of *query* (or None)."""
+        return self.sample_detailed(query, exclude_index=exclude_index).index
+
+    def sample_k(self, query: Point, k: int, replacement: bool = True) -> List[int]:
+        """Sample *k* near neighbors of *query*.
+
+        With ``replacement=True`` the query is simply repeated ``k`` times
+        (each call is an independent draw for the independent samplers).
+        Without replacement the default implementation also repeats the query
+        and discards duplicates; the Section 3 sampler overrides this with
+        the direct "k lowest ranks" algorithm from Section 3.1.
+        """
+        if k < 0:
+            raise InvalidParameterError(f"k must be non-negative, got {k}")
+        results: List[int] = []
+        seen = set()
+        attempts = 0
+        max_attempts = max(10 * k, 100)
+        while len(results) < k and attempts < max_attempts:
+            attempts += 1
+            index = self.sample(query)
+            if index is None:
+                break
+            if replacement:
+                results.append(index)
+            elif index not in seen:
+                seen.add(index)
+                results.append(index)
+        return results
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before use")
+
+    def _store_dataset(self, dataset: Dataset) -> None:
+        if len(dataset) == 0:
+            raise EmptyDatasetError("cannot fit a sampler on an empty dataset")
+        self._dataset = dataset
+        self._fitted = True
+
+    def _is_near(self, index: int, query: Point, value_cache: Optional[dict] = None) -> bool:
+        """Whether dataset point *index* is r-near to *query* (with caching)."""
+        return self.measure.within(self._value(index, query, value_cache), self.radius)
+
+    def _value(self, index: int, query: Point, value_cache: Optional[dict] = None) -> float:
+        if value_cache is not None and index in value_cache:
+            return value_cache[index]
+        value = self.measure.value(self._dataset[index], query)
+        if value_cache is not None:
+            value_cache[index] = value
+        return value
+
+
+class LSHNeighborSampler(NeighborSampler):
+    """Shared construction for samplers built on :class:`~repro.lsh.tables.LSHTables`.
+
+    Parameters
+    ----------
+    family:
+        Base LSH family (not yet concatenated).
+    radius:
+        Near threshold ``r`` in the family's measure.
+    far_radius:
+        Relaxed threshold ``cr`` used only for parameter selection; defaults
+        to a mild relaxation when omitted.
+    num_hashes, num_tables:
+        Explicit ``(K, L)``.  When either is ``None`` the pair is chosen with
+        :func:`repro.lsh.params.select_parameters` at fit time (it needs
+        ``n``).
+    recall, max_expected_far_collisions:
+        Passed to the parameter selection when it runs.
+    use_ranks:
+        Whether the hash tables must store rank-sorted buckets (Sections 3
+        and 4 need this; the baselines do not).
+    seed:
+        Controls every random choice (hash functions, permutation, query
+        randomness).
+    """
+
+    def __init__(
+        self,
+        family: LSHFamily,
+        radius: float,
+        far_radius: Optional[float] = None,
+        num_hashes: Optional[int] = None,
+        num_tables: Optional[int] = None,
+        recall: float = 0.99,
+        max_expected_far_collisions: float = 1.0,
+        use_ranks: bool = False,
+        seed: SeedLike = None,
+    ):
+        super().__init__()
+        self.family = family
+        self.measure = family.measure
+        self.radius = float(radius)
+        self.far_radius = float(far_radius) if far_radius is not None else self._default_far_radius()
+        self._explicit_k = num_hashes
+        self._explicit_l = num_tables
+        self._recall = recall
+        self._max_far = max_expected_far_collisions
+        self._use_ranks = use_ranks
+        rngs = spawn_rngs(seed, 3)
+        self._tables_rng, self._perm_rng, self._query_rng = rngs
+        self.params: Optional[LSHParameters] = None
+        self.tables: Optional[LSHTables] = None
+        self.ranks: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _default_far_radius(self) -> float:
+        """A mild default relaxation of the near threshold."""
+        from repro.distances.base import MeasureKind
+
+        if self.measure.kind is MeasureKind.DISTANCE:
+            return 2.0 * self.radius
+        return 0.5 * self.radius
+
+    def _resolve_parameters(self, n: int) -> LSHParameters:
+        if self._explicit_k is not None and self._explicit_l is not None:
+            k = int(self._explicit_k)
+            l = int(self._explicit_l)
+            p1 = self.family.collision_probability(self.radius) ** k
+            p2 = self.family.collision_probability(self.far_radius) ** k
+            return LSHParameters(
+                k=k,
+                l=l,
+                p_near=p1,
+                p_far=p2,
+                recall=1.0 - (1.0 - p1) ** l,
+                expected_far_collisions=n * p2,
+            )
+        params = select_parameters(
+            self.family,
+            near_threshold=self.radius,
+            far_threshold=self.far_radius,
+            n=n,
+            recall=self._recall,
+            max_expected_far_collisions=self._max_far,
+        )
+        if self._explicit_k is not None or self._explicit_l is not None:
+            k = int(self._explicit_k) if self._explicit_k is not None else params.k
+            l = int(self._explicit_l) if self._explicit_l is not None else params.l
+            p1 = self.family.collision_probability(self.radius) ** k
+            p2 = self.family.collision_probability(self.far_radius) ** k
+            params = LSHParameters(
+                k=k,
+                l=l,
+                p_near=p1,
+                p_far=p2,
+                recall=1.0 - (1.0 - p1) ** l,
+                expected_far_collisions=n * p2,
+            )
+        return params
+
+    def fit(self, dataset: Dataset) -> "LSHNeighborSampler":
+        """Hash the dataset into ``L`` tables (with ranks when required)."""
+        n = len(dataset)
+        if n == 0:
+            raise EmptyDatasetError("cannot fit a sampler on an empty dataset")
+        self.params = self._resolve_parameters(n)
+        concatenated = self.family.concatenate(self.params.k) if self.params.k > 1 else self.family
+        self.tables = LSHTables(concatenated, self.params.l, seed=self._tables_rng)
+        if self._use_ranks:
+            self.ranks = self._perm_rng.permutation(n)
+        self.tables.fit(dataset, ranks=self.ranks)
+        self._store_dataset(dataset)
+        self._after_fit()
+        return self
+
+    def _after_fit(self) -> None:
+        """Hook for subclasses needing extra per-bucket structures."""
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tables(self) -> int:
+        """Number of LSH tables in use."""
+        self._check_fitted()
+        return self.tables.num_tables

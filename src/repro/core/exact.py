@@ -1,0 +1,69 @@
+"""Exact brute-force uniform sampler (the ground truth baseline).
+
+It scans the whole dataset, computes the exact ball ``B_S(q, r)`` and returns
+a uniform element of it.  Query time is linear, which is precisely the cost
+the paper's data structures avoid, but it is the reference against which
+their output distributions are validated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import NeighborSampler
+from repro.core.result import QueryResult, QueryStats
+from repro.distances.base import Measure
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+from repro.types import Dataset, Point
+
+
+class ExactUniformSampler(NeighborSampler):
+    """Uniform sampling from the exact neighborhood by exhaustive search."""
+
+    def __init__(self, measure: Measure, radius: float, seed: SeedLike = None):
+        super().__init__()
+        self.measure = measure
+        self.radius = float(radius)
+        self._rng = ensure_rng(seed)
+
+    def fit(self, dataset: Dataset) -> "ExactUniformSampler":
+        self._store_dataset(dataset)
+        return self
+
+    def neighborhood(self, query: Point) -> np.ndarray:
+        """Indices of the exact ball ``B_S(q, r)``."""
+        self._check_fitted()
+        values = self.measure.values_to_query(self._dataset, query)
+        return np.flatnonzero(self.measure.within_mask(values, self.radius))
+
+    def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        self._check_fitted()
+        values = self.measure.values_to_query(self._dataset, query)
+        near = np.flatnonzero(self.measure.within_mask(values, self.radius))
+        if exclude_index is not None:
+            near = near[near != exclude_index]
+        stats = QueryStats(
+            candidates_examined=len(self._dataset),
+            distance_evaluations=len(self._dataset),
+            buckets_probed=0,
+            rounds=1,
+        )
+        if near.size == 0:
+            return QueryResult(index=None, value=None, stats=stats)
+        chosen = int(self._rng.choice(near))
+        return QueryResult(index=chosen, value=float(values[chosen]), stats=stats)
+
+    def sample_k(self, query: Point, k: int, replacement: bool = True) -> List[int]:
+        """Exact k-sample: directly draws from the computed ball."""
+        if k < 0:
+            raise InvalidParameterError(f"k must be non-negative, got {k}")
+        near = self.neighborhood(query)
+        if near.size == 0 or k == 0:
+            return []
+        if replacement:
+            return [int(i) for i in self._rng.choice(near, size=k, replace=True)]
+        take = min(k, near.size)
+        return [int(i) for i in self._rng.choice(near, size=take, replace=False)]

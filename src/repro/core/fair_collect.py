@@ -1,0 +1,55 @@
+"""The "fair LSH" baseline used in the paper's experiments.
+
+Section 6.1: "we also consider fair LSH, which we implemented in the naive
+way of collecting all points with similarity at least r found in the buckets,
+removing duplicates, and returning one of the remaining points at random."
+This is the simple (but slow — its cost grows with the neighborhood size)
+way of making LSH fair; the Section 3 and 4 data structures achieve the same
+output distribution without paying for the whole neighborhood on every query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import LSHNeighborSampler
+from repro.core.result import QueryResult, QueryStats
+from repro.types import Point
+
+
+class CollectAllFairSampler(LSHNeighborSampler):
+    """Collect every colliding r-near point, dedupe, sample uniformly."""
+
+    def sample_detailed(self, query: Point, exclude_index: int = None) -> QueryResult:
+        self._check_fitted()
+        stats = QueryStats()
+        candidates = self.tables.query_candidates(query)
+        if exclude_index is not None:
+            candidates = candidates[candidates != exclude_index]
+        stats.buckets_probed = self.tables.num_tables
+        stats.candidates_examined = int(self.tables.query_candidates_multiset(query).size)
+        if candidates.size == 0:
+            return QueryResult(index=None, value=None, stats=stats)
+        values = np.asarray(
+            [self.measure.value(self._dataset[int(i)], query) for i in candidates], dtype=float
+        )
+        stats.distance_evaluations = int(candidates.size)
+        near_mask = self.measure.within_mask(values, self.radius)
+        near = candidates[near_mask]
+        if near.size == 0:
+            return QueryResult(index=None, value=None, stats=stats)
+        position = int(self._query_rng.integers(0, near.size))
+        chosen = int(near[position])
+        chosen_value = float(values[near_mask][position])
+        return QueryResult(index=chosen, value=chosen_value, stats=stats)
+
+    def collect_neighborhood(self, query: Point) -> np.ndarray:
+        """All distinct colliding r-near points (the set the sample is drawn from)."""
+        self._check_fitted()
+        candidates = self.tables.query_candidates(query)
+        if candidates.size == 0:
+            return candidates
+        values = np.asarray(
+            [self.measure.value(self._dataset[int(i)], query) for i in candidates], dtype=float
+        )
+        return candidates[self.measure.within_mask(values, self.radius)]

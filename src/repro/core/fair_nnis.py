@@ -1,0 +1,262 @@
+"""Section 4: the r-near neighbor *independent* sampling (r-NNIS) structure.
+
+The structure keeps the Section 3 layout (LSH tables whose buckets are sorted
+by a random rank permutation) and adds two ingredients:
+
+* every bucket carries a mergeable count-distinct sketch of its members, so a
+  query can estimate ``s_q = |S_q|``, the number of distinct points colliding
+  with it, by merging the ``L`` bucket sketches;
+* instead of returning the minimum-rank near point (which is deterministic
+  given the permutation), the query splits the rank space into ``k`` equal
+  segments, repeatedly picks a segment uniformly at random, retrieves the
+  near colliding points inside it with a rank-range query, and accepts the
+  segment with probability proportional to how many near points it holds.
+  Accepting returns a uniform point of the segment — overall every near
+  point is returned with probability ``1 / (k * lambda)`` per round, so the
+  output is uniform, and because all the randomness is drawn fresh at query
+  time, answers to different queries are independent (Theorem 2).
+
+``k`` starts at roughly ``2 * s_q`` (so segments hold O(log n) near points
+with high probability) and is halved every ``Sigma = Theta(log^2 n)``
+unsuccessful rounds, which keeps the expected query time at
+``O~(n^rho + b(q, cr) / (b(q, r) + 1))``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.core.base import LSHNeighborSampler
+from repro.core.result import QueryResult, QueryStats
+from repro.exceptions import InvalidParameterError
+from repro.lsh.family import LSHFamily
+from repro.rng import SeedLike
+from repro.sketches.kmv import BottomTSketch, DistinctCountSketcher
+from repro.types import Point
+
+
+class IndependentFairSampler(LSHNeighborSampler):
+    """The Section 4 r-NNIS data structure.
+
+    Extra parameters beyond :class:`~repro.core.base.LSHNeighborSampler`:
+
+    lambda_factor, sigma_factor:
+        Constants in ``lambda = lambda_factor * log2(n)`` (per-segment near
+        point budget) and ``Sigma = sigma_factor * log2(n)^2`` (rounds before
+        halving ``k``).
+    sketch_epsilon, sketch_delta:
+        Accuracy of the per-bucket count-distinct sketches; the paper uses
+        ``epsilon = 1/2`` and a polynomially small ``delta``.
+    sketch_min_bucket:
+        Buckets smaller than this store no sketch; their contribution to the
+        colliding-count estimate is computed exactly at query time (this is
+        the paper's space optimisation for tiny buckets).
+    max_rounds:
+        Hard safety cap on the total number of rejection rounds.
+    """
+
+    def __init__(
+        self,
+        family: LSHFamily,
+        radius: float,
+        far_radius: Optional[float] = None,
+        num_hashes: Optional[int] = None,
+        num_tables: Optional[int] = None,
+        recall: float = 0.99,
+        max_expected_far_collisions: float = 1.0,
+        lambda_factor: float = 1.0,
+        sigma_factor: float = 1.0,
+        sketch_epsilon: float = 0.5,
+        sketch_delta: float = 0.01,
+        sketch_min_bucket: int = 16,
+        max_rounds: int = 100_000,
+        seed: SeedLike = None,
+    ):
+        super().__init__(
+            family=family,
+            radius=radius,
+            far_radius=far_radius,
+            num_hashes=num_hashes,
+            num_tables=num_tables,
+            recall=recall,
+            max_expected_far_collisions=max_expected_far_collisions,
+            use_ranks=True,
+            seed=seed,
+        )
+        if lambda_factor <= 0 or sigma_factor <= 0:
+            raise InvalidParameterError("lambda_factor and sigma_factor must be positive")
+        if max_rounds < 1:
+            raise InvalidParameterError("max_rounds must be >= 1")
+        self.lambda_factor = float(lambda_factor)
+        self.sigma_factor = float(sigma_factor)
+        self.sketch_epsilon = float(sketch_epsilon)
+        self.sketch_delta = float(sketch_delta)
+        self.sketch_min_bucket = int(sketch_min_bucket)
+        self.max_rounds = int(max_rounds)
+        self._sketcher: Optional[DistinctCountSketcher] = None
+        # per table: bucket key -> sketch (only for buckets above the size cutoff)
+        self._bucket_sketches: List[Dict[Hashable, BottomTSketch]] = []
+        # Caches keyed by a hashable digest of the query.  Both cached values
+        # (the merged sketch estimate and the rank-sorted view of the
+        # colliding points) are deterministic functions of the query and the
+        # construction randomness, so caching them does not affect the output
+        # distribution; it avoids re-merging L sketches and re-concatenating
+        # L buckets when the same query is repeated (the common case in
+        # fairness audits).
+        self._estimate_cache: Dict[Hashable, float] = {}
+        self._view_cache: Dict[Hashable, tuple] = {}
+        self._cache_limit = 1024
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _after_fit(self) -> None:
+        n = self.num_points
+        self._sketcher = DistinctCountSketcher(
+            universe_size=n,
+            epsilon=self.sketch_epsilon,
+            delta=self.sketch_delta,
+            seed=self._perm_rng,
+        )
+        self._bucket_sketches = []
+        for table in self.tables._tables:
+            sketches: Dict[Hashable, BottomTSketch] = {}
+            for key, bucket in table.items():
+                if len(bucket) >= self.sketch_min_bucket:
+                    sketches[key] = self._sketcher.sketch_keys(int(i) for i in bucket.indices)
+            self._bucket_sketches.append(sketches)
+
+    # ------------------------------------------------------------------
+    # Query helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _query_digest(query: Point) -> Optional[Hashable]:
+        """A hashable digest of the query for the estimate cache (None if unhashable)."""
+        if isinstance(query, (frozenset, tuple, str, bytes, int)):
+            return query
+        if isinstance(query, set):
+            return frozenset(query)
+        if isinstance(query, np.ndarray):
+            return (query.shape, query.tobytes())
+        return None
+
+    def estimate_colliding_count(self, query: Point) -> float:
+        """Sketch-based estimate of ``s_q``, the number of colliding points."""
+        self._check_fitted()
+        digest = self._query_digest(query)
+        if digest is not None and digest in self._estimate_cache:
+            return self._estimate_cache[digest]
+        query_keys = self.tables.query_keys(query)
+        merged: Optional[BottomTSketch] = None
+        for table_index, (key, table) in enumerate(zip(query_keys, self.tables._tables)):
+            bucket = table.get(key)
+            if bucket is None or len(bucket) == 0:
+                continue
+            sketch = self._bucket_sketches[table_index].get(key)
+            if sketch is None:
+                # Small bucket: build its sketch on the fly (cheaper than
+                # storing sketches for the long tail of tiny buckets).
+                sketch = self._sketcher.sketch_keys(int(i) for i in bucket.indices)
+            merged = sketch if merged is None else merged.merge(sketch)
+        estimate = 0.0 if merged is None else float(merged.estimate())
+        if digest is not None:
+            if len(self._estimate_cache) >= self._cache_limit:
+                self._estimate_cache.clear()
+            self._estimate_cache[digest] = estimate
+        return estimate
+
+    def _colliding_view(self, query: Point) -> tuple:
+        """Rank-sorted ``(ranks, indices)`` of all points colliding with *query*.
+
+        Concatenating the ``L`` colliding buckets once per query turns every
+        segment lookup of the rejection loop into a single ``searchsorted``
+        instead of a Python loop over all tables.  Points colliding in
+        several tables appear once per table; the segment lookup
+        de-duplicates after slicing.
+        """
+        digest = self._query_digest(query)
+        if digest is not None and digest in self._view_cache:
+            return self._view_cache[digest]
+        buckets = self.tables.query_buckets(query)
+        rank_parts = [b.ranks for b in buckets if len(b)]
+        index_parts = [b.indices for b in buckets if len(b)]
+        if rank_parts:
+            ranks = np.concatenate(rank_parts)
+            indices = np.concatenate(index_parts)
+            order = np.argsort(ranks, kind="stable")
+            view = (ranks[order], indices[order])
+        else:
+            view = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.intp))
+        if digest is not None:
+            if len(self._view_cache) >= self._cache_limit:
+                self._view_cache.clear()
+            self._view_cache[digest] = view
+        return view
+
+    def _log_n(self) -> float:
+        return max(1.0, math.log2(max(2, self.num_points)))
+
+    def _segment_bounds(self, segment: int, k: int) -> tuple:
+        n = self.num_points
+        lo = int(math.floor(segment * n / k))
+        hi = int(math.floor((segment + 1) * n / k)) if segment + 1 < k else n
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        self._check_fitted()
+        stats = QueryStats()
+        value_cache: dict = {}
+        n = self.num_points
+
+        estimate = self.estimate_colliding_count(query)
+        if estimate <= 0.0:
+            return QueryResult(index=None, value=None, stats=stats)
+
+        # k: smallest power of two >= 2 * s_hat, capped so segments are never
+        # smaller than a single rank slot.
+        k = 1
+        while k < 2.0 * estimate and k < 2 * n:
+            k *= 2
+        lam = max(1.0, self.lambda_factor * self._log_n())
+        sigma = max(1, int(math.ceil(self.sigma_factor * self._log_n() ** 2)))
+
+        view_ranks, view_indices = self._colliding_view(query)
+        failures = 0
+        while k >= 1 and stats.rounds < self.max_rounds:
+            stats.rounds += 1
+            segment = int(self._query_rng.integers(0, k))
+            lo, hi = self._segment_bounds(segment, k)
+            left = int(np.searchsorted(view_ranks, lo, side="left"))
+            right = int(np.searchsorted(view_ranks, hi, side="left"))
+            candidates = np.unique(view_indices[left:right])
+            stats.buckets_probed += self.tables.num_tables
+            stats.candidates_examined += int(candidates.size)
+
+            near: List[int] = []
+            for index in candidates:
+                index = int(index)
+                if index == exclude_index:
+                    continue
+                already_evaluated = index in value_cache
+                value = self._value(index, query, value_cache)
+                if not already_evaluated:
+                    stats.distance_evaluations += 1
+                if self.measure.within(value, self.radius):
+                    near.append(index)
+
+            accept_probability = min(1.0, len(near) / lam)
+            if near and self._query_rng.random() < accept_probability:
+                chosen = int(near[int(self._query_rng.integers(0, len(near)))])
+                return QueryResult(index=chosen, value=value_cache[chosen], stats=stats)
+
+            failures += 1
+            if failures >= sigma:
+                failures = 0
+                k //= 2
+        return QueryResult(index=None, value=None, stats=stats)

@@ -1,0 +1,127 @@
+"""Section 3: the rank-permutation r-NNS data structure.
+
+Construction assigns every data point a random *rank* (a position in a random
+permutation drawn independently of the LSH randomness) and stores every LSH
+bucket sorted by rank.  A query scans each colliding bucket in rank order
+until the first r-near point and returns, over all ``L`` buckets, the near
+point with the smallest rank.  Because the permutation is independent of the
+hashing, every point of ``B_S(q, r)`` is equally likely to carry the smallest
+rank, so — conditioned on the whole neighborhood colliding at least once,
+which the choice of ``L`` guarantees with high probability — the output is
+uniform over ``B_S(q, r)`` (Theorem 1).
+
+Section 3.1: returning the ``k`` near points with the smallest ranks yields a
+uniform sample of size ``k`` *without replacement*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import LSHNeighborSampler
+from repro.core.result import QueryResult, QueryStats
+from repro.exceptions import InvalidParameterError
+from repro.lsh.family import LSHFamily
+from repro.rng import SeedLike
+from repro.types import Point
+
+
+class PermutationFairSampler(LSHNeighborSampler):
+    """Fair r-near-neighbor sampling via a random rank permutation."""
+
+    def __init__(
+        self,
+        family: LSHFamily,
+        radius: float,
+        far_radius: Optional[float] = None,
+        num_hashes: Optional[int] = None,
+        num_tables: Optional[int] = None,
+        recall: float = 0.99,
+        max_expected_far_collisions: float = 1.0,
+        seed: SeedLike = None,
+    ):
+        super().__init__(
+            family=family,
+            radius=radius,
+            far_radius=far_radius,
+            num_hashes=num_hashes,
+            num_tables=num_tables,
+            recall=recall,
+            max_expected_far_collisions=max_expected_far_collisions,
+            use_ranks=True,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        self._check_fitted()
+        stats = QueryStats()
+        value_cache: dict = {}
+        best_rank = np.inf
+        best_index: Optional[int] = None
+        best_value: Optional[float] = None
+
+        for bucket in self.tables.query_buckets(query):
+            stats.buckets_probed += 1
+            for position, index in enumerate(bucket.indices):
+                index = int(index)
+                rank = int(bucket.ranks[position])
+                if rank >= best_rank:
+                    # Bucket is sorted by rank: nothing later can improve.
+                    break
+                if index == exclude_index:
+                    continue
+                stats.candidates_examined += 1
+                already_evaluated = index in value_cache
+                value = self._value(index, query, value_cache)
+                if not already_evaluated:
+                    stats.distance_evaluations += 1
+                if self.measure.within(value, self.radius):
+                    best_rank = rank
+                    best_index = index
+                    best_value = value
+                    break  # first near point in this bucket has the bucket's lowest near rank
+        return QueryResult(index=best_index, value=best_value, stats=stats)
+
+    # ------------------------------------------------------------------
+    def sample_k(self, query: Point, k: int, replacement: bool = True) -> List[int]:
+        """Sample ``k`` near neighbors.
+
+        Without replacement this is the direct Section 3.1 algorithm: the
+        ``k`` r-near colliding points with the smallest ranks.  With
+        replacement it falls back to repeating the query against fresh rank
+        draws (see :class:`~repro.core.rank_perturbation.RankPerturbationSampler`
+        for the structure that makes repeated queries properly independent).
+        """
+        if k < 0:
+            raise InvalidParameterError(f"k must be non-negative, got {k}")
+        if k == 0:
+            return []
+        if replacement:
+            return super().sample_k(query, k, replacement=True)
+        return [index for index, _ in self._k_lowest_rank_neighbors(query, k)]
+
+    def _k_lowest_rank_neighbors(self, query: Point, k: int) -> List[tuple]:
+        """The ``k`` near colliding points with smallest ranks as ``(index, rank)``."""
+        value_cache: dict = {}
+        found: dict = {}
+        for bucket in self.tables.query_buckets(query):
+            near_in_bucket = 0
+            for position, index in enumerate(bucket.indices):
+                index = int(index)
+                rank = int(bucket.ranks[position])
+                if index in found:
+                    near_in_bucket += 1
+                    if near_in_bucket >= k:
+                        break
+                    continue
+                value = self._value(index, query, value_cache)
+                if self.measure.within(value, self.radius):
+                    found[index] = rank
+                    near_in_bucket += 1
+                    if near_in_bucket >= k:
+                        break
+        ordered = sorted(found.items(), key=lambda item: item[1])
+        return ordered[:k]

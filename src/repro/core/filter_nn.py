@@ -1,0 +1,231 @@
+"""Section 5 / Appendix B: the nearly-linear-space locality-sensitive filter index.
+
+Construction (for inner-product similarity on unit vectors): draw
+``t = ceil(1 / (1 - alpha^2))`` independent blocks of ``m^(1/t)`` random
+Gaussian vectors each.  Every data point is assigned, in each block, to the
+random vector with which it has the largest inner product; the concatenation
+of the ``t`` winning indices is the point's bucket, so each point is stored
+exactly once (linear space).  This is the "concomitant order statistics"
+filter family with the tensoring trick used for efficient evaluation.
+
+Query: evaluate all ``t * m^(1/t)`` filters; in each block keep the filters
+whose inner product with the query is at least ``alpha * Delta_i - f(alpha,
+epsilon)`` where ``Delta_i`` is the block maximum and
+``f(alpha, epsilon) = sqrt(2 (1 - alpha^2) ln(1/epsilon))``; probe every
+bucket in the cross product of the surviving filters and return the first
+point with inner product at least ``beta`` (Theorem 3 / Theorem 7).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import NeighborSampler
+from repro.core.result import QueryResult, QueryStats
+from repro.distances.inner_product import InnerProductSimilarity
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+from repro.types import Dataset, Point
+
+BucketKey = Tuple[int, ...]
+
+
+def query_threshold_offset(alpha: float, epsilon: float) -> float:
+    """The paper's ``f(alpha, epsilon) = sqrt(2 (1 - alpha^2) ln(1/epsilon))``."""
+    if not -1.0 < alpha < 1.0:
+        raise InvalidParameterError(f"alpha must be in (-1, 1), got {alpha}")
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    return math.sqrt(2.0 * (1.0 - alpha * alpha) * math.log(1.0 / epsilon))
+
+
+def filter_rho(alpha: float, beta: float) -> float:
+    """The exponent ``rho = (1 - alpha^2)(1 - beta^2) / (1 - alpha beta)^2``."""
+    if not -1.0 < beta < alpha < 1.0:
+        raise InvalidParameterError(f"need -1 < beta < alpha < 1, got alpha={alpha}, beta={beta}")
+    return (1.0 - alpha * alpha) * (1.0 - beta * beta) / (1.0 - alpha * beta) ** 2
+
+
+def default_filters_per_block(n: int, alpha: float, beta: float) -> int:
+    """Heuristic ``m^(1/t)`` from the analysis: ``m = n^{(1-beta^2)/(1-alpha beta)^2}``."""
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    t = max(1, int(math.ceil(1.0 / (1.0 - alpha * alpha))))
+    exponent = (1.0 - beta * beta) / (1.0 - alpha * beta) ** 2
+    m = max(2.0, float(n) ** exponent)
+    return max(2, int(round(m ** (1.0 / t))))
+
+
+class GaussianFilterIndex(NeighborSampler):
+    """Single filter structure solving the (alpha, beta)-NN problem.
+
+    Parameters
+    ----------
+    alpha:
+        Near inner-product threshold (the structure guarantees finding a
+        point if one with inner product >= alpha exists).
+    beta:
+        Relaxed threshold; any returned point has inner product >= beta.
+    epsilon:
+        Per-point failure probability knob entering the query threshold
+        offset ``f(alpha, epsilon)``.
+    filters_per_block:
+        ``m^(1/t)``; defaults to the analysis-driven heuristic.
+    num_blocks:
+        ``t``; defaults to ``ceil(1 / (1 - alpha^2))``.
+    max_probed_buckets:
+        Safety cap on the number of cross-product buckets examined per query.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        beta: float,
+        epsilon: float = 0.1,
+        filters_per_block: Optional[int] = None,
+        num_blocks: Optional[int] = None,
+        max_probed_buckets: int = 100_000,
+        seed: SeedLike = None,
+    ):
+        super().__init__()
+        if not -1.0 < beta < alpha < 1.0:
+            raise InvalidParameterError(
+                f"need -1 < beta < alpha < 1, got alpha={alpha}, beta={beta}"
+            )
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.epsilon = float(epsilon)
+        self.measure = InnerProductSimilarity()
+        self.radius = self.alpha
+        self.far_radius = self.beta
+        self.num_blocks = (
+            int(num_blocks)
+            if num_blocks is not None
+            else max(1, int(math.ceil(1.0 / (1.0 - alpha * alpha))))
+        )
+        self._requested_filters_per_block = filters_per_block
+        self.filters_per_block: Optional[int] = None
+        self.max_probed_buckets = int(max_probed_buckets)
+        self._rng = ensure_rng(seed)
+        self._blocks: List[np.ndarray] = []
+        self._buckets: Dict[BucketKey, List[int]] = {}
+        self._point_keys: List[BucketKey] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset) -> "GaussianFilterIndex":
+        data = np.asarray(dataset, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise EmptyDatasetError("GaussianFilterIndex requires a non-empty 2-D dataset")
+        n, dim = data.shape
+        self.filters_per_block = (
+            int(self._requested_filters_per_block)
+            if self._requested_filters_per_block is not None
+            else default_filters_per_block(n, self.alpha, self.beta)
+        )
+        if self.filters_per_block < 2:
+            raise InvalidParameterError("filters_per_block must be at least 2")
+
+        self._blocks = [
+            self._rng.standard_normal((self.filters_per_block, dim)) for _ in range(self.num_blocks)
+        ]
+        # Winning filter per block for every point; bucket key = tuple of winners.
+        winners = np.stack([np.argmax(data @ block.T, axis=1) for block in self._blocks], axis=1)
+        self._buckets = {}
+        self._point_keys = []
+        for index in range(n):
+            key: BucketKey = tuple(int(w) for w in winners[index])
+            self._point_keys.append(key)
+            self._buckets.setdefault(key, []).append(index)
+        self._store_dataset(data)
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_buckets(self) -> int:
+        """Number of non-empty buckets."""
+        self._check_fitted()
+        return len(self._buckets)
+
+    def bucket_of(self, index: int) -> BucketKey:
+        """The bucket key a data point was stored under."""
+        self._check_fitted()
+        return self._point_keys[index]
+
+    def total_stored_references(self) -> int:
+        """Each point is stored exactly once (linear space invariant)."""
+        self._check_fitted()
+        return sum(len(members) for members in self._buckets.values())
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def _surviving_filters(self, query: np.ndarray) -> List[np.ndarray]:
+        """Per block, the filter indices above the query threshold."""
+        offset = query_threshold_offset(self.alpha, self.epsilon)
+        surviving = []
+        for block in self._blocks:
+            scores = block @ query
+            delta = float(np.max(scores))
+            threshold = self.alpha * delta - offset
+            surviving.append(np.flatnonzero(scores >= threshold))
+        return surviving
+
+    def candidate_buckets(self, query: Point) -> List[BucketKey]:
+        """Non-empty buckets in the cross product of surviving filters.
+
+        When the cross product is larger than the number of non-empty
+        buckets, it is cheaper to test every non-empty bucket against the
+        per-block surviving sets instead; the method picks whichever
+        enumeration is smaller.
+        """
+        self._check_fitted()
+        query = np.asarray(query, dtype=float)
+        surviving = self._surviving_filters(query)
+        product_size = 1
+        for indices in surviving:
+            product_size *= max(1, indices.size)
+            if product_size > self.max_probed_buckets:
+                break
+
+        if product_size <= min(len(self._buckets), self.max_probed_buckets):
+            keys = []
+            for combo in itertools.product(*[list(map(int, s)) for s in surviving]):
+                if combo in self._buckets:
+                    keys.append(combo)
+            return keys
+
+        surviving_sets = [set(int(i) for i in s) for s in surviving]
+        keys = []
+        for key in self._buckets:
+            if all(key[block] in surviving_sets[block] for block in range(self.num_blocks)):
+                keys.append(key)
+        return keys
+
+    def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        """Standard (alpha, beta)-NN query: first point with inner product >= beta."""
+        self._check_fitted()
+        query = np.asarray(query, dtype=float)
+        stats = QueryStats()
+        for key in self.candidate_buckets(query):
+            stats.buckets_probed += 1
+            for index in self._buckets[key]:
+                if index == exclude_index:
+                    continue
+                stats.candidates_examined += 1
+                stats.distance_evaluations += 1
+                value = float(self._dataset[index] @ query)
+                if value >= self.beta:
+                    return QueryResult(index=index, value=value, stats=stats)
+        return QueryResult(index=None, value=None, stats=stats)
+
+    def search(self, query: Point) -> Optional[int]:
+        """Convenience alias for the plain near-neighbor search."""
+        return self.sample_detailed(query).index

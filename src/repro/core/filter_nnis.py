@@ -1,0 +1,186 @@
+"""Section 5.2: the alpha-NNIS query on top of the filter index.
+
+``L = Theta(log n)`` independent :class:`~repro.core.filter_nn.GaussianFilterIndex`
+structures are built; every point is stored in exactly one bucket per
+structure (nearly-linear space).  A query gathers all buckets above the query
+threshold across the ``L`` structures and then performs the rejection loop of
+Theorem 4:
+
+(A) pick a bucket with probability proportional to its current size,
+(B) pick a uniform point ``p`` of that bucket and compute ``c_p``, the number
+    of gathered buckets containing ``p``,
+(C) if ``p`` is a near point (inner product >= alpha) report it with
+    probability ``1 / c_p``,
+(D) if ``p`` is a far point (inner product < beta) delete it from the working
+    copy so it is never drawn again.
+
+Every near point is reported with probability ``1 / K'`` per round (where
+``K'`` is the current total bucket mass), independently of how many buckets
+it appears in, so the output is uniform over ``B_S(q, alpha)``; and because
+the randomness is fresh per query the answers are independent across queries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import NeighborSampler
+from repro.core.filter_nn import GaussianFilterIndex
+from repro.core.result import QueryResult, QueryStats
+from repro.distances.inner_product import InnerProductSimilarity
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.types import Dataset, Point
+
+
+class FilterFairSampler(NeighborSampler):
+    """Independent uniform sampling from ``B_S(q, alpha)`` in nearly-linear space.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Near and relaxed inner-product thresholds (``-1 < beta < alpha < 1``).
+    num_structures:
+        ``L``; defaults to ``ceil(log2 n)`` at fit time (at least 3).
+    epsilon, filters_per_block, num_blocks:
+        Passed through to every underlying :class:`GaussianFilterIndex`.
+    max_rounds:
+        Safety cap on rejection rounds per query.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        beta: float,
+        num_structures: Optional[int] = None,
+        epsilon: float = 0.1,
+        filters_per_block: Optional[int] = None,
+        num_blocks: Optional[int] = None,
+        max_rounds: int = 100_000,
+        seed: SeedLike = None,
+    ):
+        super().__init__()
+        if not -1.0 < beta < alpha < 1.0:
+            raise InvalidParameterError(
+                f"need -1 < beta < alpha < 1, got alpha={alpha}, beta={beta}"
+            )
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.measure = InnerProductSimilarity()
+        self.radius = self.alpha
+        self.far_radius = self.beta
+        self.epsilon = float(epsilon)
+        self._requested_structures = num_structures
+        self._filters_per_block = filters_per_block
+        self._num_blocks = num_blocks
+        self.max_rounds = int(max_rounds)
+        self._seed = seed
+        self._query_rng = ensure_rng(None if seed is None else spawn_rngs(seed, 1)[0])
+        self.structures: List[GaussianFilterIndex] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset) -> "FilterFairSampler":
+        data = np.asarray(dataset, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise EmptyDatasetError("FilterFairSampler requires a non-empty 2-D dataset")
+        n = data.shape[0]
+        num_structures = (
+            int(self._requested_structures)
+            if self._requested_structures is not None
+            else max(3, int(math.ceil(math.log2(max(2, n)))))
+        )
+        rngs = spawn_rngs(self._seed, num_structures + 1)
+        self._query_rng = rngs[-1]
+        self.structures = []
+        for structure_index in range(num_structures):
+            index = GaussianFilterIndex(
+                alpha=self.alpha,
+                beta=self.beta,
+                epsilon=self.epsilon,
+                filters_per_block=self._filters_per_block,
+                num_blocks=self._num_blocks,
+                seed=rngs[structure_index],
+            )
+            index.fit(data)
+            self.structures.append(index)
+        self._store_dataset(data)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def num_structures(self) -> int:
+        """Number of independent filter structures ``L``."""
+        self._check_fitted()
+        return len(self.structures)
+
+    def _gather_buckets(self, query: np.ndarray) -> List[Tuple[int, List[int]]]:
+        """All above-threshold non-empty buckets as ``(structure_index, members)``."""
+        gathered: List[Tuple[int, List[int]]] = []
+        for structure_index, structure in enumerate(self.structures):
+            for key in structure.candidate_buckets(query):
+                members = structure._buckets.get(key)
+                if members:
+                    gathered.append((structure_index, list(members)))
+        return gathered
+
+    def _occurrence_counts(self, gathered: List[Tuple[int, List[int]]]) -> Dict[int, int]:
+        """Map point index -> number of gathered buckets containing it (``c_p``)."""
+        counts: Dict[int, int] = {}
+        for _, members in gathered:
+            for index in members:
+                counts[index] = counts.get(index, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        self._check_fitted()
+        query = np.asarray(query, dtype=float)
+        stats = QueryStats()
+
+        gathered = self._gather_buckets(query)
+        stats.buckets_probed = len(gathered)
+        if not gathered:
+            return QueryResult(index=None, value=None, stats=stats)
+        occurrences = self._occurrence_counts(gathered)
+
+        # Existence check: is there any near point in the gathered buckets?
+        value_cache: Dict[int, float] = {}
+        has_near = False
+        for index in occurrences:
+            value = float(self._dataset[index] @ query)
+            value_cache[index] = value
+            stats.distance_evaluations += 1
+            if value >= self.alpha and index != exclude_index:
+                has_near = True
+        if not has_near:
+            return QueryResult(index=None, value=None, stats=stats)
+
+        # Working copies that far-point removals may shrink.
+        buckets = [list(members) for _, members in gathered]
+        sizes = np.array([len(members) for members in buckets], dtype=float)
+        total = float(sizes.sum())
+
+        while stats.rounds < self.max_rounds and total > 0:
+            stats.rounds += 1
+            bucket_index = int(self._query_rng.choice(len(buckets), p=sizes / total))
+            members = buckets[bucket_index]
+            position = int(self._query_rng.integers(0, len(members)))
+            point = members[position]
+            stats.candidates_examined += 1
+            value = value_cache[point]
+            if point == exclude_index:
+                # The excluded point behaves like a (beta, alpha) point: it is
+                # never reported but also never removed.
+                continue
+            if value >= self.alpha:
+                if self._query_rng.random() < 1.0 / occurrences[point]:
+                    return QueryResult(index=int(point), value=value, stats=stats)
+            elif value < self.beta:
+                # Far point: remove so it is never drawn again this query.
+                members.pop(position)
+                sizes[bucket_index] -= 1.0
+                total -= 1.0
+        return QueryResult(index=None, value=None, stats=stats)

@@ -1,0 +1,180 @@
+"""Appendix A: independent sampling for a single repeated query.
+
+The Section 3 structure is deterministic at query time, so repeating the same
+query always returns the same point.  Appendix A fixes this for the special
+case where *one* query is repeated many times: after returning the lowest-rank
+near point ``x``, the structure swaps the rank of ``x`` with the rank of a
+point chosen uniformly among the ranks ``{rank(x), ..., n-1}`` (a step of a
+Fisher-Yates shuffle).  After the swap it is impossible to tell how the
+remaining near neighbors are distributed among the ranks above ``rank(x)``,
+so the next repetition of the query is again a fresh uniform draw.
+
+The buckets must therefore support rank updates.  The paper uses priority
+queues; we keep each bucket as a pair of parallel lists (ranks ascending,
+point indices) and maintain them with :mod:`bisect`, which gives logarithmic
+updates on top of a cache-friendly layout.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.core.base import LSHNeighborSampler
+from repro.core.result import QueryResult, QueryStats
+from repro.lsh.family import LSHFamily
+from repro.rng import SeedLike
+from repro.types import Dataset, Point
+
+
+class _DynamicBucket:
+    """A bucket whose members are kept sorted by their (mutable) ranks."""
+
+    __slots__ = ("ranks", "indices")
+
+    def __init__(self) -> None:
+        self.ranks: List[int] = []
+        self.indices: List[int] = []
+
+    def insert(self, rank: int, index: int) -> None:
+        position = bisect.bisect_left(self.ranks, rank)
+        self.ranks.insert(position, rank)
+        self.indices.insert(position, index)
+
+    def remove(self, rank: int, index: int) -> None:
+        position = bisect.bisect_left(self.ranks, rank)
+        while position < len(self.ranks) and self.ranks[position] == rank:
+            if self.indices[position] == index:
+                del self.ranks[position]
+                del self.indices[position]
+                return
+            position += 1
+        raise KeyError(f"point {index} with rank {rank} not found in bucket")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+class RankPerturbationSampler(LSHNeighborSampler):
+    """Section 3 sampler + Appendix A rank perturbation after every query."""
+
+    def __init__(
+        self,
+        family: LSHFamily,
+        radius: float,
+        far_radius: Optional[float] = None,
+        num_hashes: Optional[int] = None,
+        num_tables: Optional[int] = None,
+        recall: float = 0.99,
+        max_expected_far_collisions: float = 1.0,
+        seed: SeedLike = None,
+    ):
+        super().__init__(
+            family=family,
+            radius=radius,
+            far_radius=far_radius,
+            num_hashes=num_hashes,
+            num_tables=num_tables,
+            recall=recall,
+            max_expected_far_collisions=max_expected_far_collisions,
+            use_ranks=True,
+            seed=seed,
+        )
+        # point index -> rank, and rank -> point index (inverse permutation)
+        self._point_rank: Optional[np.ndarray] = None
+        self._rank_point: Optional[np.ndarray] = None
+        # per table: point index -> bucket key, and key -> dynamic bucket
+        self._point_keys: List[List[Hashable]] = []
+        self._dynamic_tables: List[Dict[Hashable, _DynamicBucket]] = []
+
+    # ------------------------------------------------------------------
+    def _after_fit(self) -> None:
+        n = self.num_points
+        self._point_rank = np.array(self.ranks, dtype=np.int64)
+        self._rank_point = np.empty(n, dtype=np.int64)
+        self._rank_point[self._point_rank] = np.arange(n)
+
+        # Rebuild dynamic (mutable) buckets from the static tables so the
+        # dataset does not need to be rehashed; the static buckets are
+        # already sorted by rank, which keeps the dynamic lists sorted too.
+        self._point_keys = []
+        self._dynamic_tables = []
+        for table in self.tables._tables:
+            keys_of_points: List[Hashable] = [None] * n
+            dynamic: Dict[Hashable, _DynamicBucket] = {}
+            for key, bucket in table.items():
+                dynamic_bucket = _DynamicBucket()
+                for rank, index in zip(bucket.ranks, bucket.indices):
+                    dynamic_bucket.ranks.append(int(rank))
+                    dynamic_bucket.indices.append(int(index))
+                    keys_of_points[int(index)] = key
+                dynamic[key] = dynamic_bucket
+            self._point_keys.append(keys_of_points)
+            self._dynamic_tables.append(dynamic)
+
+    # ------------------------------------------------------------------
+    def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        self._check_fitted()
+        stats = QueryStats()
+        value_cache: dict = {}
+        best_rank = np.inf
+        best_index: Optional[int] = None
+        best_value: Optional[float] = None
+
+        query_keys = self.tables.query_keys(query)
+        for table, key in zip(self._dynamic_tables, query_keys):
+            bucket = table.get(key)
+            stats.buckets_probed += 1
+            if bucket is None:
+                continue
+            for rank, index in zip(bucket.ranks, bucket.indices):
+                if rank >= best_rank:
+                    break
+                if index == exclude_index:
+                    continue
+                stats.candidates_examined += 1
+                already_evaluated = index in value_cache
+                value = self._value(index, query, value_cache)
+                if not already_evaluated:
+                    stats.distance_evaluations += 1
+                if self.measure.within(value, self.radius):
+                    best_rank = rank
+                    best_index = index
+                    best_value = value
+                    break
+        if best_index is not None:
+            self._perturb_rank(best_index)
+        return QueryResult(index=best_index, value=best_value, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _perturb_rank(self, point: int) -> None:
+        """Swap the rank of *point* with a uniformly chosen rank above it."""
+        n = self.num_points
+        rank_x = int(self._point_rank[point])
+        target_rank = int(self._query_rng.integers(rank_x, n))
+        if target_rank == rank_x:
+            return
+        other = int(self._rank_point[target_rank])
+        self._swap_ranks(point, other)
+
+    def _swap_ranks(self, a: int, b: int) -> None:
+        rank_a = int(self._point_rank[a])
+        rank_b = int(self._point_rank[b])
+        for table, keys in zip(self._dynamic_tables, self._point_keys):
+            bucket_a = table[keys[a]]
+            bucket_b = table[keys[b]]
+            bucket_a.remove(rank_a, a)
+            bucket_b.remove(rank_b, b)
+            bucket_a.insert(rank_b, a)
+            bucket_b.insert(rank_a, b)
+        self._point_rank[a], self._point_rank[b] = rank_b, rank_a
+        self._rank_point[rank_a], self._rank_point[rank_b] = b, a
+
+    # ------------------------------------------------------------------
+    @property
+    def current_ranks(self) -> np.ndarray:
+        """Current rank of every point (changes after every successful query)."""
+        self._check_fitted()
+        return self._point_rank.copy()

@@ -1,0 +1,60 @@
+"""Result containers returned by the samplers' detailed query methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class QueryStats:
+    """Work counters for a single query.
+
+    These are the quantities the paper's running-time theorems are stated in
+    terms of, so benchmarks and tests can check the *shape* of the cost
+    (e.g. that the Section 3 structure examines
+    ``O(L + b(q, cr) / (b(q, r) + 1))`` points) without relying on wall-clock
+    noise.
+
+    Attributes
+    ----------
+    candidates_examined:
+        Number of point references read from buckets (with multiplicity).
+    distance_evaluations:
+        Number of exact measure evaluations performed.
+    buckets_probed:
+        Number of hash buckets (or filter buckets) inspected.
+    rounds:
+        Number of rejection-sampling rounds (Sections 4 and 5.2).
+    """
+
+    candidates_examined: int = 0
+    distance_evaluations: int = 0
+    buckets_probed: int = 0
+    rounds: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a single sampling query.
+
+    Attributes
+    ----------
+    index:
+        Index of the returned dataset point, or ``None`` when the sampler
+        found no near neighbor (the paper's ``⊥``).
+    value:
+        The measure value (distance or similarity) between the returned point
+        and the query, when it was computed.
+    stats:
+        Work counters for the query.
+    """
+
+    index: Optional[int]
+    value: Optional[float] = None
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def found(self) -> bool:
+        """True when a near neighbor was returned."""
+        return self.index is not None

@@ -1,0 +1,35 @@
+"""Convenience helpers for drawing several near neighbors (Section 3.1).
+
+These work with any :class:`~repro.core.base.NeighborSampler`; samplers with
+a native multi-sample algorithm (e.g. the Section 3 structure's
+"k lowest ranks" without-replacement sampling) override ``sample_k`` and are
+used directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.base import NeighborSampler
+from repro.exceptions import InvalidParameterError
+from repro.types import Point
+
+
+def sample_with_replacement(sampler: NeighborSampler, query: Point, k: int) -> List[int]:
+    """Draw *k* near neighbors of *query* with replacement.
+
+    For samplers that solve the independent-sampling problem (Sections 4
+    and 5) each draw is an independent uniform sample; for the Section 3
+    structure the draws are identical unless ranks are re-randomized, which
+    is exactly the limitation Appendix A and Section 4 address.
+    """
+    if k < 0:
+        raise InvalidParameterError(f"k must be non-negative, got {k}")
+    return sampler.sample_k(query, k, replacement=True)
+
+
+def sample_without_replacement(sampler: NeighborSampler, query: Point, k: int) -> List[int]:
+    """Draw up to *k* distinct near neighbors of *query*."""
+    if k < 0:
+        raise InvalidParameterError(f"k must be non-negative, got {k}")
+    return sampler.sample_k(query, k, replacement=False)

@@ -1,0 +1,74 @@
+"""The standard (unfair) LSH query — the baseline whose bias Figure 1 shows.
+
+The classical query procedure iterates over the ``L`` hash tables and, inside
+each colliding bucket, over the stored points, returning the *first* r-near
+point it encounters.  Because closer points collide with the query in more
+tables, they are found earlier much more often: the output distribution over
+``B_S(q, r)`` is heavily biased towards high similarity.  Section 2.2 of the
+paper gives the two-point example (``S = {x, y}``, ``q = x``) where the bias
+is extreme.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import LSHNeighborSampler
+from repro.core.result import QueryResult, QueryStats
+from repro.types import Point
+
+
+class StandardLSHSampler(LSHNeighborSampler):
+    """First-found r-near neighbor over the ``L`` LSH tables.
+
+    Parameters are those of :class:`~repro.core.base.LSHNeighborSampler`,
+    plus:
+
+    shuffle_tables:
+        When True, the order in which tables are visited is randomized per
+        query.  The paper notes the bias persists "even if the order in which
+        the L hash tables are visited is randomized"; the flag lets
+        experiments verify that claim.
+    far_point_limit_factor:
+        The theoretical query procedure stops after seeing ``3 L`` far points
+        and reports ``⊥``; set to ``None`` to disable the early stop (as the
+        experimental implementation effectively does when hunting for a near
+        point).
+    """
+
+    def __init__(self, *args, shuffle_tables: bool = False, far_point_limit_factor: float = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._shuffle_tables = shuffle_tables
+        self._far_point_limit_factor = far_point_limit_factor
+
+    def sample_detailed(self, query: Point, exclude_index: int = None) -> QueryResult:
+        self._check_fitted()
+        stats = QueryStats()
+        value_cache: dict = {}
+        far_limit = (
+            None
+            if self._far_point_limit_factor is None
+            else int(self._far_point_limit_factor * self.tables.num_tables)
+        )
+        far_seen = 0
+
+        buckets = self.tables.query_buckets(query)
+        order = range(len(buckets))
+        if self._shuffle_tables:
+            order = self._query_rng.permutation(len(buckets))
+        for table_index in order:
+            bucket = buckets[int(table_index)]
+            stats.buckets_probed += 1
+            for index in bucket.indices:
+                index = int(index)
+                if index == exclude_index:
+                    continue
+                stats.candidates_examined += 1
+                already_evaluated = index in value_cache
+                value = self._value(index, query, value_cache)
+                if not already_evaluated:
+                    stats.distance_evaluations += 1
+                if self.measure.within(value, self.radius):
+                    return QueryResult(index=index, value=value, stats=stats)
+                far_seen += 1
+                if far_limit is not None and far_seen > far_limit:
+                    return QueryResult(index=None, value=None, stats=stats)
+        return QueryResult(index=None, value=None, stats=stats)

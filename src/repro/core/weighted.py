@@ -1,0 +1,134 @@
+"""Weighted fair sampling — the extension the paper leaves as future work.
+
+Section 1.3: "in the case of a recommender system, we might want to consider
+a weighted case where closer points are more likely to be returned.  [...]
+We leave the weighted case as an interesting direction for future work."
+
+This module provides a simple, provably correct construction on top of any
+*independent* fair sampler (Section 4 or Section 5): rejection sampling.
+Given a weight function ``w`` mapping the measure value (distance or
+similarity) to a non-negative weight bounded by ``w_max`` on the neighborhood,
+
+1. draw a uniform near neighbor ``p`` from the underlying sampler,
+2. accept it with probability ``w(value(p, q)) / w_max``, otherwise retry.
+
+Conditioned on acceptance, ``p`` is distributed proportionally to its weight
+over ``B_S(q, r)``; and because the underlying draws are independent, so are
+the weighted samples.  The expected number of draws per output is
+``w_max / mean weight``, so smooth weight functions cost only a small
+constant factor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.base import NeighborSampler
+from repro.core.result import QueryResult, QueryStats
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+from repro.types import Dataset, Point
+
+
+class WeightedFairSampler(NeighborSampler):
+    """Distance-sensitive fair sampling by rejection over a fair sampler.
+
+    Parameters
+    ----------
+    base:
+        Any fitted or unfitted :class:`NeighborSampler` whose repeated
+        queries are independent uniform draws (the Section 4 or Section 5
+        structures; the exact brute-force sampler also qualifies).
+    weight:
+        Function mapping the measure value between a candidate and the query
+        to a non-negative weight.
+    max_weight:
+        An upper bound on ``weight`` over the neighborhood (the rejection
+        envelope).  Weights above this bound are clipped.
+    max_attempts:
+        Safety cap on rejection rounds per query.
+    """
+
+    def __init__(
+        self,
+        base: NeighborSampler,
+        weight: Callable[[float], float],
+        max_weight: float,
+        max_attempts: int = 1000,
+        seed: SeedLike = None,
+    ):
+        super().__init__()
+        if max_weight <= 0:
+            raise InvalidParameterError(f"max_weight must be positive, got {max_weight}")
+        if max_attempts < 1:
+            raise InvalidParameterError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.base = base
+        self.weight = weight
+        self.max_weight = float(max_weight)
+        self.max_attempts = int(max_attempts)
+        self._rng = ensure_rng(seed)
+        self.measure = base.measure
+        self.radius = base.radius
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset) -> "WeightedFairSampler":
+        """Fit the underlying sampler (no extra state of its own)."""
+        self.base.fit(dataset)
+        self._store_dataset(dataset)
+        return self
+
+    def _ensure_bound_to_base(self) -> None:
+        """Adopt the base sampler's dataset when it was fitted externally."""
+        if not self._fitted and getattr(self.base, "_fitted", False):
+            self._store_dataset(self.base.dataset)
+
+    def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        self._ensure_bound_to_base()
+        self._check_fitted()
+        stats = QueryStats()
+        for _ in range(self.max_attempts):
+            stats.rounds += 1
+            result = self.base.sample_detailed(query, exclude_index=exclude_index)
+            stats.candidates_examined += result.stats.candidates_examined
+            stats.distance_evaluations += result.stats.distance_evaluations
+            stats.buckets_probed += result.stats.buckets_probed
+            if result.index is None:
+                return QueryResult(index=None, value=None, stats=stats)
+            value = (
+                result.value
+                if result.value is not None
+                else self.measure.value(self._dataset[result.index], query)
+            )
+            raw_weight = float(self.weight(value))
+            if raw_weight < 0:
+                raise InvalidParameterError(
+                    f"weight function returned a negative weight {raw_weight} for value {value}"
+                )
+            acceptance = min(1.0, raw_weight / self.max_weight)
+            if self._rng.random() < acceptance:
+                return QueryResult(index=result.index, value=value, stats=stats)
+        return QueryResult(index=None, value=None, stats=stats)
+
+
+def exponential_similarity_weight(scale: float) -> Callable[[float], float]:
+    """Weight ``exp(scale * value)`` — larger similarity, larger weight.
+
+    A convenient weight for similarity measures; pair it with
+    ``max_weight = exp(scale * 1.0)`` for similarities bounded by 1.
+    """
+    import math
+
+    if scale < 0:
+        raise InvalidParameterError(f"scale must be non-negative, got {scale}")
+    return lambda value: math.exp(scale * value)
+
+
+def inverse_distance_weight(epsilon: float = 1e-6) -> Callable[[float], float]:
+    """Weight ``1 / (value + epsilon)`` — closer points get larger weight.
+
+    Intended for distance measures; pair it with ``max_weight = 1 / epsilon``
+    or a bound derived from the smallest distance of interest.
+    """
+    if epsilon <= 0:
+        raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+    return lambda value: 1.0 / (value + epsilon)

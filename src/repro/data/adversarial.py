@@ -1,0 +1,87 @@
+"""The Q2 adversarial instance from Section 6.2 of the paper.
+
+The instance demonstrates that the *approximate neighborhood* notion of
+fairness (sampling uniformly from a set that may include points between
+similarity ``cr`` and ``r``) can treat two points at the same distance very
+differently:
+
+* universe ``U = {1, ..., 30}``;
+* ``X = {16, ..., 30}`` — similarity 0.5 with the query, isolated;
+* ``Y = {1, ..., 18}``  — similarity 0.6 with the query, surrounded by the
+  cluster ``M``;
+* ``Z = {1, ..., 27}``  — similarity 0.9 with the query (the true near
+  neighbor at ``r = 0.9``);
+* ``M`` — every subset of ``Y`` of size at least 15, excluding ``Y`` itself
+  (a tight cluster of points with similarity between 0.5 and 0.56);
+* query ``Q = {1, ..., 30}``; thresholds ``r = 0.9``, ``cr = 0.5``.
+
+Because ``Y`` shares buckets with the whole cluster ``M``, an
+approximate-neighborhood sampler returns ``X`` far more often than ``Y`` even
+though ``Y`` is more similar to the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List
+
+from repro.types import SetPoint
+
+
+@dataclass(frozen=True)
+class AdversarialInstance:
+    """The clustered-neighborhood instance with named landmark points.
+
+    Attributes
+    ----------
+    dataset:
+        The full point set (X, Y, Z followed by the cluster ``M``).
+    query:
+        The query set ``Q = {1, ..., 30}``.
+    index_x, index_y, index_z:
+        Positions of the named points inside ``dataset``.
+    cluster_indices:
+        Positions of the cluster points ``M``.
+    r, cr:
+        The near and relaxed similarity thresholds (0.9 and 0.5).
+    """
+
+    dataset: List[SetPoint]
+    query: SetPoint
+    index_x: int
+    index_y: int
+    index_z: int
+    cluster_indices: List[int]
+    r: float = 0.9
+    cr: float = 0.5
+
+
+def clustered_neighborhood_instance(min_subset_size: int = 15) -> AdversarialInstance:
+    """Build the Section 6.2 instance.
+
+    ``min_subset_size`` defaults to the paper's 15; the full cluster ``M``
+    then has ``sum_{k=15}^{17} C(18, k) = 9996`` points.  Tests may pass a
+    larger value (e.g. 16) to get a smaller but structurally identical
+    instance.
+    """
+    x = frozenset(range(16, 31))
+    y = frozenset(range(1, 19))
+    z = frozenset(range(1, 28))
+    query = frozenset(range(1, 31))
+
+    cluster: List[SetPoint] = []
+    y_items = sorted(y)
+    for size in range(min_subset_size, len(y_items)):
+        for subset in combinations(y_items, size):
+            cluster.append(frozenset(subset))
+
+    dataset: List[SetPoint] = [x, y, z] + cluster
+    return AdversarialInstance(
+        dataset=dataset,
+        query=query,
+        index_x=0,
+        index_y=1,
+        index_z=2,
+        cluster_indices=list(range(3, len(dataset))),
+    )

@@ -1,0 +1,120 @@
+"""A small matrix-factorization substrate for the recommender examples.
+
+The paper motivates fair near-neighbor sampling with recommender systems
+based on matrix factorization: recommendations are produced by computing the
+inner product of a user factor vector with all item factor vectors.  To make
+the examples self-contained we implement (1) a synthetic implicit-feedback
+ratings generator with latent user/item communities and (2) a plain
+alternating-least-squares factorization — enough to produce realistic factor
+vectors for the inner-product samplers without any external data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class MatrixFactorizationModel:
+    """Learned user and item factor matrices.
+
+    Attributes
+    ----------
+    user_factors:
+        Shape ``(num_users, rank)``.
+    item_factors:
+        Shape ``(num_items, rank)``.
+    """
+
+    user_factors: np.ndarray
+    item_factors: np.ndarray
+
+    def predict(self, user: int, item: int) -> float:
+        """Predicted affinity of *user* for *item* (their inner product)."""
+        return float(self.user_factors[user] @ self.item_factors[item])
+
+    def scores_for_user(self, user: int) -> np.ndarray:
+        """Predicted affinity of *user* for every item."""
+        return self.item_factors @ self.user_factors[user]
+
+
+def generate_ratings(
+    num_users: int,
+    num_items: int,
+    rank: int = 8,
+    density: float = 0.05,
+    noise: float = 0.1,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Generate a sparse synthetic ratings matrix with low-rank structure.
+
+    Entries that are unobserved are encoded as ``numpy.nan``.  The observed
+    entries follow ``u_i . v_j + noise`` for latent factors drawn from a
+    community-structured prior, giving the matrix a genuine low-rank signal
+    for :func:`factorize` to recover.
+    """
+    if num_users < 1 or num_items < 1:
+        raise InvalidParameterError("num_users and num_items must be >= 1")
+    if not 0.0 < density <= 1.0:
+        raise InvalidParameterError(f"density must be in (0, 1], got {density}")
+    rng = ensure_rng(seed)
+    true_users = rng.normal(0.0, 1.0, size=(num_users, rank)) / np.sqrt(rank)
+    true_items = rng.normal(0.0, 1.0, size=(num_items, rank)) / np.sqrt(rank)
+    ratings = np.full((num_users, num_items), np.nan)
+    mask = rng.random((num_users, num_items)) < density
+    noise_matrix = rng.normal(0.0, noise, size=(num_users, num_items))
+    full = true_users @ true_items.T + noise_matrix
+    ratings[mask] = full[mask]
+    return ratings
+
+
+def factorize(
+    ratings: np.ndarray,
+    rank: int = 8,
+    regularization: float = 0.1,
+    iterations: int = 10,
+    seed: SeedLike = None,
+) -> MatrixFactorizationModel:
+    """Alternating least squares on a ratings matrix with ``nan`` for missing.
+
+    This is the textbook implicit ALS loop: alternately solve the ridge
+    regression for every user row and every item column against the observed
+    entries only.
+    """
+    ratings = np.asarray(ratings, dtype=float)
+    if ratings.ndim != 2:
+        raise InvalidParameterError("ratings must be a 2-D matrix")
+    if rank < 1:
+        raise InvalidParameterError(f"rank must be >= 1, got {rank}")
+    if iterations < 1:
+        raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+    num_users, num_items = ratings.shape
+    rng = ensure_rng(seed)
+    user_factors = rng.normal(0.0, 0.1, size=(num_users, rank))
+    item_factors = rng.normal(0.0, 0.1, size=(num_items, rank))
+    observed = ~np.isnan(ratings)
+    eye = regularization * np.eye(rank)
+
+    for _ in range(iterations):
+        for user in range(num_users):
+            items = np.flatnonzero(observed[user])
+            if items.size == 0:
+                continue
+            factors = item_factors[items]
+            values = ratings[user, items]
+            user_factors[user] = np.linalg.solve(factors.T @ factors + eye, factors.T @ values)
+        for item in range(num_items):
+            users = np.flatnonzero(observed[:, item])
+            if users.size == 0:
+                continue
+            factors = user_factors[users]
+            values = ratings[users, item]
+            item_factors[item] = np.linalg.solve(factors.T @ factors + eye, factors.T @ values)
+
+    return MatrixFactorizationModel(user_factors=user_factors, item_factors=item_factors)

@@ -1,0 +1,57 @@
+"""Query selection mirroring the paper's experimental protocol.
+
+Section 6: "For each dataset, we pick 50 queries randomly from a set of
+'interesting' users.  A user X is interesting if there exist at least 40
+other users with Jaccard similarity at least 0.2 with X."  The same procedure
+is implemented here for any measure, so vector experiments can use it too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.distances.base import Measure
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+from repro.types import Dataset
+
+
+def select_interesting_queries(
+    dataset: Dataset,
+    measure: Measure,
+    num_queries: int = 50,
+    min_neighbors: int = 40,
+    threshold: float = 0.2,
+    seed: SeedLike = None,
+) -> List[int]:
+    """Return indices of up to *num_queries* "interesting" dataset points.
+
+    A point is interesting when at least *min_neighbors* **other** points are
+    near it at *threshold*.  If fewer interesting points exist than
+    requested, all of them are returned (in random order); if none exist, the
+    points with the largest neighborhoods are used as a fallback so callers
+    always get a non-empty query set.
+    """
+    n = len(dataset)
+    if n == 0:
+        raise InvalidParameterError("cannot select queries from an empty dataset")
+    if num_queries < 1:
+        raise InvalidParameterError(f"num_queries must be >= 1, got {num_queries}")
+    rng = ensure_rng(seed)
+
+    neighbor_counts = np.zeros(n, dtype=int)
+    for index in range(n):
+        values = measure.values_to_query(dataset, dataset[index])
+        mask = measure.within_mask(values, threshold)
+        # Exclude the point itself from its own neighborhood count.
+        neighbor_counts[index] = int(np.count_nonzero(mask)) - (1 if mask[index] else 0)
+
+    interesting = np.flatnonzero(neighbor_counts >= min_neighbors)
+    if interesting.size == 0:
+        # Fallback: take the points with the largest neighborhoods.
+        order = np.argsort(-neighbor_counts, kind="stable")
+        interesting = order[: max(num_queries, 1)]
+    chosen = rng.permutation(interesting)[:num_queries]
+    return [int(i) for i in chosen]

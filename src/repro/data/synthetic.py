@@ -1,0 +1,139 @@
+"""Synthetic vector datasets.
+
+These generators produce controlled neighborhood structure so that the
+statistical guarantees of the samplers (uniformity over ``B_S(q, r)``,
+independence across queries) can be tested against a known ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+
+
+def random_unit_vectors(n: int, dim: int, seed: SeedLike = None) -> np.ndarray:
+    """Draw *n* points uniformly from the unit sphere in ``R^dim``."""
+    if n < 1 or dim < 1:
+        raise InvalidParameterError(f"n and dim must be >= 1, got n={n}, dim={dim}")
+    rng = ensure_rng(seed)
+    points = rng.standard_normal((n, dim))
+    norms = np.linalg.norm(points, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return points / norms
+
+
+def gaussian_clusters(
+    n: int,
+    dim: int,
+    num_clusters: int = 5,
+    cluster_std: float = 0.2,
+    center_scale: float = 5.0,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mixture-of-Gaussians dataset.
+
+    Returns the points (shape ``(n, dim)``) and the cluster label of every
+    point.  Cluster centers are drawn uniformly from a cube of side
+    ``2 * center_scale``.
+    """
+    if num_clusters < 1:
+        raise InvalidParameterError(f"num_clusters must be >= 1, got {num_clusters}")
+    rng = ensure_rng(seed)
+    centers = rng.uniform(-center_scale, center_scale, size=(num_clusters, dim))
+    labels = rng.integers(0, num_clusters, size=n)
+    points = centers[labels] + rng.normal(0.0, cluster_std, size=(n, dim))
+    return points, labels
+
+
+def planted_neighborhood(
+    n_background: int,
+    n_neighbors: int,
+    dim: int,
+    radius: float,
+    background_distance: float = 10.0,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Plant a known neighborhood around the origin query point.
+
+    Produces a dataset consisting of ``n_neighbors`` points at Euclidean
+    distance at most *radius* from the origin plus ``n_background`` points at
+    distance at least *background_distance*.  Returns
+    ``(points, query, neighbor_indices)`` where ``query`` is the origin.
+
+    The fair samplers should return each planted neighbor with probability
+    ``1 / n_neighbors``.
+    """
+    if n_neighbors < 0 or n_background < 0:
+        raise InvalidParameterError("counts must be non-negative")
+    if radius <= 0:
+        raise InvalidParameterError(f"radius must be positive, got {radius}")
+    if background_distance <= radius:
+        raise InvalidParameterError("background_distance must exceed radius")
+    rng = ensure_rng(seed)
+    query = np.zeros(dim)
+
+    directions = rng.standard_normal((n_neighbors, dim))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    directions /= norms
+    # Radii distributed so neighbors fill the ball rather than its surface.
+    radii = radius * rng.uniform(0.1, 1.0, size=(n_neighbors, 1))
+    neighbors = directions * radii
+
+    far_directions = rng.standard_normal((n_background, dim))
+    far_norms = np.linalg.norm(far_directions, axis=1, keepdims=True)
+    far_norms[far_norms == 0.0] = 1.0
+    far_directions /= far_norms
+    far_radii = background_distance * (1.0 + rng.uniform(0.0, 1.0, size=(n_background, 1)))
+    background = far_directions * far_radii
+
+    points = np.vstack([neighbors, background]) if n_neighbors + n_background else np.empty((0, dim))
+    neighbor_indices = np.arange(n_neighbors)
+    return points, query, neighbor_indices
+
+
+def planted_inner_product_neighborhood(
+    n_background: int,
+    n_neighbors: int,
+    dim: int,
+    alpha: float,
+    beta_max: float = 0.2,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Plant a neighborhood for inner-product similarity on the unit sphere.
+
+    Returns ``(points, query, neighbor_indices)`` where every planted
+    neighbor has inner product at least *alpha* with the unit-norm query and
+    every background point has inner product at most *beta_max*.
+
+    Used to exercise the Section 5 filter data structure, which is stated for
+    inner product similarity on unit vectors.
+    """
+    if not -1.0 < alpha < 1.0:
+        raise InvalidParameterError(f"alpha must be in (-1, 1), got {alpha}")
+    if beta_max >= alpha:
+        raise InvalidParameterError("beta_max must be strictly smaller than alpha")
+    rng = ensure_rng(seed)
+    query = np.zeros(dim)
+    query[0] = 1.0
+
+    def _point_with_inner_product(target: float) -> np.ndarray:
+        tangent = rng.standard_normal(dim)
+        tangent[0] = 0.0
+        norm = np.linalg.norm(tangent)
+        if norm == 0.0:
+            tangent[1] = 1.0
+            norm = 1.0
+        tangent /= norm
+        return target * query + np.sqrt(max(0.0, 1.0 - target**2)) * tangent
+
+    neighbor_sims = rng.uniform(alpha, min(1.0, alpha + 0.5 * (1 - alpha)), size=n_neighbors)
+    background_sims = rng.uniform(-0.2, beta_max, size=n_background)
+    neighbors = np.array([_point_with_inner_product(s) for s in neighbor_sims]) if n_neighbors else np.empty((0, dim))
+    background = np.array([_point_with_inner_product(s) for s in background_sims]) if n_background else np.empty((0, dim))
+    points = np.vstack([neighbors, background]) if n_neighbors + n_background else np.empty((0, dim))
+    return points, query, np.arange(n_neighbors)

@@ -1,0 +1,30 @@
+"""Distance and similarity measures plus brute-force ball queries.
+
+These measures form the metric-space substrate used everywhere else: the fair
+samplers need to decide whether a candidate returned by the LSH layer is
+really an *r*-near neighbor, the experiments need exact ball counts
+``b_S(q, r)``, and the fairness audit groups output frequencies by similarity
+to the query.
+"""
+
+from repro.distances.base import Measure, MeasureKind
+from repro.distances.euclidean import EuclideanDistance
+from repro.distances.hamming import HammingDistance
+from repro.distances.jaccard import JaccardSimilarity
+from repro.distances.inner_product import InnerProductSimilarity
+from repro.distances.angular import AngularDistance, CosineSimilarity
+from repro.distances.ball import ball_indices, ball_size, neighborhood_sizes
+
+__all__ = [
+    "Measure",
+    "MeasureKind",
+    "EuclideanDistance",
+    "HammingDistance",
+    "JaccardSimilarity",
+    "InnerProductSimilarity",
+    "AngularDistance",
+    "CosineSimilarity",
+    "ball_indices",
+    "ball_size",
+    "neighborhood_sizes",
+]

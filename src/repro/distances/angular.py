@@ -1,0 +1,61 @@
+"""Angular distance and cosine similarity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.base import Measure, MeasureKind
+from repro.exceptions import DimensionMismatchError
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip(np.dot(a, b) / denom, -1.0, 1.0))
+
+
+class CosineSimilarity(Measure):
+    """Cosine of the angle between two vectors (a similarity in [-1, 1])."""
+
+    kind = MeasureKind.SIMILARITY
+    name = "cosine"
+
+    def value(self, a, b) -> float:
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if a.shape != b.shape:
+            raise DimensionMismatchError(
+                f"shape mismatch: {a.shape} vs {b.shape} for cosine similarity"
+            )
+        return _cosine(a, b)
+
+    def values_to_query(self, dataset, query) -> np.ndarray:
+        data = np.asarray(dataset, dtype=float)
+        query = np.asarray(query, dtype=float)
+        if data.ndim != 2 or data.shape[1] != query.shape[0]:
+            raise DimensionMismatchError(
+                f"incompatible shapes {data.shape} and {query.shape} for cosine similarity"
+            )
+        norms = np.linalg.norm(data, axis=1) * np.linalg.norm(query)
+        dots = data @ query
+        with np.errstate(invalid="ignore", divide="ignore"):
+            values = np.where(norms == 0.0, 0.0, dots / np.where(norms == 0.0, 1.0, norms))
+        return np.clip(values, -1.0, 1.0)
+
+
+class AngularDistance(Measure):
+    """Angle between two vectors in radians (a distance in [0, pi]).
+
+    This is the distance for which the SimHash / random-hyperplane family has
+    collision probability ``1 - theta / pi``.
+    """
+
+    kind = MeasureKind.DISTANCE
+    name = "angular"
+
+    def value(self, a, b) -> float:
+        return float(np.arccos(CosineSimilarity().value(a, b)))
+
+    def values_to_query(self, dataset, query) -> np.ndarray:
+        return np.arccos(CosineSimilarity().values_to_query(dataset, query))

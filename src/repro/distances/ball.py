@@ -1,0 +1,73 @@
+"""Brute-force ball queries ``B_S(q, r)`` and neighborhood counts.
+
+These serve two purposes: they are the ground truth that the fair samplers
+are tested against, and they implement the Q3 experiment (Figure 3), which
+reports the ratio ``b_S(q, cr) / b_S(q, r)`` that appears as an additive term
+in the paper's running-time bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.distances.base import Measure
+from repro.types import Dataset, Point
+
+
+def ball_indices(dataset: Dataset, query: Point, threshold: float, measure: Measure) -> np.ndarray:
+    """Return the indices of all points of *dataset* near *query*.
+
+    "Near" means within distance ``threshold`` for distance measures and with
+    similarity at least ``threshold`` for similarity measures.
+    """
+    values = measure.values_to_query(dataset, query)
+    return np.flatnonzero(measure.within_mask(values, threshold))
+
+
+def ball_size(dataset: Dataset, query: Point, threshold: float, measure: Measure) -> int:
+    """Return ``b_S(q, r)``, the number of near neighbors of *query*."""
+    return int(ball_indices(dataset, query, threshold, measure).size)
+
+
+def neighborhood_sizes(
+    dataset: Dataset,
+    queries: Sequence[Point],
+    thresholds: Sequence[float],
+    measure: Measure,
+) -> Dict[float, np.ndarray]:
+    """Ball sizes for every query at every threshold.
+
+    Returns a mapping ``threshold -> array of b_S(q, threshold)`` aligned with
+    the order of *queries*.  Measure values are computed once per query and
+    re-used across thresholds, which matters for the Q3 sweep where the same
+    query is evaluated at a dozen thresholds.
+    """
+    thresholds = list(thresholds)
+    counts = {t: np.zeros(len(queries), dtype=int) for t in thresholds}
+    for qi, query in enumerate(queries):
+        values = measure.values_to_query(dataset, query)
+        for t in thresholds:
+            counts[t][qi] = int(np.count_nonzero(measure.within_mask(values, t)))
+    return counts
+
+
+def cost_ratio(
+    dataset: Dataset,
+    queries: Sequence[Point],
+    r: float,
+    relaxed: float,
+    measure: Measure,
+) -> np.ndarray:
+    """Per-query ratio ``b_S(q, cr) / b_S(q, r)`` (Figure 3 quantity).
+
+    Queries with an empty ``B_S(q, r)`` are skipped (the ratio is undefined);
+    the returned array only contains ratios for queries with at least one
+    near neighbor.
+    """
+    counts = neighborhood_sizes(dataset, queries, [r, relaxed], measure)
+    near = counts[r].astype(float)
+    far = counts[relaxed].astype(float)
+    mask = near > 0
+    return far[mask] / near[mask]

@@ -1,0 +1,92 @@
+"""Abstract base class for (dis)similarity measures.
+
+The paper states results both for *distances* (smaller is closer, a point is
+near when ``D(p, q) <= r``) and for *similarities* (larger is closer, a point
+is near when ``S(p, q) >= r``).  :class:`Measure` unifies the two behind a
+single ``is_near`` / ``within`` interface so the samplers never need to know
+which convention the active measure uses.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.types import Dataset, Point
+
+
+class MeasureKind(enum.Enum):
+    """Orientation of a measure: distance (lower = closer) or similarity."""
+
+    DISTANCE = "distance"
+    SIMILARITY = "similarity"
+
+
+class Measure(abc.ABC):
+    """A (dis)similarity measure over a metric or similarity space.
+
+    Concrete subclasses implement :meth:`value` for a single pair and
+    :meth:`values_to_query` for a vectorized dataset-vs-query computation.
+    """
+
+    #: Whether the measure is a distance or a similarity.
+    kind: MeasureKind = MeasureKind.DISTANCE
+
+    #: Human readable name used in reports.
+    name: str = "measure"
+
+    @abc.abstractmethod
+    def value(self, a: Point, b: Point) -> float:
+        """Return the measure value between two points."""
+
+    def values_to_query(self, dataset: Dataset, query: Point) -> np.ndarray:
+        """Return the measure value between every dataset point and *query*.
+
+        The default implementation loops over :meth:`value`; subclasses
+        override it with a vectorized computation where possible.
+        """
+        return np.asarray([self.value(p, query) for p in _iter_points(dataset)], dtype=float)
+
+    # ------------------------------------------------------------------
+    # Near / far predicates
+    # ------------------------------------------------------------------
+    def within(self, value: float, threshold: float) -> bool:
+        """Return True when *value* means "at least as close as *threshold*"."""
+        if self.kind is MeasureKind.DISTANCE:
+            return value <= threshold
+        return value >= threshold
+
+    def within_mask(self, values: np.ndarray, threshold: float) -> np.ndarray:
+        """Vectorized :meth:`within` over an array of measure values."""
+        values = np.asarray(values, dtype=float)
+        if self.kind is MeasureKind.DISTANCE:
+            return values <= threshold
+        return values >= threshold
+
+    def is_near(self, a: Point, b: Point, threshold: float) -> bool:
+        """Return True when the two points are near at the given threshold."""
+        return self.within(self.value(a, b), threshold)
+
+    def relax(self, threshold: float, c: float) -> float:
+        """Return the relaxed ("far") threshold corresponding to factor *c*.
+
+        For distances the paper uses ``c > 1`` and the far threshold is
+        ``c * r``; for similarities ``c`` is in ``(0, 1)`` and the relaxed
+        threshold is ``c * r`` as well (a *smaller* similarity).  In both
+        conventions the relaxed threshold is simply the product, so this
+        method exists mainly for readability at call sites.
+        """
+        return c * threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+def _iter_points(dataset: Dataset) -> Sequence[Point]:
+    """Iterate the points of a dataset in index order."""
+    if isinstance(dataset, np.ndarray) and dataset.ndim == 2:
+        return list(dataset)
+    return list(dataset)

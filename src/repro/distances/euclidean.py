@@ -1,0 +1,38 @@
+"""Euclidean (l2) distance."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.base import Measure, MeasureKind
+from repro.exceptions import DimensionMismatchError
+
+
+class EuclideanDistance(Measure):
+    """Standard Euclidean distance between dense vectors."""
+
+    kind = MeasureKind.DISTANCE
+    name = "euclidean"
+
+    def value(self, a, b) -> float:
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if a.shape != b.shape:
+            raise DimensionMismatchError(
+                f"shape mismatch: {a.shape} vs {b.shape} for Euclidean distance"
+            )
+        return float(np.linalg.norm(a - b))
+
+    def values_to_query(self, dataset, query) -> np.ndarray:
+        data = np.asarray(dataset, dtype=float)
+        query = np.asarray(query, dtype=float)
+        if data.ndim != 2:
+            raise DimensionMismatchError(
+                f"expected a 2-D dataset, got array of shape {data.shape}"
+            )
+        if data.shape[1] != query.shape[0]:
+            raise DimensionMismatchError(
+                f"query dimension {query.shape[0]} does not match dataset dimension {data.shape[1]}"
+            )
+        diff = data - query[np.newaxis, :]
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))

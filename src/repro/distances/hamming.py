@@ -1,0 +1,37 @@
+"""Hamming distance over binary (0/1) vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.base import Measure, MeasureKind
+from repro.exceptions import DimensionMismatchError
+
+
+class HammingDistance(Measure):
+    """Number of coordinates in which two binary vectors differ."""
+
+    kind = MeasureKind.DISTANCE
+    name = "hamming"
+
+    def value(self, a, b) -> float:
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.shape != b.shape:
+            raise DimensionMismatchError(
+                f"shape mismatch: {a.shape} vs {b.shape} for Hamming distance"
+            )
+        return float(np.count_nonzero(a != b))
+
+    def values_to_query(self, dataset, query) -> np.ndarray:
+        data = np.asarray(dataset)
+        query = np.asarray(query)
+        if data.ndim != 2:
+            raise DimensionMismatchError(
+                f"expected a 2-D dataset, got array of shape {data.shape}"
+            )
+        if data.shape[1] != query.shape[0]:
+            raise DimensionMismatchError(
+                f"query dimension {query.shape[0]} does not match dataset dimension {data.shape[1]}"
+            )
+        return np.count_nonzero(data != query[np.newaxis, :], axis=1).astype(float)

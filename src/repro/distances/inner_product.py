@@ -1,0 +1,55 @@
+"""Inner-product similarity.
+
+Section 5 of the paper states its bounds for inner-product similarity on unit
+length vectors (recall ``||p - q||^2 = 2 - 2 <p, q>`` on the unit sphere), and
+the recommender-system motivation uses inner products of user and item
+factors from matrix factorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.base import Measure, MeasureKind
+from repro.exceptions import DimensionMismatchError
+
+
+class InnerProductSimilarity(Measure):
+    """Dot-product similarity ``<a, b>`` between dense vectors."""
+
+    kind = MeasureKind.SIMILARITY
+    name = "inner_product"
+
+    def value(self, a, b) -> float:
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if a.shape != b.shape:
+            raise DimensionMismatchError(
+                f"shape mismatch: {a.shape} vs {b.shape} for inner product"
+            )
+        return float(np.dot(a, b))
+
+    def values_to_query(self, dataset, query) -> np.ndarray:
+        data = np.asarray(dataset, dtype=float)
+        query = np.asarray(query, dtype=float)
+        if data.ndim != 2:
+            raise DimensionMismatchError(
+                f"expected a 2-D dataset, got array of shape {data.shape}"
+            )
+        if data.shape[1] != query.shape[0]:
+            raise DimensionMismatchError(
+                f"query dimension {query.shape[0]} does not match dataset dimension {data.shape[1]}"
+            )
+        return data @ query
+
+
+def normalize_rows(vectors: np.ndarray) -> np.ndarray:
+    """Return a copy of *vectors* with every row scaled to unit l2 norm.
+
+    Zero rows are left unchanged (they cannot be normalized and a zero vector
+    has inner product zero with everything, which is the natural behaviour).
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return vectors / safe

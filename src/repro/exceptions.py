@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a query is issued against an index that was never built.
+
+    Every sampler and index in :mod:`repro.core` must be constructed from a
+    dataset via ``fit`` (or by passing the dataset to the constructor) before
+    queries are allowed.
+    """
+
+
+class EmptyDatasetError(ReproError):
+    """Raised when an index is built over an empty dataset."""
+
+
+class DimensionMismatchError(ReproError):
+    """Raised when a query point does not match the dataset dimensionality."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when a user-facing parameter is outside its valid range."""
+
+
+class UnsupportedDataTypeError(ReproError):
+    """Raised when a measure or hash family receives data it cannot handle.
+
+    For example, feeding dense vectors to a MinHash family (which operates on
+    sets) raises this error rather than producing silently wrong hashes.
+    """

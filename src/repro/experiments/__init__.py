@@ -1,0 +1,27 @@
+"""Reproductions of the paper's experimental evaluation (Section 6).
+
+Each experiment module exposes a ``run_*`` function returning a plain result
+object plus a ``format_*`` helper rendering the same rows/series the paper
+reports; :mod:`repro.experiments.runner` wires them into a small CLI
+(``python -m repro.experiments.runner q1|q2|q3|all``).
+"""
+
+from repro.experiments.config import Q1Config, Q2Config, Q3Config
+from repro.experiments.q1_fairness import Q1Result, run_q1, format_q1
+from repro.experiments.q2_approximate import Q2Result, run_q2, format_q2
+from repro.experiments.q3_cost_ratio import Q3Result, run_q3, format_q3
+
+__all__ = [
+    "Q1Config",
+    "Q2Config",
+    "Q3Config",
+    "Q1Result",
+    "run_q1",
+    "format_q1",
+    "Q2Result",
+    "run_q2",
+    "format_q2",
+    "Q3Result",
+    "run_q3",
+    "format_q3",
+]

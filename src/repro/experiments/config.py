@@ -1,0 +1,99 @@
+"""Configuration dataclasses for the three experiments.
+
+The defaults follow the paper's setup but with smaller repetition counts and
+dataset sizes so that the full suite runs on a laptop in minutes; every knob
+the paper fixes (radii, the Q2 instance, the c grid of Q3) is exposed so the
+full-scale run is a matter of passing larger numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass
+class Q1Config:
+    """Configuration of the Q1 fairness comparison (Figure 1).
+
+    Attributes mirror Section 6: 1-bit MinHash LSH, ``K`` chosen for at most
+    ``max_far_collisions`` expected collisions at similarity
+    ``far_similarity``, ``L`` for ``recall`` at similarity ``radius``,
+    queries drawn from "interesting" users (>= ``min_neighbors`` neighbors at
+    similarity ``interesting_threshold``).
+    """
+
+    dataset: str = "lastfm"
+    num_users: Optional[int] = 600
+    radius: float = 0.15
+    far_similarity: float = 0.1
+    max_far_collisions: float = 5.0
+    recall: float = 0.99
+    num_queries: int = 10
+    min_neighbors: int = 40
+    interesting_threshold: float = 0.2
+    repetitions: int = 800
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.dataset not in ("lastfm", "movielens"):
+            raise InvalidParameterError(f"unknown dataset {self.dataset!r}")
+        if not 0.0 < self.radius < 1.0:
+            raise InvalidParameterError("radius must be a Jaccard similarity in (0, 1)")
+        if self.repetitions < 1 or self.num_queries < 1:
+            raise InvalidParameterError("repetitions and num_queries must be >= 1")
+
+
+@dataclass
+class Q2Config:
+    """Configuration of the Q2 approximate-neighborhood experiment (Figure 2).
+
+    Whether the cluster ``M`` floods the query's buckets is decided by the
+    *construction* randomness (the drawn hash functions), not by the query
+    randomness, so the empirical sampling probabilities must be averaged over
+    many independent constructions (``trials``); the per-construction
+    repetition count can stay small.
+    """
+
+    min_subset_size: int = 15
+    radius: float = 0.9
+    relaxed: float = 0.5
+    repetitions: int = 100
+    trials: int = 24
+    recall: float = 0.99
+    max_far_collisions: float = 5.0
+    far_similarity: float = 0.1
+    seed: int = 7
+
+    def validate(self) -> None:
+        if not 0.0 < self.relaxed < self.radius <= 1.0:
+            raise InvalidParameterError("need 0 < relaxed < radius <= 1")
+        if self.repetitions < 1 or self.trials < 1:
+            raise InvalidParameterError("repetitions and trials must be >= 1")
+        if not 14 <= self.min_subset_size <= 17:
+            raise InvalidParameterError("min_subset_size must be in [14, 17] for the Section 6.2 instance")
+
+
+@dataclass
+class Q3Config:
+    """Configuration of the Q3 cost-ratio sweep (Figure 3)."""
+
+    dataset: str = "lastfm"
+    num_users: Optional[int] = 600
+    radii: Sequence[float] = (0.15, 0.2, 0.25)
+    c_values: Sequence[float] = (0.2, 0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0)
+    num_queries: int = 25
+    min_neighbors: int = 40
+    interesting_threshold: float = 0.2
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.dataset not in ("lastfm", "movielens"):
+            raise InvalidParameterError(f"unknown dataset {self.dataset!r}")
+        if not self.radii or not self.c_values:
+            raise InvalidParameterError("radii and c_values must be non-empty")
+        for c in self.c_values:
+            if not 0.0 < c <= 1.0:
+                raise InvalidParameterError("c values must be in (0, 1] for similarity thresholds")

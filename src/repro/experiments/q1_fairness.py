@@ -1,0 +1,179 @@
+"""Q1: how (un)fair is standard LSH compared to fair LSH? (Figure 1).
+
+The experiment builds the 1-bit MinHash LSH index with the paper's parameter
+rule, audits both the standard first-found query and the fair samplers over
+the same repeated queries, and reports the per-similarity relative
+frequencies (the data behind the Figure 1 scatter plots) together with the
+per-query total-variation-from-uniform summary.  The expected shape is the
+paper's: standard LSH shows a clear gradient towards high-similarity points,
+while the fair samplers are flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.fair_collect import CollectAllFairSampler
+from repro.core.fair_nnis import IndependentFairSampler
+from repro.core.standard_lsh import StandardLSHSampler
+from repro.data.queries import select_interesting_queries
+from repro.data.sets import generate_lastfm_like, generate_movielens_like
+from repro.distances.jaccard import JaccardSimilarity
+from repro.experiments.config import Q1Config
+from repro.fairness.audit import AuditReport, FairnessAuditor
+from repro.lsh.minhash import OneBitMinHashFamily
+from repro.lsh.params import select_parameters
+
+
+@dataclass
+class Q1Result:
+    """Outcome of the Q1 experiment.
+
+    ``reports`` maps sampler name to its :class:`AuditReport`; ``params``
+    records the (K, L) the parameter rule selected.
+    """
+
+    config: Q1Config
+    params: Dict[str, float]
+    reports: Dict[str, AuditReport] = field(default_factory=dict)
+
+    def slope_summary(self) -> Dict[str, float]:
+        """Correlation between similarity and report frequency per sampler.
+
+        A positive value means the sampler over-reports high-similarity
+        points (the bias Figure 1 shows for standard LSH); values near zero
+        mean a flat, fair output.
+        """
+        import numpy as np
+
+        slopes: Dict[str, float] = {}
+        for name, report in self.reports.items():
+            xs: List[float] = []
+            ys: List[float] = []
+            for audit in report.queries:
+                for similarity, frequency, _ in audit.by_similarity.as_sorted_rows():
+                    xs.append(similarity)
+                    ys.append(frequency)
+            if len(xs) >= 2 and np.std(xs) > 0 and np.std(ys) > 0:
+                slopes[name] = float(np.corrcoef(xs, ys)[0, 1])
+            else:
+                slopes[name] = 0.0
+        return slopes
+
+
+def _load_dataset(config: Q1Config):
+    if config.dataset == "lastfm":
+        return generate_lastfm_like(num_users=config.num_users, seed=config.seed)
+    return generate_movielens_like(num_users=config.num_users, seed=config.seed)
+
+
+def run_q1(config: Q1Config = Q1Config()) -> Q1Result:
+    """Run the Q1 experiment and return per-sampler audit reports."""
+    config.validate()
+    dataset = _load_dataset(config)
+    measure = JaccardSimilarity()
+    family = OneBitMinHashFamily()
+
+    params = select_parameters(
+        family,
+        near_threshold=config.radius,
+        far_threshold=config.far_similarity,
+        n=len(dataset),
+        recall=config.recall,
+        max_expected_far_collisions=config.max_far_collisions,
+    )
+
+    query_indices = select_interesting_queries(
+        dataset,
+        measure,
+        num_queries=config.num_queries,
+        min_neighbors=config.min_neighbors,
+        threshold=config.interesting_threshold,
+        seed=config.seed,
+    )
+    queries = [dataset[i] for i in query_indices]
+
+    samplers = {
+        # The paper's standard-LSH baseline randomizes the order in which the
+        # L tables are visited per query (and notes the bias persists anyway);
+        # shuffle_tables=True reproduces that behaviour so the audit sees the
+        # full biased output distribution rather than a deterministic point.
+        "standard_lsh": StandardLSHSampler(
+            family,
+            radius=config.radius,
+            far_radius=config.far_similarity,
+            num_hashes=params.k,
+            num_tables=params.l,
+            shuffle_tables=True,
+            seed=config.seed,
+        ),
+        "fair_lsh_collect": CollectAllFairSampler(
+            family,
+            radius=config.radius,
+            far_radius=config.far_similarity,
+            num_hashes=params.k,
+            num_tables=params.l,
+            seed=config.seed,
+        ),
+        "fair_nnis": IndependentFairSampler(
+            family,
+            radius=config.radius,
+            far_radius=config.far_similarity,
+            num_hashes=params.k,
+            num_tables=params.l,
+            seed=config.seed,
+        ),
+    }
+
+    auditor = FairnessAuditor(
+        dataset, measure, radius=config.radius, repetitions=config.repetitions
+    )
+    result = Q1Result(
+        config=config,
+        params={
+            "K": params.k,
+            "L": params.l,
+            "recall": params.recall,
+            "expected_far_collisions": params.expected_far_collisions,
+        },
+    )
+    for name, sampler in samplers.items():
+        sampler.fit(dataset)
+        result.reports[name] = auditor.audit(
+            sampler,
+            queries,
+            sampler_name=name,
+            exclude_indices=query_indices,
+        )
+    return result
+
+
+def format_q1(result: Q1Result) -> str:
+    """Render the Q1 result as the text analogue of Figure 1."""
+    lines: List[str] = []
+    lines.append(
+        f"Q1 fairness comparison — dataset={result.config.dataset}, r={result.config.radius}, "
+        f"{result.config.repetitions} repetitions/query"
+    )
+    lines.append(
+        f"LSH parameters: K={result.params['K']}, L={result.params['L']}, "
+        f"recall={result.params['recall']:.3f}"
+    )
+    slopes = result.slope_summary()
+    lines.append("")
+    lines.append(f"{'sampler':<22}{'mean TV':>10}{'mean Gini':>12}{'freq~sim corr':>16}{'fail rate':>12}")
+    for name, report in result.reports.items():
+        lines.append(
+            f"{name:<22}{report.mean_tv:>10.3f}{report.mean_gini:>12.3f}"
+            f"{slopes[name]:>16.3f}{report.mean_failure_rate:>12.3f}"
+        )
+    lines.append("")
+    lines.append("Per-similarity mean relative frequency (first query, per sampler):")
+    for name, report in result.reports.items():
+        if not report.queries:
+            continue
+        rows = report.queries[0].by_similarity.as_sorted_rows()
+        rendered = ", ".join(f"{sim:.2f}:{freq:.4f}" for sim, freq, _ in rows[:12])
+        lines.append(f"  {name:<20} {rendered}")
+    return "\n".join(lines)

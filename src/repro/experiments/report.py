@@ -1,0 +1,39 @@
+"""Plain-text report helpers shared by the experiment CLI and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], min_width: int = 8) -> str:
+    """Render a simple fixed-width text table.
+
+    Column widths adapt to the longest cell; floats are formatted with four
+    significant digits.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_key_values(title: str, values: Dict[str, object]) -> str:
+    """Render a titled key/value block."""
+    lines: List[str] = [title]
+    for key, value in values.items():
+        if isinstance(value, float):
+            lines.append(f"  {key}: {value:.4g}")
+        else:
+            lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

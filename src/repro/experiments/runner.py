@@ -1,0 +1,82 @@
+"""Command-line entry point for the experiment reproductions.
+
+Usage::
+
+    python -m repro.experiments.runner q1 [--dataset lastfm|movielens] [--fast]
+    python -m repro.experiments.runner q2 [--fast]
+    python -m repro.experiments.runner q3 [--dataset lastfm|movielens]
+    python -m repro.experiments.runner all [--fast]
+
+``--fast`` shrinks repetition counts and dataset sizes so the whole suite
+finishes in well under a minute; without it the defaults are closer to (but
+still smaller than) the paper's full-scale runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import Q1Config, Q2Config, Q3Config
+from repro.experiments.q1_fairness import format_q1, run_q1
+from repro.experiments.q2_approximate import format_q2, run_q2
+from repro.experiments.q3_cost_ratio import format_q3, run_q3
+
+
+def _q1_config(args: argparse.Namespace) -> Q1Config:
+    if args.fast:
+        return Q1Config(
+            dataset=args.dataset,
+            num_users=300,
+            num_queries=5,
+            repetitions=200,
+            radius=args.radius,
+        )
+    return Q1Config(dataset=args.dataset, radius=args.radius)
+
+
+def _q2_config(args: argparse.Namespace) -> Q2Config:
+    if args.fast:
+        # The clustered-neighborhood effect needs the full-size instance and
+        # many independent constructions (see Q2Config); fast mode only trims
+        # the per-construction repetition count and the number of trials.
+        return Q2Config(min_subset_size=15, repetitions=60, trials=14)
+    return Q2Config()
+
+
+def _q3_config(args: argparse.Namespace) -> Q3Config:
+    if args.fast:
+        return Q3Config(dataset=args.dataset, num_users=300, num_queries=10)
+    return Q3Config(dataset=args.dataset)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the experiments of 'Fair Near Neighbor Search' (PODS 2020)",
+    )
+    parser.add_argument("experiment", choices=["q1", "q2", "q3", "all"], help="which experiment to run")
+    parser.add_argument("--dataset", choices=["lastfm", "movielens"], default="lastfm")
+    parser.add_argument("--radius", type=float, default=0.15, help="Jaccard threshold r for Q1")
+    parser.add_argument("--fast", action="store_true", help="run a small, quick configuration")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    outputs: List[str] = []
+    if args.experiment in ("q1", "all"):
+        outputs.append(format_q1(run_q1(_q1_config(args))))
+    if args.experiment in ("q2", "all"):
+        outputs.append(format_q2(run_q2(_q2_config(args))))
+    if args.experiment in ("q3", "all"):
+        outputs.append(format_q3(run_q3(_q3_config(args))))
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

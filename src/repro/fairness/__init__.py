@@ -1,0 +1,34 @@
+"""Fairness auditing: output-frequency collection and uniformity metrics.
+
+The paper's Figure 1 is produced by querying a sampler many times for the
+same query point, counting how often each data point is reported, and
+plotting the relative frequencies grouped by similarity to the query.  This
+subpackage provides the counting harness (:mod:`repro.fairness.audit`), the
+per-similarity aggregation (:mod:`repro.fairness.frequencies`) and scalar
+uniformity measures — total variation distance from uniform, KL divergence
+and a chi-square test — used in tests and reports
+(:mod:`repro.fairness.metrics`).
+"""
+
+from repro.fairness.frequencies import OutputFrequencies, SimilarityBucketedFrequencies
+from repro.fairness.metrics import (
+    total_variation_from_uniform,
+    kl_divergence_from_uniform,
+    chi_square_uniformity,
+    empirical_probabilities,
+    gini_coefficient,
+)
+from repro.fairness.audit import FairnessAuditor, AuditReport, QueryAudit
+
+__all__ = [
+    "OutputFrequencies",
+    "SimilarityBucketedFrequencies",
+    "total_variation_from_uniform",
+    "kl_divergence_from_uniform",
+    "chi_square_uniformity",
+    "empirical_probabilities",
+    "gini_coefficient",
+    "FairnessAuditor",
+    "AuditReport",
+    "QueryAudit",
+]

@@ -1,0 +1,208 @@
+"""The fairness auditing harness behind the Q1 experiment (Figure 1).
+
+The auditor repeats every query many times against a sampler, records the
+reported point, and summarizes the resulting output distribution both as raw
+per-point frequencies and as the per-similarity aggregation the paper plots.
+It also computes, per query, the total variation distance between the output
+distribution over the *true* neighborhood and the uniform distribution — a
+single number that captures "how unfair" a sampler is on that query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import NeighborSampler
+from repro.distances.base import Measure
+from repro.distances.ball import ball_indices
+from repro.exceptions import InvalidParameterError
+from repro.fairness.frequencies import OutputFrequencies, SimilarityBucketedFrequencies
+from repro.fairness.metrics import (
+    chi_square_uniformity,
+    gini_coefficient,
+    total_variation_from_uniform,
+)
+from repro.types import Dataset, Point
+
+
+@dataclass
+class QueryAudit:
+    """Audit result for a single query point.
+
+    Attributes
+    ----------
+    query_index:
+        Index of the query in the query list (not in the dataset).
+    neighborhood_size:
+        Exact ``b_S(q, r)``.
+    frequencies:
+        Raw per-point output counts.
+    by_similarity:
+        The Figure 1 aggregation (mean relative frequency per similarity).
+    tv_from_uniform:
+        Total variation distance between the empirical output distribution
+        over the exact neighborhood and the uniform distribution on it.
+    gini:
+        Gini coefficient of the per-neighbor output counts.
+    chi_square_p_value:
+        p-value of the chi-square uniformity test over the neighborhood.
+    failure_rate:
+        Fraction of repetitions that returned no neighbor.
+    """
+
+    query_index: int
+    neighborhood_size: int
+    frequencies: OutputFrequencies
+    by_similarity: SimilarityBucketedFrequencies
+    tv_from_uniform: float
+    gini: float
+    chi_square_p_value: float
+    failure_rate: float
+
+
+@dataclass
+class AuditReport:
+    """Aggregate audit over a set of queries for one sampler."""
+
+    sampler_name: str
+    radius: float
+    repetitions: int
+    queries: List[QueryAudit] = field(default_factory=list)
+
+    @property
+    def mean_tv(self) -> float:
+        """Mean per-query total variation distance from uniform."""
+        if not self.queries:
+            return 0.0
+        return float(np.mean([q.tv_from_uniform for q in self.queries]))
+
+    @property
+    def mean_gini(self) -> float:
+        """Mean per-query Gini coefficient."""
+        if not self.queries:
+            return 0.0
+        return float(np.mean([q.gini for q in self.queries]))
+
+    @property
+    def mean_failure_rate(self) -> float:
+        """Mean fraction of repetitions returning no neighbor."""
+        if not self.queries:
+            return 0.0
+        return float(np.mean([q.failure_rate for q in self.queries]))
+
+    def summary_rows(self) -> List[Dict[str, float]]:
+        """One summary dict per query (used by the report printer)."""
+        return [
+            {
+                "query": audit.query_index,
+                "neighborhood": audit.neighborhood_size,
+                "tv": audit.tv_from_uniform,
+                "gini": audit.gini,
+                "chi2_p": audit.chi_square_p_value,
+                "failures": audit.failure_rate,
+            }
+            for audit in self.queries
+        ]
+
+
+class FairnessAuditor:
+    """Repeat queries against a sampler and audit the output distribution.
+
+    Parameters
+    ----------
+    dataset:
+        The indexed dataset (needed to compute the exact neighborhoods).
+    measure:
+        The measure used by the sampler.
+    radius:
+        The near threshold used by the sampler.
+    repetitions:
+        Number of independent repetitions per query (the paper uses 26 000;
+        tests and benchmarks use fewer).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        measure: Measure,
+        radius: float,
+        repetitions: int = 1000,
+    ):
+        if repetitions < 1:
+            raise InvalidParameterError(f"repetitions must be >= 1, got {repetitions}")
+        self.dataset = dataset
+        self.measure = measure
+        self.radius = float(radius)
+        self.repetitions = int(repetitions)
+
+    # ------------------------------------------------------------------
+    def audit_query(
+        self,
+        sampler: NeighborSampler,
+        query: Point,
+        query_index: int = 0,
+        exclude_index: Optional[int] = None,
+    ) -> QueryAudit:
+        """Audit one query point against *sampler*.
+
+        ``exclude_index`` removes the query itself from the ground-truth
+        neighborhood when the query is a dataset point (the recommendation
+        experiments query with existing users and should not count the user
+        as their own neighbor).
+        """
+        values = self.measure.values_to_query(self.dataset, query)
+        neighborhood = np.flatnonzero(self.measure.within_mask(values, self.radius))
+        if exclude_index is not None:
+            neighborhood = neighborhood[neighborhood != exclude_index]
+
+        frequencies = OutputFrequencies()
+        for _ in range(self.repetitions):
+            index = sampler.sample(query, exclude_index=exclude_index)
+            if exclude_index is not None and index == exclude_index:
+                # Defensive: a sampler that ignores exclude_index should not
+                # pollute the audited distribution with the query itself.
+                frequencies.record(None)
+            else:
+                frequencies.record(index)
+
+        similarity_of = {int(i): float(values[int(i)]) for i in neighborhood}
+        by_similarity = SimilarityBucketedFrequencies.from_frequencies(
+            frequencies, neighborhood, similarity_of
+        )
+        neighbor_counts = frequencies.counts_for(neighborhood)
+        tv = total_variation_from_uniform(neighbor_counts) if neighborhood.size else 0.0
+        gini = gini_coefficient(neighbor_counts) if neighborhood.size else 0.0
+        chi2 = chi_square_uniformity(neighbor_counts) if neighborhood.size else {"p_value": 1.0}
+        return QueryAudit(
+            query_index=query_index,
+            neighborhood_size=int(neighborhood.size),
+            frequencies=frequencies,
+            by_similarity=by_similarity,
+            tv_from_uniform=tv,
+            gini=gini,
+            chi_square_p_value=float(chi2["p_value"]),
+            failure_rate=frequencies.num_failures / max(1, frequencies.num_queries),
+        )
+
+    def audit(
+        self,
+        sampler: NeighborSampler,
+        queries: Sequence[Point],
+        sampler_name: Optional[str] = None,
+        exclude_indices: Optional[Sequence[Optional[int]]] = None,
+    ) -> AuditReport:
+        """Audit a list of query points and return the aggregate report."""
+        report = AuditReport(
+            sampler_name=sampler_name or type(sampler).__name__,
+            radius=self.radius,
+            repetitions=self.repetitions,
+        )
+        for position, query in enumerate(queries):
+            exclude = exclude_indices[position] if exclude_indices is not None else None
+            report.queries.append(
+                self.audit_query(sampler, query, query_index=position, exclude_index=exclude)
+            )
+        return report

@@ -1,0 +1,110 @@
+"""Output-frequency bookkeeping for repeated sampling queries."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class OutputFrequencies:
+    """Counts of how often each dataset index was reported for one query.
+
+    Attributes
+    ----------
+    counts:
+        Map from dataset index to the number of times it was returned.
+    num_queries:
+        Total number of repetitions performed (including those that returned
+        no neighbor).
+    num_failures:
+        Number of repetitions that returned no neighbor (``⊥``).
+    """
+
+    counts: Counter = field(default_factory=Counter)
+    num_queries: int = 0
+    num_failures: int = 0
+
+    def record(self, index: Optional[int]) -> None:
+        """Record the outcome of one repetition."""
+        self.num_queries += 1
+        if index is None:
+            self.num_failures += 1
+        else:
+            self.counts[int(index)] += 1
+
+    def record_many(self, indices: Iterable[Optional[int]]) -> None:
+        """Record a batch of outcomes."""
+        for index in indices:
+            self.record(index)
+
+    @property
+    def num_successes(self) -> int:
+        """Number of repetitions that returned some neighbor."""
+        return self.num_queries - self.num_failures
+
+    def relative_frequencies(self) -> Dict[int, float]:
+        """Per-point relative frequency among the successful repetitions."""
+        total = self.num_successes
+        if total == 0:
+            return {}
+        return {index: count / total for index, count in self.counts.items()}
+
+    def counts_for(self, indices: Iterable[int]) -> np.ndarray:
+        """Counts aligned with *indices* (zero for never-reported points)."""
+        return np.asarray([self.counts.get(int(i), 0) for i in indices], dtype=float)
+
+
+@dataclass
+class SimilarityBucketedFrequencies:
+    """Figure 1 aggregation: average relative frequency per similarity value.
+
+    Each entry maps a similarity (rounded to ``decimals``) to the *average*
+    relative frequency among all neighborhood points having that similarity
+    to the query — exactly the quantity plotted in the paper's Figure 1
+    ("each point represents the average relative frequency among all points
+    having this similarity for a fixed query point").
+    """
+
+    per_similarity: Dict[float, float] = field(default_factory=dict)
+    support: Dict[float, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        frequencies: OutputFrequencies,
+        neighborhood: Iterable[int],
+        similarities: Dict[int, float],
+        decimals: int = 3,
+    ) -> "SimilarityBucketedFrequencies":
+        """Aggregate per-point frequencies by (rounded) similarity.
+
+        Parameters
+        ----------
+        frequencies:
+            The per-point counts for one query.
+        neighborhood:
+            The ground-truth neighborhood indices; points never reported
+            still enter the average with frequency zero.
+        similarities:
+            Map from dataset index to its similarity (or distance) to the
+            query.
+        """
+        relative = frequencies.relative_frequencies()
+        grouped: Dict[float, List[float]] = {}
+        for index in neighborhood:
+            similarity = round(float(similarities[int(index)]), decimals)
+            grouped.setdefault(similarity, []).append(relative.get(int(index), 0.0))
+        per_similarity = {sim: float(np.mean(values)) for sim, values in grouped.items()}
+        support = {sim: len(values) for sim, values in grouped.items()}
+        return cls(per_similarity=per_similarity, support=support)
+
+    def as_sorted_rows(self) -> List[Tuple[float, float, int]]:
+        """Rows ``(similarity, mean relative frequency, #points)`` sorted by similarity."""
+        return [
+            (sim, self.per_similarity[sim], self.support[sim])
+            for sim in sorted(self.per_similarity)
+        ]

@@ -1,0 +1,103 @@
+"""Scalar measures of how far an output distribution is from uniform."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def empirical_probabilities(counts: Sequence[float]) -> np.ndarray:
+    """Normalize raw counts into a probability vector.
+
+    An all-zero count vector maps to the uniform distribution (no evidence of
+    any bias).
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 1:
+        raise InvalidParameterError("counts must be a 1-D sequence")
+    if np.any(counts < 0):
+        raise InvalidParameterError("counts must be non-negative")
+    total = counts.sum()
+    if total == 0:
+        if counts.size == 0:
+            return counts
+        return np.full(counts.size, 1.0 / counts.size)
+    return counts / total
+
+
+def total_variation_from_uniform(counts: Sequence[float]) -> float:
+    """Total variation distance between the empirical distribution and uniform.
+
+    Zero means perfectly uniform output over the given support; the maximum
+    value ``1 - 1/n`` is attained when a single point receives all the mass.
+    """
+    probabilities = empirical_probabilities(counts)
+    if probabilities.size == 0:
+        return 0.0
+    uniform = 1.0 / probabilities.size
+    return float(0.5 * np.abs(probabilities - uniform).sum())
+
+
+def kl_divergence_from_uniform(counts: Sequence[float]) -> float:
+    """KL divergence ``D(empirical || uniform)`` in nats."""
+    probabilities = empirical_probabilities(counts)
+    if probabilities.size == 0:
+        return 0.0
+    uniform = 1.0 / probabilities.size
+    mask = probabilities > 0
+    return float(np.sum(probabilities[mask] * np.log(probabilities[mask] / uniform)))
+
+
+def chi_square_uniformity(counts: Sequence[float]) -> Dict[str, float]:
+    """Pearson chi-square test of the counts against the uniform distribution.
+
+    Returns the statistic, the degrees of freedom and an approximate p-value
+    (via the Wilson-Hilferty normal approximation of the chi-square CDF so we
+    do not require scipy at runtime; scipy-based tests cross-check it).
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.size < 2:
+        return {"statistic": 0.0, "dof": 0.0, "p_value": 1.0}
+    total = counts.sum()
+    if total == 0:
+        return {"statistic": 0.0, "dof": float(counts.size - 1), "p_value": 1.0}
+    expected = total / counts.size
+    statistic = float(np.sum((counts - expected) ** 2 / expected))
+    dof = float(counts.size - 1)
+    p_value = _chi_square_survival(statistic, dof)
+    return {"statistic": statistic, "dof": dof, "p_value": p_value}
+
+
+def _chi_square_survival(statistic: float, dof: float) -> float:
+    """Wilson-Hilferty approximation of ``P[Chi2_dof >= statistic]``."""
+    if dof <= 0:
+        return 1.0
+    if statistic <= 0:
+        return 1.0
+    z = ((statistic / dof) ** (1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dof))) / math.sqrt(2.0 / (9.0 * dof))
+    return float(0.5 * math.erfc(z / math.sqrt(2.0)))
+
+
+def gini_coefficient(counts: Sequence[float]) -> float:
+    """Gini coefficient of the output counts (0 = perfectly even, -> 1 = concentrated).
+
+    A complementary inequality measure: unlike total variation it is
+    insensitive to the support size, which makes it convenient for comparing
+    queries with very different neighborhood sizes.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.size == 0:
+        return 0.0
+    if np.any(counts < 0):
+        raise InvalidParameterError("counts must be non-negative")
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    sorted_counts = np.sort(counts)
+    n = counts.size
+    cumulative = np.cumsum(sorted_counts)
+    return float((n + 1 - 2 * np.sum(cumulative) / cumulative[-1]) / n)

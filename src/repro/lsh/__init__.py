@@ -1,0 +1,33 @@
+"""Locality Sensitive Hashing substrate.
+
+The fair samplers of the paper use LSH as a black box: any
+``(r, cr, p1, p2)``-sensitive family can be plugged in.  This subpackage
+provides the families used by the paper's experiments (MinHash and the 1-bit
+minwise scheme of Li and König for Jaccard similarity) as well as the
+classical families for Euclidean, angular and Hamming space, AND-composition,
+parameter selection, and the hash-table layer with rank-aware buckets that
+Sections 3 and 4 build on.
+"""
+
+from repro.lsh.family import LSHFamily, HashFunction, ConcatenatedFamily
+from repro.lsh.minhash import MinHashFamily, OneBitMinHashFamily
+from repro.lsh.hyperplane import HyperplaneFamily
+from repro.lsh.pstable import PStableFamily
+from repro.lsh.bitsampling import BitSamplingFamily
+from repro.lsh.params import LSHParameters, compute_rho, select_parameters
+from repro.lsh.tables import LSHTables
+
+__all__ = [
+    "LSHFamily",
+    "HashFunction",
+    "ConcatenatedFamily",
+    "MinHashFamily",
+    "OneBitMinHashFamily",
+    "HyperplaneFamily",
+    "PStableFamily",
+    "BitSamplingFamily",
+    "LSHParameters",
+    "compute_rho",
+    "select_parameters",
+    "LSHTables",
+]

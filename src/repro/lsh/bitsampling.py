@@ -1,0 +1,50 @@
+"""Bit-sampling LSH family for Hamming distance (Indyk-Motwani)."""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+import numpy as np
+
+from repro.distances.hamming import HammingDistance
+from repro.exceptions import InvalidParameterError
+from repro.lsh.family import HashFunction, LSHFamily
+from repro.types import Dataset, Point
+
+
+class BitSamplingHashFunction(HashFunction):
+    """Projection onto a single random coordinate of a binary vector."""
+
+    def __init__(self, coordinate: int):
+        self._coordinate = int(coordinate)
+
+    def __call__(self, point: Point) -> Hashable:
+        return int(np.asarray(point)[self._coordinate])
+
+    def hash_dataset(self, dataset: Dataset) -> List[Hashable]:
+        data = np.asarray(dataset)
+        return [int(v) for v in data[:, self._coordinate]]
+
+
+class BitSamplingFamily(LSHFamily):
+    """The original Indyk-Motwani family: sample one coordinate uniformly.
+
+    For binary vectors of dimension ``dim`` at Hamming distance ``d`` the
+    collision probability is ``1 - d / dim``.
+    """
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise InvalidParameterError(f"dimension must be >= 1, got {dim}")
+        self.dim = int(dim)
+        self.measure = HammingDistance()
+
+    def sample(self, rng: np.random.Generator) -> BitSamplingHashFunction:
+        return BitSamplingHashFunction(int(rng.integers(0, self.dim)))
+
+    def collision_probability(self, value: float) -> float:
+        if not 0 <= value <= self.dim:
+            raise InvalidParameterError(
+                f"Hamming distance must be in [0, {self.dim}], got {value}"
+            )
+        return 1.0 - float(value) / self.dim

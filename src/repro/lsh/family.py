@@ -1,0 +1,171 @@
+"""Abstract LSH family interface and AND-composition.
+
+An LSH family (Definition 3 of the paper) is a distribution over hash
+functions such that the collision probability of two points is a function of
+their (dis)similarity.  The samplers only rely on three operations:
+
+* draw a random hash function (:meth:`LSHFamily.sample`),
+* evaluate it on a point or a whole dataset (:class:`HashFunction`),
+* evaluate the collision-probability curve
+  (:meth:`LSHFamily.collision_probability`), which parameter selection uses
+  to choose the concatenation length ``K`` and the number of repetitions
+  ``L``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, List, Sequence
+
+import numpy as np
+
+from repro.distances.base import Measure
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+from repro.types import Dataset, Point
+
+
+class HashFunction(abc.ABC):
+    """A single hash function drawn from an LSH family."""
+
+    @abc.abstractmethod
+    def __call__(self, point: Point) -> Hashable:
+        """Hash a single point to a hashable bucket key."""
+
+    def hash_dataset(self, dataset: Dataset) -> List[Hashable]:
+        """Hash every point of *dataset*; subclasses may vectorize this."""
+        return [self(p) for p in dataset]
+
+
+class BatchHasher(abc.ABC):
+    """Vectorized evaluation of *many* hash functions at once.
+
+    Hashing loops in pure Python dominate the construction and query cost of
+    LSH structures with hundreds of tables; families that can evaluate all
+    their drawn functions with numpy expose a batch hasher through
+    :meth:`LSHFamily.make_batch_hasher` and the table layer uses it
+    transparently.
+    """
+
+    @abc.abstractmethod
+    def keys_for_point(self, point: Point) -> List[Hashable]:
+        """One bucket key per wrapped hash function for a single point."""
+
+    @abc.abstractmethod
+    def keys_for_dataset(self, dataset: Dataset) -> List[List[Hashable]]:
+        """Per wrapped function, the bucket key of every dataset point."""
+
+
+class LSHFamily(abc.ABC):
+    """A distribution over locality sensitive hash functions."""
+
+    #: The measure whose value parameterises the collision probability curve.
+    measure: Measure
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> HashFunction:
+        """Draw a random hash function from the family."""
+
+    @abc.abstractmethod
+    def collision_probability(self, value: float) -> float:
+        """Collision probability of two points at measure value *value*."""
+
+    def make_batch_hasher(self, functions: Sequence[HashFunction]):
+        """Return a :class:`BatchHasher` for *functions*, or ``None``.
+
+        The default implementation returns ``None``, meaning the table layer
+        falls back to calling each function individually.
+        """
+        return None
+
+    def sample_many(self, count: int, seed: SeedLike = None) -> List[HashFunction]:
+        """Draw *count* i.i.d. hash functions."""
+        if count < 0:
+            raise InvalidParameterError(f"count must be non-negative, got {count}")
+        rng = ensure_rng(seed)
+        return [self.sample(rng) for _ in range(count)]
+
+    def concatenate(self, k: int) -> "ConcatenatedFamily":
+        """Return the AND-composition of *k* independent copies of the family."""
+        return ConcatenatedFamily(self, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class _ConcatenatedHash(HashFunction):
+    """Tuple of ``k`` independent hash values (AND-composition)."""
+
+    def __init__(self, parts: Sequence[HashFunction]):
+        self._parts = list(parts)
+
+    def __call__(self, point: Point) -> Hashable:
+        return tuple(h(point) for h in self._parts)
+
+    def hash_dataset(self, dataset: Dataset) -> List[Hashable]:
+        columns = [h.hash_dataset(dataset) for h in self._parts]
+        return list(zip(*columns)) if columns else [() for _ in range(len(dataset))]
+
+
+class ConcatenatedFamily(LSHFamily):
+    """AND-composition ``H^K`` of a base family.
+
+    Two points collide under the concatenated function only if they collide
+    under every one of the ``k`` independent base functions, so the collision
+    probability becomes ``p^k``.  This is the standard way to drive the
+    far-point collision probability ``p2`` below ``1/n`` (Section 2.2).
+    """
+
+    def __init__(self, base: LSHFamily, k: int):
+        if k < 1:
+            raise InvalidParameterError(f"concatenation length must be >= 1, got {k}")
+        self.base = base
+        self.k = int(k)
+        self.measure = base.measure
+
+    def sample(self, rng: np.random.Generator) -> HashFunction:
+        return _ConcatenatedHash([self.base.sample(rng) for _ in range(self.k)])
+
+    def collision_probability(self, value: float) -> float:
+        return self.base.collision_probability(value) ** self.k
+
+    def make_batch_hasher(self, functions: Sequence[HashFunction]):
+        """Batch-evaluate concatenated functions via the base family's hasher.
+
+        The ``L`` concatenated functions are flattened into ``L * k`` base
+        functions, handed to the base family's batch hasher, and the results
+        are regrouped into ``k``-tuples.
+        """
+        parts: List[HashFunction] = []
+        for function in functions:
+            if not isinstance(function, _ConcatenatedHash):
+                return None
+            parts.extend(function._parts)
+        base_hasher = self.base.make_batch_hasher(parts)
+        if base_hasher is None:
+            return None
+        return _ConcatenatedBatchHasher(base_hasher, self.k, len(functions))
+
+
+class _ConcatenatedBatchHasher(BatchHasher):
+    """Regroup a flat batch hasher's outputs into ``k``-tuples per table."""
+
+    def __init__(self, base: BatchHasher, k: int, num_functions: int):
+        self._base = base
+        self._k = k
+        self._num_functions = num_functions
+
+    def keys_for_point(self, point: Point) -> List[Hashable]:
+        flat = self._base.keys_for_point(point)
+        return [
+            tuple(flat[table * self._k + part] for part in range(self._k))
+            for table in range(self._num_functions)
+        ]
+
+    def keys_for_dataset(self, dataset: Dataset) -> List[List[Hashable]]:
+        flat = self._base.keys_for_dataset(dataset)
+        grouped: List[List[Hashable]] = []
+        for table in range(self._num_functions):
+            columns = [flat[table * self._k + part] for part in range(self._k)]
+            grouped.append(list(zip(*columns)))
+        return grouped

@@ -1,0 +1,48 @@
+"""Random-hyperplane (SimHash) family for angular / cosine similarity."""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+import numpy as np
+
+from repro.distances.angular import CosineSimilarity
+from repro.exceptions import InvalidParameterError
+from repro.lsh.family import HashFunction, LSHFamily
+from repro.types import Dataset, Point
+
+
+class HyperplaneHashFunction(HashFunction):
+    """Sign of the projection onto a random Gaussian direction."""
+
+    def __init__(self, direction: np.ndarray):
+        self._direction = np.asarray(direction, dtype=float)
+
+    def __call__(self, point: Point) -> Hashable:
+        return int(np.dot(np.asarray(point, dtype=float), self._direction) >= 0.0)
+
+    def hash_dataset(self, dataset: Dataset) -> List[Hashable]:
+        data = np.asarray(dataset, dtype=float)
+        return [int(v) for v in (data @ self._direction >= 0.0)]
+
+
+class HyperplaneFamily(LSHFamily):
+    """Charikar's SimHash: collision probability ``1 - theta / pi``.
+
+    The family is stated here as sensitive to *cosine similarity* ``s``; the
+    collision probability is ``1 - arccos(s) / pi``.
+    """
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise InvalidParameterError(f"dimension must be >= 1, got {dim}")
+        self.dim = int(dim)
+        self.measure = CosineSimilarity()
+
+    def sample(self, rng: np.random.Generator) -> HyperplaneHashFunction:
+        return HyperplaneHashFunction(rng.standard_normal(self.dim))
+
+    def collision_probability(self, value: float) -> float:
+        if not -1.0 <= value <= 1.0:
+            raise InvalidParameterError(f"cosine similarity must be in [-1, 1], got {value}")
+        return 1.0 - float(np.arccos(value)) / np.pi

@@ -1,0 +1,151 @@
+"""Parameter selection for LSH-based data structures.
+
+Section 2.2 of the paper fixes the standard recipe: concatenate ``K`` base
+functions so that the far-point collision probability drops to ``p2^K <= 1/n``
+(equivalently, the expected number of far collisions per table is at most a
+small constant), then repeat with ``L = Theta(p1^{-K} log n)`` independent
+tables so that every near point collides with the query in at least one table
+with high probability.  The experimental section uses a concrete instance of
+this recipe: "we set K such that we expect no more than 5 points with Jaccard
+similarity at most 0.1 to have the same hash value as the query, and L such
+that with probability at least 99% a given point with similarity at least r
+is present in the L buckets".
+
+This module implements both the generic rule and the paper's concrete
+experimental rule, plus the quality exponent ``rho = log(p1) / log(p2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+from repro.lsh.family import LSHFamily
+
+
+@dataclass(frozen=True)
+class LSHParameters:
+    """Resolved LSH parameters for a concrete dataset and thresholds.
+
+    Attributes
+    ----------
+    k:
+        Number of concatenated base hash functions per table (AND).
+    l:
+        Number of independent hash tables (OR repetitions).
+    p_near:
+        Collision probability of a point exactly at the near threshold under
+        one concatenated function, i.e. ``p1^k``.
+    p_far:
+        Collision probability of a point exactly at the far threshold under
+        one concatenated function, i.e. ``p2^k``.
+    recall:
+        Probability that a single near point collides with the query in at
+        least one of the ``l`` tables: ``1 - (1 - p1^k)^l``.
+    expected_far_collisions:
+        Expected number of far points (out of ``n``) per table colliding with
+        the query, ``n * p2^k``.
+    """
+
+    k: int
+    l: int
+    p_near: float
+    p_far: float
+    recall: float
+    expected_far_collisions: float
+
+
+def compute_rho(p1: float, p2: float) -> float:
+    """Quality ``rho = log(p1) / log(p2)`` of an LSH family (Definition 3)."""
+    if not 0.0 < p2 < 1.0 or not 0.0 < p1 < 1.0:
+        raise InvalidParameterError(
+            f"collision probabilities must lie in (0, 1), got p1={p1}, p2={p2}"
+        )
+    if p1 < p2:
+        raise InvalidParameterError(f"p1 must be at least p2, got p1={p1} < p2={p2}")
+    return math.log(p1) / math.log(p2)
+
+
+def concatenation_length_for_far_collisions(
+    p_far: float, n: int, max_expected_collisions: float = 1.0
+) -> int:
+    """Smallest K with ``n * p_far^K <= max_expected_collisions``.
+
+    This is the generic ``p2^K <= 1/n`` rule generalized to an arbitrary
+    budget of expected far collisions (the paper's experiments use a budget
+    of 5 at similarity 0.1).
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if max_expected_collisions <= 0:
+        raise InvalidParameterError(
+            f"max_expected_collisions must be positive, got {max_expected_collisions}"
+        )
+    if not 0.0 < p_far < 1.0:
+        raise InvalidParameterError(f"p_far must be in (0, 1), got {p_far}")
+    if n <= max_expected_collisions:
+        return 1
+    k = math.log(max_expected_collisions / n) / math.log(p_far)
+    return max(1, int(math.ceil(k - 1e-12)))
+
+
+def repetitions_for_recall(p_near_k: float, recall: float = 0.99) -> int:
+    """Smallest L with ``1 - (1 - p_near_k)^L >= recall``."""
+    if not 0.0 < p_near_k <= 1.0:
+        raise InvalidParameterError(f"p_near_k must be in (0, 1], got {p_near_k}")
+    if not 0.0 < recall < 1.0:
+        raise InvalidParameterError(f"recall must be in (0, 1), got {recall}")
+    if p_near_k >= 1.0:
+        return 1
+    l = math.log(1.0 - recall) / math.log(1.0 - p_near_k)
+    return max(1, int(math.ceil(l - 1e-12)))
+
+
+def select_parameters(
+    family: LSHFamily,
+    near_threshold: float,
+    far_threshold: float,
+    n: int,
+    recall: float = 0.99,
+    max_expected_far_collisions: float = 1.0,
+) -> LSHParameters:
+    """Select ``(K, L)`` for *family* on a dataset of *n* points.
+
+    Parameters
+    ----------
+    family:
+        The base LSH family (not yet concatenated).
+    near_threshold, far_threshold:
+        The ``r`` and ``cr`` thresholds expressed in the family's measure.
+        For similarity measures ``far_threshold < near_threshold``; for
+        distance measures ``far_threshold > near_threshold``.
+    n:
+        Dataset size.
+    recall:
+        Target probability that a single point at the near threshold appears
+        in at least one of the ``L`` probed buckets.
+    max_expected_far_collisions:
+        Budget for the expected number of points at the far threshold
+        colliding with the query per table.
+    """
+    p1 = family.collision_probability(near_threshold)
+    p2 = family.collision_probability(far_threshold)
+    if p1 <= p2:
+        raise InvalidParameterError(
+            "near-threshold collision probability must exceed the far-threshold one; "
+            f"got p1={p1:.4f} at {near_threshold} and p2={p2:.4f} at {far_threshold}"
+        )
+    k = concatenation_length_for_far_collisions(p2, n, max_expected_far_collisions)
+    p_near_k = p1**k
+    p_far_k = p2**k
+    l = repetitions_for_recall(p_near_k, recall)
+    achieved_recall = 1.0 - (1.0 - p_near_k) ** l
+    return LSHParameters(
+        k=k,
+        l=l,
+        p_near=p_near_k,
+        p_far=p_far_k,
+        recall=achieved_recall,
+        expected_far_collisions=n * p_far_k,
+    )

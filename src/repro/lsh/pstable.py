@@ -1,0 +1,75 @@
+"""p-stable (Gaussian projection) LSH family for Euclidean distance (E2LSH).
+
+A hash function projects the point onto a random Gaussian direction, shifts
+it by a random offset and quantizes into buckets of width ``w``.  The
+collision probability of two points at Euclidean distance ``d`` is the
+classical Datar-Immorlica-Indyk-Mirrokni expression
+
+    p(d) = 1 - 2 * Phi(-w/d) - (2 d / (sqrt(2 pi) w)) * (1 - exp(-w^2 / (2 d^2)))
+
+which is monotonically decreasing in ``d``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List
+
+import numpy as np
+
+from repro.distances.euclidean import EuclideanDistance
+from repro.exceptions import InvalidParameterError
+from repro.lsh.family import HashFunction, LSHFamily
+from repro.types import Dataset, Point
+
+
+def _standard_normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+class PStableHashFunction(HashFunction):
+    """``h(x) = floor((<a, x> + b) / w)`` with Gaussian ``a``, uniform ``b``."""
+
+    def __init__(self, direction: np.ndarray, offset: float, width: float):
+        self._direction = np.asarray(direction, dtype=float)
+        self._offset = float(offset)
+        self._width = float(width)
+
+    def __call__(self, point: Point) -> Hashable:
+        projection = float(np.dot(np.asarray(point, dtype=float), self._direction))
+        return int(math.floor((projection + self._offset) / self._width))
+
+    def hash_dataset(self, dataset: Dataset) -> List[Hashable]:
+        data = np.asarray(dataset, dtype=float)
+        values = np.floor((data @ self._direction + self._offset) / self._width)
+        return [int(v) for v in values]
+
+
+class PStableFamily(LSHFamily):
+    """Gaussian (2-stable) projection family for Euclidean distance."""
+
+    def __init__(self, dim: int, width: float = 4.0):
+        if dim < 1:
+            raise InvalidParameterError(f"dimension must be >= 1, got {dim}")
+        if width <= 0:
+            raise InvalidParameterError(f"bucket width must be positive, got {width}")
+        self.dim = int(dim)
+        self.width = float(width)
+        self.measure = EuclideanDistance()
+
+    def sample(self, rng: np.random.Generator) -> PStableHashFunction:
+        direction = rng.standard_normal(self.dim)
+        offset = float(rng.uniform(0.0, self.width))
+        return PStableHashFunction(direction, offset, self.width)
+
+    def collision_probability(self, value: float) -> float:
+        if value < 0:
+            raise InvalidParameterError(f"distance must be non-negative, got {value}")
+        if value == 0.0:
+            return 1.0
+        ratio = self.width / value
+        term_cdf = 1.0 - 2.0 * _standard_normal_cdf(-ratio)
+        term_density = (
+            2.0 / (math.sqrt(2.0 * math.pi) * ratio) * (1.0 - math.exp(-(ratio**2) / 2.0))
+        )
+        return max(0.0, term_cdf - term_density)

@@ -1,0 +1,223 @@
+"""LSH hash tables with rank-aware buckets.
+
+This is the storage layer shared by all LSH-based samplers:
+
+* the standard LSH query needs the multiset of points colliding with the
+  query in each of the ``L`` tables;
+* the Section 3 sampler additionally needs the points of each bucket sorted
+  by their random *rank* so that the lowest-ranked near point can be found by
+  an in-order scan;
+* the Section 4 sampler needs *rank-range* queries inside each colliding
+  bucket ("all points of this bucket with rank in ``[lo, hi)``") and a
+  mergeable count-distinct sketch per bucket.
+
+Buckets are stored as numpy index arrays.  When ranks are supplied the arrays
+are sorted by rank so both the ordered scan and the range query (via
+``numpy.searchsorted`` on the parallel rank array) are cheap.  The paper
+suggests a balanced binary search tree per bucket; for a static index the
+sorted-array representation has identical asymptotics with far smaller
+constants (see the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.lsh.family import HashFunction, LSHFamily
+from repro.rng import SeedLike, ensure_rng
+from repro.types import Dataset, Point
+
+
+class Bucket:
+    """A single hash bucket: indices of the points hashing to one key.
+
+    When ranks are available, ``indices`` is sorted by increasing rank and
+    ``ranks`` holds the corresponding rank values (so ``ranks`` is sorted
+    ascending).  Without ranks, ``indices`` keeps insertion (dataset) order
+    and ``ranks`` is ``None``.
+    """
+
+    __slots__ = ("indices", "ranks")
+
+    def __init__(self, indices: np.ndarray, ranks: Optional[np.ndarray] = None):
+        self.indices = indices
+        self.ranks = ranks
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+    def rank_range(self, lo: int, hi: int) -> np.ndarray:
+        """Indices of bucket members with rank in ``[lo, hi)``.
+
+        Requires the bucket to have been built with ranks.
+        """
+        if self.ranks is None:
+            raise InvalidParameterError("bucket was built without ranks; rank_range unavailable")
+        left = int(np.searchsorted(self.ranks, lo, side="left"))
+        right = int(np.searchsorted(self.ranks, hi, side="left"))
+        return self.indices[left:right]
+
+
+class LSHTables:
+    """``L`` independent LSH hash tables over a dataset.
+
+    Parameters
+    ----------
+    family:
+        The (possibly concatenated) LSH family used for each table.
+    l:
+        Number of independent tables.
+    seed:
+        Seed controlling the choice of the ``l`` hash functions.
+    """
+
+    def __init__(self, family: LSHFamily, l: int, seed: SeedLike = None):
+        if l < 1:
+            raise InvalidParameterError(f"number of tables must be >= 1, got {l}")
+        self.family = family
+        self.l = int(l)
+        self._rng = ensure_rng(seed)
+        self._functions: List[HashFunction] = [self.family.sample(self._rng) for _ in range(self.l)]
+        # Families that support it provide a vectorized evaluator over all L
+        # functions at once; pure-Python hashing loops are the bottleneck
+        # otherwise (hundreds of tables times thousands of points).
+        self._batch_hasher = self.family.make_batch_hasher(self._functions)
+        self._tables: List[Dict[Hashable, Bucket]] = []
+        self._n = 0
+        self._ranks: Optional[np.ndarray] = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset, ranks: Optional[np.ndarray] = None) -> "LSHTables":
+        """Hash every dataset point into each of the ``L`` tables.
+
+        Parameters
+        ----------
+        dataset:
+            The point set ``S``.
+        ranks:
+            Optional array where ``ranks[i]`` is the rank of point ``i``
+            under the random permutation (Sections 3 and 4).  When given,
+            buckets are sorted by rank.
+        """
+        n = len(dataset)
+        if n == 0:
+            raise EmptyDatasetError("cannot build LSH tables over an empty dataset")
+        if ranks is not None:
+            ranks = np.asarray(ranks)
+            if ranks.shape != (n,):
+                raise InvalidParameterError(
+                    f"ranks must have shape ({n},), got {ranks.shape}"
+                )
+        self._n = n
+        self._ranks = ranks
+        self._tables = []
+        if self._batch_hasher is not None:
+            all_keys = self._batch_hasher.keys_for_dataset(dataset)
+        else:
+            all_keys = [function.hash_dataset(dataset) for function in self._functions]
+        for keys in all_keys:
+            groups: Dict[Hashable, List[int]] = {}
+            for index, key in enumerate(keys):
+                groups.setdefault(key, []).append(index)
+            table: Dict[Hashable, Bucket] = {}
+            for key, members in groups.items():
+                indices = np.asarray(members, dtype=np.intp)
+                if ranks is not None:
+                    member_ranks = ranks[indices]
+                    order = np.argsort(member_ranks, kind="stable")
+                    table[key] = Bucket(indices[order], member_ranks[order])
+                else:
+                    table[key] = Bucket(indices)
+            self._tables.append(table)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        """Number of indexed points."""
+        return self._n
+
+    @property
+    def num_tables(self) -> int:
+        """Number of hash tables ``L``."""
+        return self.l
+
+    @property
+    def ranks(self) -> Optional[np.ndarray]:
+        """The rank array used at construction time, if any."""
+        return self._ranks
+
+    def bucket_sizes(self) -> List[Dict[Hashable, int]]:
+        """Size of every bucket per table (useful for diagnostics/tests)."""
+        self._check_fitted()
+        return [{key: len(bucket) for key, bucket in table.items()} for table in self._tables]
+
+    def total_stored_references(self) -> int:
+        """Total number of point references stored across all tables."""
+        self._check_fitted()
+        return sum(len(bucket) for table in self._tables for bucket in table.values())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_keys(self, query: Point) -> List[Hashable]:
+        """The bucket key of *query* in each table."""
+        if self._batch_hasher is not None:
+            return self._batch_hasher.keys_for_point(query)
+        return [function(query) for function in self._functions]
+
+    def query_buckets(self, query: Point) -> List[Bucket]:
+        """The (possibly empty) bucket colliding with *query* in each table."""
+        self._check_fitted()
+        empty = Bucket(np.empty(0, dtype=np.intp), None if self._ranks is None else np.empty(0, dtype=self._ranks.dtype))
+        keys = self.query_keys(query)
+        return [table.get(key, empty) for table, key in zip(self._tables, keys)]
+
+    def query_candidates(self, query: Point) -> np.ndarray:
+        """Unique indices of all points colliding with *query* in any table."""
+        buckets = self.query_buckets(query)
+        if not buckets:
+            return np.empty(0, dtype=np.intp)
+        stacked = np.concatenate([b.indices for b in buckets]) if buckets else np.empty(0, dtype=np.intp)
+        return np.unique(stacked)
+
+    def query_candidates_multiset(self, query: Point) -> np.ndarray:
+        """Indices of colliding points *with* multiplicity across tables."""
+        buckets = self.query_buckets(query)
+        if not buckets:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate([b.indices for b in buckets])
+
+    def rank_range_candidates(self, query: Point, lo: int, hi: int) -> np.ndarray:
+        """Unique colliding indices with rank in ``[lo, hi)`` (Section 4, step 3b)."""
+        self._check_fitted()
+        if self._ranks is None:
+            raise InvalidParameterError("tables were built without ranks; rank-range queries unavailable")
+        parts = [bucket.rank_range(lo, hi) for bucket in self.query_buckets(query)]
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return np.empty(0, dtype=np.intp)
+        return np.unique(np.concatenate(parts))
+
+    def collision_counts(self, query: Point) -> Dict[int, int]:
+        """Map point index -> number of tables in which it collides with *query*."""
+        counts: Dict[int, int] = {}
+        for bucket in self.query_buckets(query):
+            for index in bucket.indices:
+                index = int(index)
+                counts[index] = counts.get(index, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise EmptyDatasetError("LSHTables.fit must be called before querying")

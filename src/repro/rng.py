@@ -1,0 +1,69 @@
+"""Random number generator utilities.
+
+Every randomized component in the library accepts a ``seed`` argument that may
+be ``None`` (fresh entropy), an ``int``, or an existing
+:class:`numpy.random.Generator`.  Centralising the coercion here keeps the
+constructors of the samplers small and guarantees consistent behaviour:
+passing the same integer seed twice always reproduces the same index and the
+same query answers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` or ``SeedSequence`` for a
+        deterministic stream, or an existing ``Generator`` which is returned
+        unchanged (so components can share a stream).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list:
+    """Derive *count* independent generators from a single seed.
+
+    This is used when a data structure needs several internally independent
+    randomness sources (e.g. one per hash table) that must still be fully
+    determined by the user-provided seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Spawn from the generator's bit generator seed sequence when
+        # available; otherwise draw child seeds from the stream itself.
+        seed_seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if seed_seq is not None:
+            return [np.random.default_rng(s) for s in seed_seq.spawn(count)]
+        child_seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(count)]
+
+
+def random_permutation_ranks(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Return a uniformly random assignment of the ranks ``0 .. n-1``.
+
+    ``ranks[i]`` is the rank of data point ``i`` under the permutation.  The
+    Section 3 and Section 4 data structures of the paper rely on this
+    permutation being independent of the LSH randomness.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return rng.permutation(n)

@@ -1,0 +1,15 @@
+"""Mergeable count-distinct (F0) sketches.
+
+Section 4 of the paper equips every LSH bucket with a sketch for the number
+of distinct elements so that the query can estimate, by merging the sketches
+of the ``L`` colliding buckets, a 1/2-approximation of the number of distinct
+points colliding with the query.  The sketch used here is the bottom-``t``
+(KMV) variant of the Bar-Yossef et al. construction referenced by the paper:
+keep the ``t`` smallest hash values of the elements seen so far; merging two
+sketches is just keeping the ``t`` smallest values of their union.
+"""
+
+from repro.sketches.hashing import PairwiseIndependentHash
+from repro.sketches.kmv import BottomTSketch, DistinctCountSketcher
+
+__all__ = ["PairwiseIndependentHash", "BottomTSketch", "DistinctCountSketcher"]

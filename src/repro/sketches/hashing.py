@@ -1,0 +1,52 @@
+"""Pairwise-independent hash functions over integer keys.
+
+The count-distinct sketch of Bar-Yossef et al. (Section 2.3 of the paper)
+hashes stream elements with a function drawn from a pairwise independent
+family mapping ``[n] -> [n^3]``.  We implement the classical
+``(a * x + b) mod p`` construction over a Mersenne prime, reduced into the
+requested range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+
+#: Mersenne prime 2^61 - 1; large enough for any practical universe here.
+_PRIME = (1 << 61) - 1
+
+
+class PairwiseIndependentHash:
+    """A hash ``x -> ((a x + b) mod p) mod range`` with random ``a, b``."""
+
+    def __init__(self, a: int, b: int, output_range: int):
+        if not 0 < a < _PRIME:
+            raise InvalidParameterError("multiplier a must be in (0, prime)")
+        if not 0 <= b < _PRIME:
+            raise InvalidParameterError("offset b must be in [0, prime)")
+        if output_range < 1:
+            raise InvalidParameterError(f"output range must be >= 1, got {output_range}")
+        self.a = int(a)
+        self.b = int(b)
+        self.output_range = int(output_range)
+
+    @classmethod
+    def sample(cls, output_range: int, seed: SeedLike = None) -> "PairwiseIndependentHash":
+        """Draw a random member of the family with the given output range."""
+        rng = ensure_rng(seed)
+        a = int(rng.integers(1, _PRIME))
+        b = int(rng.integers(0, _PRIME))
+        return cls(a, b, output_range)
+
+    def __call__(self, key: int) -> int:
+        return ((self.a * int(key) + self.b) % _PRIME) % self.output_range
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation over an integer array (exact arithmetic)."""
+        keys = np.asarray(keys)
+        # Use Python ints (object dtype) to avoid 64-bit overflow; the arrays
+        # involved are small (bucket-sized), so this is not a hot path.
+        values = [((self.a * int(k) + self.b) % _PRIME) % self.output_range for k in keys]
+        return np.asarray(values, dtype=np.int64)

@@ -1,0 +1,181 @@
+"""Bottom-t (KMV) count-distinct sketches.
+
+A single sketch keeps, for each of ``delta_rows`` independent hash functions,
+the ``t`` smallest distinct hash values observed.  The per-row estimate of
+the number of distinct elements is ``t * R / v_t`` where ``R`` is the hash
+range and ``v_t`` the ``t``-th smallest value; the overall estimate is the
+median across rows, exactly as in the construction the paper cites
+(Bar-Yossef et al., RANDOM 2002).  Two sketches built with the *same* hash
+functions can be merged by keeping the ``t`` smallest values of the union of
+their value lists — the property Section 4 relies on to combine the sketches
+of the ``L`` buckets colliding with a query.
+
+:class:`DistinctCountSketcher` is the factory that fixes the shared hash
+functions so that sketches created for different buckets are mergeable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import SeedLike, ensure_rng
+from repro.sketches.hashing import PairwiseIndependentHash
+
+
+class BottomTSketch:
+    """A mergeable bottom-``t`` sketch over integer keys."""
+
+    def __init__(self, hashes: Sequence[PairwiseIndependentHash], t: int):
+        if t < 1:
+            raise InvalidParameterError(f"t must be >= 1, got {t}")
+        if not hashes:
+            raise InvalidParameterError("at least one hash row is required")
+        self._hashes = list(hashes)
+        self.t = int(t)
+        # One sorted list of the smallest distinct hash values per row.
+        self._rows: List[List[int]] = [[] for _ in self._hashes]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of independent hash rows (the delta repetitions)."""
+        return len(self._hashes)
+
+    def update(self, key: int) -> None:
+        """Insert one element (by integer key) into the sketch."""
+        key = int(key)
+        for row, hash_function in zip(self._rows, self._hashes):
+            value = hash_function(key)
+            _insert_bottom(row, value, self.t)
+
+    def update_many(self, keys: Iterable[int]) -> None:
+        """Insert many elements."""
+        for key in keys:
+            self.update(key)
+
+    def estimate(self) -> float:
+        """Median-of-rows estimate of the number of distinct inserted keys."""
+        # Small streams are answered exactly: every row has seen fewer than t
+        # distinct values, so the bottom-t list *is* the full value set.
+        estimates = []
+        for row, hash_function in zip(self._rows, self._hashes):
+            if len(row) < self.t:
+                estimates.append(float(len(row)))
+            else:
+                v_t = row[self.t - 1]
+                if v_t == 0:
+                    estimates.append(float(len(row)))
+                else:
+                    estimates.append(self.t * hash_function.output_range / v_t)
+        return float(np.median(estimates))
+
+    def merge(self, other: "BottomTSketch") -> "BottomTSketch":
+        """Return a new sketch equivalent to sketching the union of streams.
+
+        Both sketches must come from the same :class:`DistinctCountSketcher`
+        (i.e. share hash functions and ``t``); merging sketches with different
+        randomness would produce meaningless estimates.
+        """
+        self._check_compatible(other)
+        merged = BottomTSketch(self._hashes, self.t)
+        merged._rows = [
+            _merge_bottom(mine, theirs, self.t) for mine, theirs in zip(self._rows, other._rows)
+        ]
+        return merged
+
+    @staticmethod
+    def merge_all(sketches: Sequence["BottomTSketch"]) -> "BottomTSketch":
+        """Merge a non-empty sequence of compatible sketches."""
+        if not sketches:
+            raise InvalidParameterError("cannot merge an empty sequence of sketches")
+        result = sketches[0]
+        for sketch in sketches[1:]:
+            result = result.merge(sketch)
+        return result
+
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "BottomTSketch") -> None:
+        if self.t != other.t or len(self._hashes) != len(other._hashes):
+            raise InvalidParameterError("sketches have incompatible shapes and cannot be merged")
+        for mine, theirs in zip(self._hashes, other._hashes):
+            if mine is not theirs and (mine.a != theirs.a or mine.b != theirs.b):
+                raise InvalidParameterError(
+                    "sketches were built with different hash functions; "
+                    "create them from the same DistinctCountSketcher"
+                )
+
+
+def _insert_bottom(row: List[int], value: int, t: int) -> None:
+    """Insert *value* into the sorted bottom-``t`` list *row* (deduplicated)."""
+    import bisect
+
+    position = bisect.bisect_left(row, value)
+    if position < len(row) and row[position] == value:
+        return
+    if len(row) < t:
+        row.insert(position, value)
+    elif value < row[-1]:
+        row.insert(position, value)
+        row.pop()
+
+
+def _merge_bottom(a: List[int], b: List[int], t: int) -> List[int]:
+    """Bottom-``t`` of the union of two sorted, deduplicated lists."""
+    merged = sorted(set(a) | set(b))
+    return merged[:t]
+
+
+class DistinctCountSketcher:
+    """Factory producing mergeable :class:`BottomTSketch` instances.
+
+    Parameters
+    ----------
+    epsilon:
+        Target relative accuracy; the bottom-``t`` size is ``ceil(c / eps^2)``.
+        Section 4 uses ``epsilon = 1/2``.
+    delta:
+        Failure probability; the number of independent rows is
+        ``ceil(log(1/delta))`` (at least 1).
+    universe_size:
+        Upper bound on the number of distinct keys (used to size the hash
+        output range to ``universe^3`` as in the paper's description).
+    seed:
+        Controls the shared hash functions.
+    """
+
+    def __init__(
+        self,
+        universe_size: int,
+        epsilon: float = 0.5,
+        delta: float = 0.01,
+        seed: SeedLike = None,
+    ):
+        if universe_size < 1:
+            raise InvalidParameterError(f"universe_size must be >= 1, got {universe_size}")
+        if not 0.0 < epsilon < 1.0:
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0.0 < delta < 1.0:
+            raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+        rng = ensure_rng(seed)
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.t = max(1, int(math.ceil(4.0 / (epsilon * epsilon))))
+        self.num_rows = max(1, int(math.ceil(math.log(1.0 / delta))))
+        output_range = max(universe_size**3, 1 << 20)
+        self._hashes = [
+            PairwiseIndependentHash.sample(output_range, rng) for _ in range(self.num_rows)
+        ]
+
+    def new_sketch(self) -> BottomTSketch:
+        """Create an empty sketch sharing this sketcher's hash functions."""
+        return BottomTSketch(self._hashes, self.t)
+
+    def sketch_keys(self, keys: Iterable[int]) -> BottomTSketch:
+        """Create a sketch and insert all of *keys*."""
+        sketch = self.new_sketch()
+        sketch.update_many(keys)
+        return sketch

@@ -1,0 +1,69 @@
+"""Shared type aliases and light-weight data containers.
+
+The library works over two concrete data representations:
+
+* **vector data** — a 2-D ``numpy.ndarray`` of shape ``(n, d)``; a query is a
+  1-D array of length ``d``.  Used for Euclidean, angular and inner-product
+  similarity.
+* **set data** — a Python sequence of ``frozenset`` of integer item ids; a
+  query is a single ``frozenset``.  Used for Jaccard similarity (the
+  representation of the MovieLens / Last.FM experiments in the paper).
+
+The aliases below are deliberately permissive (``Sequence`` rather than
+``list``) so that callers can pass tuples, lists or numpy object arrays.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Union
+
+import numpy as np
+
+#: A single set-valued data point (e.g. the set of movies a user rated >= 4).
+SetPoint = FrozenSet[int]
+
+#: A dataset of set-valued points.
+SetDataset = Sequence[SetPoint]
+
+#: A single vector-valued data point.
+VectorPoint = np.ndarray
+
+#: A dataset of vector-valued points, shape ``(n, d)``.
+VectorDataset = np.ndarray
+
+#: Any supported query point.
+Point = Union[SetPoint, VectorPoint]
+
+#: Any supported dataset.
+Dataset = Union[SetDataset, VectorDataset]
+
+
+def is_set_data(dataset: Dataset) -> bool:
+    """Return True if *dataset* looks like set-valued data.
+
+    A dataset is treated as set data when it is a non-numpy sequence whose
+    first element is a ``set`` / ``frozenset``.  Empty sequences default to
+    set data (nothing can be hashed from them anyway).
+    """
+    if isinstance(dataset, np.ndarray) and dataset.dtype != object:
+        return False
+    if len(dataset) == 0:
+        return True
+    return isinstance(dataset[0], (set, frozenset))
+
+
+def dataset_size(dataset: Dataset) -> int:
+    """Number of points in *dataset*, for either representation."""
+    return len(dataset)
+
+
+def as_set_point(point) -> SetPoint:
+    """Coerce *point* (any iterable of ints) into a ``frozenset``."""
+    if isinstance(point, frozenset):
+        return point
+    return frozenset(int(x) for x in point)
+
+
+def as_set_dataset(points) -> list:
+    """Coerce an iterable of iterables into a list of ``frozenset``."""
+    return [as_set_point(p) for p in points]

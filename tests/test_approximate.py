@@ -1,0 +1,125 @@
+"""Tests for the approximate-neighborhood sampler and its Section 6.2 failure mode."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproximateNeighborhoodSampler
+from repro.data import clustered_neighborhood_instance
+from repro.distances import JaccardSimilarity
+from repro.exceptions import NotFittedError
+from repro.lsh import MinHashFamily, OneBitMinHashFamily
+from repro.lsh.params import select_parameters
+
+
+def make_sampler(dataset, radius=0.5, relaxed=0.25, seed=0, num_tables=60):
+    return ApproximateNeighborhoodSampler(
+        MinHashFamily(),
+        radius=radius,
+        far_radius=relaxed,
+        num_hashes=1,
+        num_tables=num_tables,
+        seed=seed,
+    ).fit(dataset)
+
+
+class TestBasics:
+    def test_returns_point_within_relaxed_radius(self, planted_sets, jaccard):
+        sampler = make_sampler(planted_sets["dataset"], radius=0.5, relaxed=0.3)
+        result = sampler.sample_detailed(planted_sets["query"])
+        assert result.found
+        assert jaccard.value(planted_sets["dataset"][result.index], planted_sets["query"]) >= 0.3
+
+    def test_may_return_points_outside_exact_neighborhood(self):
+        """The relaxed sampler can legitimately return (c, r)-near points."""
+        near = frozenset(range(1, 11))
+        borderline = frozenset(range(1, 7))  # similarity 0.6 < r=0.8 but >= cr=0.5
+        dataset = [near, borderline]
+        sampler = make_sampler(dataset, radius=0.8, relaxed=0.5, seed=1)
+        outputs = {sampler.sample(frozenset(range(1, 11))) for _ in range(200)}
+        assert 1 in outputs
+
+    def test_returns_none_without_candidates(self):
+        dataset = [frozenset({900 + i}) for i in range(5)]
+        sampler = make_sampler(dataset)
+        assert sampler.sample(frozenset({1, 2})) is None
+
+    def test_not_fitted_raises(self):
+        sampler = ApproximateNeighborhoodSampler(
+            MinHashFamily(), radius=0.5, far_radius=0.25, num_hashes=1, num_tables=5
+        )
+        with pytest.raises(NotFittedError):
+            sampler.sample(frozenset({1}))
+
+    def test_candidate_set_only_contains_relaxed_near_points(self, planted_sets, jaccard):
+        sampler = make_sampler(planted_sets["dataset"], radius=0.5, relaxed=0.3, seed=2)
+        for index in sampler.candidate_set(planted_sets["query"]):
+            value = jaccard.value(planted_sets["dataset"][int(index)], planted_sets["query"])
+            assert value >= 0.3
+
+
+class TestClusteredNeighborhoodUnfairness:
+    """Reproduces the qualitative claim of Section 6.2 (Figure 2) on a reduced instance."""
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        # The full instance (cluster of ~10^4 subsets) is what makes the
+        # concatenation length large enough for "X collides" to usually
+        # happen without the cluster flooding the buckets.
+        return clustered_neighborhood_instance(min_subset_size=15)
+
+    @pytest.fixture(scope="class")
+    def sampling_counts(self, instance):
+        # Full MinHash buckets: see the note in repro.experiments.q2_approximate —
+        # the exclusivity between "X collides" and "the cluster collides" is what
+        # produces the paper's effect, and the 1-bit reduction dilutes it.
+        family = MinHashFamily()
+        params = select_parameters(
+            family, near_threshold=0.9, far_threshold=0.1, n=len(instance.dataset),
+            recall=0.95, max_expected_far_collisions=5.0,
+        )
+        counts = {"X": 0, "Y": 0, "Z": 0, "cluster": 0, "none": 0}
+        cluster = set(instance.cluster_indices)
+        # Whether the cluster floods the buckets is fixed per construction, so
+        # the sampling probabilities are averaged over many constructions.
+        repetitions = 50
+        trials = 14
+        for trial in range(trials):
+            sampler = ApproximateNeighborhoodSampler(
+                family,
+                radius=instance.r,
+                far_radius=instance.cr,
+                num_hashes=params.k,
+                num_tables=params.l,
+                seed=trial,
+            ).fit(instance.dataset)
+            for _ in range(repetitions):
+                index = sampler.sample(instance.query)
+                if index is None:
+                    counts["none"] += 1
+                elif index == instance.index_x:
+                    counts["X"] += 1
+                elif index == instance.index_y:
+                    counts["Y"] += 1
+                elif index == instance.index_z:
+                    counts["Z"] += 1
+                else:
+                    counts["cluster"] += 1
+        counts["total"] = trials * repetitions
+        return counts
+
+    def test_x_reported_much_more_often_than_y(self, sampling_counts):
+        """X (similarity 0.5, isolated) dominates Y (similarity 0.6, clustered)."""
+        assert sampling_counts["X"] > 3 * max(1, sampling_counts["Y"])
+
+    def test_cluster_absorbs_most_of_the_mass(self, sampling_counts):
+        assert sampling_counts["cluster"] > sampling_counts["X"]
+
+    def test_x_overrepresented_relative_to_uniform_over_relaxed_neighborhood(
+        self, sampling_counts, instance
+    ):
+        """Uniform sampling over all points within cr would give each point a
+        1/(|M|+3) share; the isolated X receives far more than that, which is
+        exactly the unfairness the paper demonstrates."""
+        uniform_share = 1.0 / (len(instance.cluster_indices) + 3)
+        x_share = sampling_counts["X"] / sampling_counts["total"]
+        assert x_share > 5 * uniform_share

@@ -1,0 +1,70 @@
+"""Tests for brute-force ball queries and the Q3 cost-ratio helper."""
+
+import numpy as np
+import pytest
+
+from repro.distances import EuclideanDistance, JaccardSimilarity
+from repro.distances.ball import ball_indices, ball_size, cost_ratio, neighborhood_sizes
+
+
+class TestBallQueries:
+    def test_ball_indices_euclidean(self):
+        data = np.array([[0.0], [1.0], [2.0], [10.0]])
+        indices = ball_indices(data, np.array([0.0]), 2.0, EuclideanDistance())
+        assert set(indices.tolist()) == {0, 1, 2}
+
+    def test_ball_size_matches_indices(self):
+        data = np.array([[0.0], [1.0], [5.0]])
+        measure = EuclideanDistance()
+        assert ball_size(data, np.array([0.0]), 1.5, measure) == 2
+
+    def test_ball_indices_jaccard(self):
+        dataset = [frozenset({1, 2, 3}), frozenset({1, 2}), frozenset({7, 8})]
+        indices = ball_indices(dataset, frozenset({1, 2, 3}), 0.6, JaccardSimilarity())
+        assert set(indices.tolist()) == {0, 1}
+
+    def test_empty_ball(self):
+        data = np.array([[10.0], [20.0]])
+        assert ball_size(data, np.array([0.0]), 1.0, EuclideanDistance()) == 0
+
+    def test_planted_neighborhood_counts(self, planted_vectors):
+        count = ball_size(
+            planted_vectors["points"], planted_vectors["query"], 1.0, EuclideanDistance()
+        )
+        assert count == len(planted_vectors["near_indices"])
+
+
+class TestNeighborhoodSizes:
+    def test_counts_per_threshold(self):
+        data = np.array([[0.0], [1.0], [2.0], [3.0]])
+        queries = [np.array([0.0]), np.array([3.0])]
+        counts = neighborhood_sizes(data, queries, [0.5, 1.5, 2.5], EuclideanDistance())
+        np.testing.assert_array_equal(counts[0.5], [1, 1])
+        np.testing.assert_array_equal(counts[1.5], [2, 2])
+        np.testing.assert_array_equal(counts[2.5], [3, 3])
+
+    def test_monotone_in_threshold(self, small_set_dataset, jaccard):
+        queries = small_set_dataset[:5]
+        counts = neighborhood_sizes(small_set_dataset, queries, [0.3, 0.2, 0.1], jaccard)
+        # Lower Jaccard threshold -> larger neighborhood.
+        assert np.all(counts[0.1] >= counts[0.2])
+        assert np.all(counts[0.2] >= counts[0.3])
+
+
+class TestCostRatio:
+    def test_ratio_at_least_one(self, small_set_dataset, jaccard):
+        queries = small_set_dataset[:10]
+        ratios = cost_ratio(small_set_dataset, queries, r=0.2, relaxed=0.1, measure=jaccard)
+        assert np.all(ratios >= 1.0)
+
+    def test_skips_empty_neighborhoods(self):
+        data = np.array([[0.0], [100.0]])
+        queries = [np.array([50.0])]  # nothing within r
+        ratios = cost_ratio(data, queries, r=1.0, relaxed=2.0, measure=EuclideanDistance())
+        assert ratios.size == 0
+
+    def test_known_ratio(self):
+        data = np.array([[0.0], [0.5], [1.5], [1.8]])
+        queries = [np.array([0.0])]
+        ratios = cost_ratio(data, queries, r=1.0, relaxed=2.0, measure=EuclideanDistance())
+        assert ratios.tolist() == [2.0]

@@ -1,0 +1,226 @@
+"""Tests for the dataset generators (vectors, sets, adversarial instance, queries, MF)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    clustered_neighborhood_instance,
+    factorize,
+    gaussian_clusters,
+    generate_lastfm_like,
+    generate_movielens_like,
+    generate_ratings,
+    generate_set_dataset,
+    planted_inner_product_neighborhood,
+    planted_neighborhood,
+    random_unit_vectors,
+    select_interesting_queries,
+)
+from repro.data.sets import LASTFM_SPEC, MOVIELENS_SPEC, SetDatasetSpec
+from repro.distances import EuclideanDistance, InnerProductSimilarity, JaccardSimilarity
+from repro.exceptions import InvalidParameterError
+
+
+class TestSyntheticVectors:
+    def test_unit_vectors_have_unit_norm(self):
+        points = random_unit_vectors(50, 8, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(points, axis=1), np.ones(50))
+
+    def test_unit_vectors_invalid_args(self):
+        with pytest.raises(InvalidParameterError):
+            random_unit_vectors(0, 5)
+
+    def test_gaussian_clusters_shapes(self):
+        points, labels = gaussian_clusters(100, 4, num_clusters=3, seed=1)
+        assert points.shape == (100, 4)
+        assert labels.shape == (100,)
+        assert set(labels.tolist()) <= {0, 1, 2}
+
+    def test_gaussian_clusters_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_clusters(10, 3, num_clusters=0)
+
+    def test_planted_neighborhood_distances(self):
+        points, query, neighbors = planted_neighborhood(
+            n_background=50, n_neighbors=10, dim=6, radius=1.0, seed=2
+        )
+        measure = EuclideanDistance()
+        values = measure.values_to_query(points, query)
+        assert np.all(values[neighbors] <= 1.0 + 1e-9)
+        background = np.setdiff1d(np.arange(len(points)), neighbors)
+        assert np.all(values[background] > 1.0)
+
+    def test_planted_neighborhood_invalid_radius(self):
+        with pytest.raises(InvalidParameterError):
+            planted_neighborhood(10, 5, 3, radius=0.0)
+
+    def test_planted_neighborhood_background_must_be_farther(self):
+        with pytest.raises(InvalidParameterError):
+            planted_neighborhood(10, 5, 3, radius=2.0, background_distance=1.0)
+
+    def test_planted_inner_product_neighborhood(self):
+        points, query, neighbors = planted_inner_product_neighborhood(
+            n_background=80, n_neighbors=8, dim=10, alpha=0.7, beta_max=0.2, seed=3
+        )
+        measure = InnerProductSimilarity()
+        values = measure.values_to_query(points, query)
+        assert np.all(values[neighbors] >= 0.7 - 1e-9)
+        background = np.setdiff1d(np.arange(len(points)), neighbors)
+        assert np.all(values[background] <= 0.2 + 1e-9)
+        # Points live on (or very near) the unit sphere.
+        np.testing.assert_allclose(np.linalg.norm(points, axis=1), 1.0, atol=1e-6)
+
+    def test_planted_inner_product_invalid_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            planted_inner_product_neighborhood(10, 5, 4, alpha=1.5)
+
+
+class TestSetDatasets:
+    def test_lastfm_like_shape(self):
+        users = generate_lastfm_like(num_users=150, seed=0)
+        assert len(users) == 150
+        sizes = np.array([len(u) for u in users])
+        # Last.FM sets are top-20 lists: nearly constant size around 20.
+        assert 15 <= sizes.mean() <= 25
+        assert sizes.std() < 5
+
+    def test_movielens_like_shape(self):
+        users = generate_movielens_like(num_users=150, seed=0)
+        sizes = np.array([len(u) for u in users])
+        # MovieLens sets are heavy-tailed with a large mean.
+        assert sizes.mean() > 50
+        assert sizes.std() > 20
+
+    def test_items_within_universe(self):
+        users = generate_lastfm_like(num_users=50, seed=1)
+        max_item = max(max(u) for u in users if u)
+        assert max_item < LASTFM_SPEC.num_items
+
+    def test_deterministic_with_seed(self):
+        a = generate_lastfm_like(num_users=40, seed=7)
+        b = generate_lastfm_like(num_users=40, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_lastfm_like(num_users=40, seed=7)
+        b = generate_lastfm_like(num_users=40, seed=8)
+        assert a != b
+
+    def test_interesting_users_exist(self):
+        """The query-selection precondition: dense Jaccard neighborhoods exist."""
+        users = generate_lastfm_like(num_users=200, seed=2)
+        measure = JaccardSimilarity()
+        counts = []
+        for index in range(0, 200, 10):
+            values = measure.values_to_query(users, users[index])
+            counts.append(int(np.sum(values >= 0.2)) - 1)
+        assert max(counts) >= 10
+
+    def test_spec_validation(self):
+        bad = SetDatasetSpec(
+            num_users=0, num_items=10, mean_set_size=3, set_size_sigma=0.0,
+            num_communities=1, community_pool_size=5, within_community_fraction=0.5,
+        )
+        with pytest.raises(InvalidParameterError):
+            generate_set_dataset(bad, seed=0)
+
+    def test_full_scale_specs_match_paper_statistics(self):
+        assert MOVIELENS_SPEC.num_users == 2112
+        assert MOVIELENS_SPEC.num_items == 65536
+        assert LASTFM_SPEC.num_users == 1892
+        assert LASTFM_SPEC.num_items == 18739
+        assert LASTFM_SPEC.mean_set_size == pytest.approx(19.8)
+
+
+class TestAdversarialInstance:
+    def test_landmark_similarities_match_paper(self):
+        instance = clustered_neighborhood_instance()
+        measure = JaccardSimilarity()
+        assert measure.value(instance.dataset[instance.index_z], instance.query) == pytest.approx(0.9)
+        assert measure.value(instance.dataset[instance.index_y], instance.query) == pytest.approx(0.6)
+        assert measure.value(instance.dataset[instance.index_x], instance.query) == pytest.approx(0.5)
+
+    def test_cluster_size_with_default_threshold(self):
+        # sum_{k=15}^{17} C(18, k) = 816 + 153 + 18 = 987... computed exactly below.
+        from math import comb
+
+        instance = clustered_neighborhood_instance(min_subset_size=15)
+        expected = sum(comb(18, k) for k in range(15, 18))
+        assert len(instance.cluster_indices) == expected
+
+    def test_cluster_similarities_in_expected_band(self):
+        instance = clustered_neighborhood_instance(min_subset_size=16)
+        measure = JaccardSimilarity()
+        for index in instance.cluster_indices:
+            similarity = measure.value(instance.dataset[index], instance.query)
+            assert 0.5 <= similarity <= 0.57
+
+    def test_cluster_members_are_subsets_of_y(self):
+        instance = clustered_neighborhood_instance(min_subset_size=16)
+        y = instance.dataset[instance.index_y]
+        for index in instance.cluster_indices:
+            assert instance.dataset[index] < y
+
+    def test_smaller_instance_with_higher_threshold(self):
+        small = clustered_neighborhood_instance(min_subset_size=17)
+        assert len(small.cluster_indices) == 18
+
+
+class TestQuerySelection:
+    def test_selected_queries_are_interesting(self, small_set_dataset, jaccard):
+        queries = select_interesting_queries(
+            small_set_dataset, jaccard, num_queries=5, min_neighbors=5, threshold=0.2, seed=0
+        )
+        for index in queries:
+            values = jaccard.values_to_query(small_set_dataset, small_set_dataset[index])
+            assert int(np.sum(values >= 0.2)) - 1 >= 5
+
+    def test_returns_requested_number_when_available(self, small_set_dataset, jaccard):
+        queries = select_interesting_queries(
+            small_set_dataset, jaccard, num_queries=3, min_neighbors=1, threshold=0.1, seed=1
+        )
+        assert len(queries) == 3
+        assert len(set(queries)) == 3
+
+    def test_fallback_when_no_interesting_users(self):
+        dataset = [frozenset({i}) for i in range(20)]  # all disjoint
+        queries = select_interesting_queries(
+            dataset, JaccardSimilarity(), num_queries=4, min_neighbors=5, threshold=0.5, seed=2
+        )
+        assert 1 <= len(queries) <= 4
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            select_interesting_queries([], JaccardSimilarity(), num_queries=1)
+
+
+class TestMatrixFactorization:
+    def test_generate_ratings_shape_and_density(self):
+        ratings = generate_ratings(30, 40, density=0.2, seed=0)
+        assert ratings.shape == (30, 40)
+        observed = ~np.isnan(ratings)
+        assert 0.1 <= observed.mean() <= 0.3
+
+    def test_factorize_reduces_error(self):
+        ratings = generate_ratings(25, 30, rank=4, density=0.4, noise=0.05, seed=1)
+        observed = ~np.isnan(ratings)
+        model = factorize(ratings, rank=4, iterations=8, seed=2)
+        predictions = model.user_factors @ model.item_factors.T
+        rmse = np.sqrt(np.nanmean((ratings - np.where(observed, predictions, np.nan)) ** 2))
+        baseline = np.sqrt(np.nanmean(ratings**2))
+        assert rmse < baseline
+
+    def test_predict_and_scores(self):
+        ratings = generate_ratings(10, 12, rank=3, density=0.5, seed=3)
+        model = factorize(ratings, rank=3, iterations=3, seed=4)
+        scores = model.scores_for_user(0)
+        assert scores.shape == (12,)
+        assert model.predict(0, 5) == pytest.approx(scores[5])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            generate_ratings(0, 5)
+        with pytest.raises(InvalidParameterError):
+            factorize(np.zeros((3, 3)), rank=0)
+        with pytest.raises(InvalidParameterError):
+            generate_ratings(5, 5, density=0.0)

@@ -1,0 +1,177 @@
+"""Unit tests for the distance and similarity measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    AngularDistance,
+    CosineSimilarity,
+    EuclideanDistance,
+    HammingDistance,
+    InnerProductSimilarity,
+    JaccardSimilarity,
+)
+from repro.distances.base import MeasureKind
+from repro.distances.inner_product import normalize_rows
+from repro.exceptions import DimensionMismatchError, UnsupportedDataTypeError
+
+
+class TestEuclidean:
+    def test_simple_distance(self):
+        assert EuclideanDistance().value([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_zero_distance_to_self(self):
+        point = np.array([1.5, -2.0, 3.0])
+        assert EuclideanDistance().value(point, point) == 0.0
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(30, 6))
+        query = rng.normal(size=6)
+        measure = EuclideanDistance()
+        expected = [measure.value(row, query) for row in data]
+        np.testing.assert_allclose(measure.values_to_query(data, query), expected)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            EuclideanDistance().value([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_dataset_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            EuclideanDistance().values_to_query(np.zeros((4, 3)), np.zeros(5))
+
+    def test_kind_is_distance(self):
+        assert EuclideanDistance().kind is MeasureKind.DISTANCE
+
+    def test_within_uses_upper_threshold(self):
+        measure = EuclideanDistance()
+        assert measure.within(0.5, 1.0)
+        assert not measure.within(1.5, 1.0)
+
+
+class TestHamming:
+    def test_counts_differing_coordinates(self):
+        assert HammingDistance().value([0, 1, 1, 0], [1, 1, 0, 0]) == 2
+
+    def test_identical_vectors(self):
+        assert HammingDistance().value([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_vectorized(self):
+        data = np.array([[0, 0, 0], [1, 1, 1], [1, 0, 1]])
+        query = np.array([1, 0, 1])
+        np.testing.assert_array_equal(
+            HammingDistance().values_to_query(data, query), [2.0, 1.0, 0.0]
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            HammingDistance().value([0, 1], [0, 1, 1])
+
+
+class TestJaccard:
+    def test_known_value(self):
+        a = frozenset({1, 2, 3, 4})
+        b = frozenset({3, 4, 5, 6})
+        assert JaccardSimilarity().value(a, b) == pytest.approx(2 / 6)
+
+    def test_identical_sets(self):
+        s = frozenset({1, 2, 3})
+        assert JaccardSimilarity().value(s, s) == 1.0
+
+    def test_disjoint_sets(self):
+        assert JaccardSimilarity().value(frozenset({1}), frozenset({2})) == 0.0
+
+    def test_empty_sets_are_identical(self):
+        assert JaccardSimilarity().value(frozenset(), frozenset()) == 1.0
+
+    def test_empty_vs_non_empty(self):
+        assert JaccardSimilarity().value(frozenset(), frozenset({1})) == 0.0
+
+    def test_accepts_plain_iterables(self):
+        assert JaccardSimilarity().value([1, 2], (2, 3)) == pytest.approx(1 / 3)
+
+    def test_kind_is_similarity(self):
+        assert JaccardSimilarity().kind is MeasureKind.SIMILARITY
+
+    def test_within_uses_lower_threshold(self):
+        measure = JaccardSimilarity()
+        assert measure.within(0.5, 0.3)
+        assert not measure.within(0.2, 0.3)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(UnsupportedDataTypeError):
+            JaccardSimilarity().value(5, frozenset({1}))
+
+    def test_values_to_query(self):
+        dataset = [frozenset({1, 2}), frozenset({1, 2, 3}), frozenset({9})]
+        query = frozenset({1, 2, 3})
+        values = JaccardSimilarity().values_to_query(dataset, query)
+        np.testing.assert_allclose(values, [2 / 3, 1.0, 0.0])
+
+
+class TestInnerProduct:
+    def test_value(self):
+        assert InnerProductSimilarity().value([1.0, 2.0], [3.0, -1.0]) == pytest.approx(1.0)
+
+    def test_vectorized(self):
+        data = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        query = np.array([2.0, 3.0])
+        np.testing.assert_allclose(
+            InnerProductSimilarity().values_to_query(data, query), [2.0, 3.0, 5.0]
+        )
+
+    def test_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            InnerProductSimilarity().value([1.0], [1.0, 2.0])
+
+    def test_normalize_rows_unit_norm(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.normal(size=(10, 4))
+        normalized = normalize_rows(vectors)
+        np.testing.assert_allclose(np.linalg.norm(normalized, axis=1), np.ones(10))
+
+    def test_normalize_rows_keeps_zero_rows(self):
+        vectors = np.array([[0.0, 0.0], [3.0, 4.0]])
+        normalized = normalize_rows(vectors)
+        np.testing.assert_allclose(normalized[0], [0.0, 0.0])
+        np.testing.assert_allclose(np.linalg.norm(normalized[1]), 1.0)
+
+    def test_unit_sphere_identity(self):
+        """On unit vectors, ||p - q||^2 = 2 - 2 <p, q> (used by Section 5)."""
+        rng = np.random.default_rng(2)
+        p = normalize_rows(rng.normal(size=(1, 5)))[0]
+        q = normalize_rows(rng.normal(size=(1, 5)))[0]
+        lhs = np.linalg.norm(p - q) ** 2
+        rhs = 2 - 2 * InnerProductSimilarity().value(p, q)
+        assert lhs == pytest.approx(rhs)
+
+
+class TestCosineAndAngular:
+    def test_cosine_of_parallel_vectors(self):
+        assert CosineSimilarity().value([1.0, 0.0], [2.0, 0.0]) == pytest.approx(1.0)
+
+    def test_cosine_of_orthogonal_vectors(self):
+        assert CosineSimilarity().value([1.0, 0.0], [0.0, 5.0]) == pytest.approx(0.0)
+
+    def test_angular_distance_right_angle(self):
+        assert AngularDistance().value([1.0, 0.0], [0.0, 1.0]) == pytest.approx(math.pi / 2)
+
+    def test_angular_distance_opposite(self):
+        assert AngularDistance().value([1.0, 0.0], [-1.0, 0.0]) == pytest.approx(math.pi)
+
+    def test_cosine_zero_vector(self):
+        assert CosineSimilarity().value([0.0, 0.0], [1.0, 1.0]) == 0.0
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(20, 4))
+        query = rng.normal(size=4)
+        measure = CosineSimilarity()
+        expected = [measure.value(row, query) for row in data]
+        np.testing.assert_allclose(measure.values_to_query(data, query), expected, atol=1e-12)
+
+    def test_cosine_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            CosineSimilarity().value([1.0, 0.0, 0.0], [1.0, 0.0])

@@ -1,0 +1,104 @@
+"""Tests for the brute-force exact uniform sampler (the ground-truth baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactUniformSampler
+from repro.distances import EuclideanDistance, JaccardSimilarity
+from repro.exceptions import EmptyDatasetError, InvalidParameterError, NotFittedError
+from repro.fairness.metrics import total_variation_from_uniform
+
+
+class TestBasics:
+    def test_returns_near_point(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=0)
+        sampler.fit(planted_sets["dataset"])
+        index = sampler.sample(planted_sets["query"])
+        assert index in planted_sets["near_indices"]
+
+    def test_returns_none_when_no_neighbor(self):
+        sampler = ExactUniformSampler(EuclideanDistance(), 0.5, seed=0)
+        sampler.fit(np.array([[10.0], [20.0]]))
+        assert sampler.sample(np.array([0.0])) is None
+
+    def test_not_fitted_raises(self):
+        sampler = ExactUniformSampler(EuclideanDistance(), 1.0)
+        with pytest.raises(NotFittedError):
+            sampler.sample(np.array([0.0]))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            ExactUniformSampler(EuclideanDistance(), 1.0).fit(np.empty((0, 3)))
+
+    def test_neighborhood_matches_ground_truth(self, planted_vectors):
+        sampler = ExactUniformSampler(EuclideanDistance(), 1.0, seed=1)
+        sampler.fit(planted_vectors["points"])
+        neighborhood = set(sampler.neighborhood(planted_vectors["query"]).tolist())
+        assert neighborhood == planted_vectors["near_indices"]
+
+    def test_detailed_result_reports_value_and_stats(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=2)
+        sampler.fit(planted_sets["dataset"])
+        result = sampler.sample_detailed(planted_sets["query"])
+        assert result.found
+        assert result.value >= planted_sets["radius"]
+        assert result.stats.distance_evaluations == len(planted_sets["dataset"])
+
+    def test_num_points(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), 0.5).fit(planted_sets["dataset"])
+        assert sampler.num_points == len(planted_sets["dataset"])
+
+
+class TestUniformity:
+    def test_output_distribution_is_uniform(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=3)
+        sampler.fit(planted_sets["dataset"])
+        counts = {i: 0 for i in planted_sets["near_indices"]}
+        repetitions = 3000
+        for _ in range(repetitions):
+            counts[sampler.sample(planted_sets["query"])] += 1
+        tv = total_variation_from_uniform(list(counts.values()))
+        assert tv < 0.06
+
+    def test_every_neighbor_reachable(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=4)
+        sampler.fit(planted_sets["dataset"])
+        seen = {sampler.sample(planted_sets["query"]) for _ in range(300)}
+        assert seen == planted_sets["near_indices"]
+
+
+class TestKSampling:
+    def test_without_replacement_distinct(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=5)
+        sampler.fit(planted_sets["dataset"])
+        sample = sampler.sample_k(planted_sets["query"], 4, replacement=False)
+        assert len(sample) == 4
+        assert len(set(sample)) == 4
+        assert set(sample) <= planted_sets["near_indices"]
+
+    def test_without_replacement_caps_at_neighborhood_size(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=6)
+        sampler.fit(planted_sets["dataset"])
+        sample = sampler.sample_k(planted_sets["query"], 50, replacement=False)
+        assert set(sample) == planted_sets["near_indices"]
+
+    def test_with_replacement_length(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=7)
+        sampler.fit(planted_sets["dataset"])
+        sample = sampler.sample_k(planted_sets["query"], 25, replacement=True)
+        assert len(sample) == 25
+        assert set(sample) <= planted_sets["near_indices"]
+
+    def test_zero_k(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), 0.5, seed=8).fit(planted_sets["dataset"])
+        assert sampler.sample_k(planted_sets["query"], 0) == []
+
+    def test_negative_k_rejected(self, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), 0.5, seed=9).fit(planted_sets["dataset"])
+        with pytest.raises(InvalidParameterError):
+            sampler.sample_k(planted_sets["query"], -1)
+
+    def test_empty_neighborhood_returns_empty_list(self):
+        sampler = ExactUniformSampler(EuclideanDistance(), 0.1, seed=10)
+        sampler.fit(np.array([[5.0], [6.0]]))
+        assert sampler.sample_k(np.array([0.0]), 3) == []

@@ -1,0 +1,154 @@
+"""Tests for the experiment harness (Q1, Q2, Q3) using fast configurations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import (
+    Q1Config,
+    Q2Config,
+    Q3Config,
+    format_q1,
+    format_q2,
+    format_q3,
+    run_q1,
+    run_q2,
+    run_q3,
+)
+from repro.experiments.report import format_key_values, format_table
+from repro.experiments.runner import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def q1_result():
+    config = Q1Config(
+        dataset="lastfm", num_users=150, num_queries=3, repetitions=120,
+        radius=0.2, recall=0.9, seed=0,
+    )
+    return run_q1(config)
+
+
+@pytest.fixture(scope="module")
+def q2_result():
+    # The full-size instance (min_subset_size=15) and many independent
+    # constructions are required for the clustered-neighborhood effect;
+    # repetitions per construction are reduced for speed.
+    config = Q2Config(min_subset_size=15, repetitions=50, trials=16, recall=0.95, seed=0)
+    return run_q2(config)
+
+
+@pytest.fixture(scope="module")
+def q3_result():
+    config = Q3Config(dataset="lastfm", num_users=150, num_queries=8, seed=0)
+    return run_q3(config)
+
+
+class TestQ1:
+    def test_reports_for_all_samplers(self, q1_result):
+        assert set(q1_result.reports) == {"standard_lsh", "fair_lsh_collect", "fair_nnis"}
+
+    def test_parameters_recorded(self, q1_result):
+        assert q1_result.params["K"] >= 1
+        assert q1_result.params["L"] >= 1
+
+    def test_standard_lsh_less_fair_than_fair_lsh(self, q1_result):
+        standard_tv = q1_result.reports["standard_lsh"].mean_tv
+        fair_tv = q1_result.reports["fair_lsh_collect"].mean_tv
+        assert standard_tv > fair_tv
+
+    def test_fair_nnis_is_reasonably_uniform(self, q1_result):
+        assert q1_result.reports["fair_nnis"].mean_tv < q1_result.reports["standard_lsh"].mean_tv
+
+    def test_slope_summary_has_all_samplers(self, q1_result):
+        slopes = q1_result.slope_summary()
+        assert set(slopes) == set(q1_result.reports)
+
+    def test_format_produces_report_text(self, q1_result):
+        text = format_q1(q1_result)
+        assert "Q1" in text and "standard_lsh" in text and "fair_nnis" in text
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_q1(Q1Config(dataset="netflix"))
+
+
+class TestQ2:
+    def test_probabilities_collected_for_all_labels(self, q2_result):
+        assert set(q2_result.probabilities) == {"X", "Y", "Z", "cluster"}
+        for values in q2_result.probabilities.values():
+            assert len(values) == q2_result.config.trials
+
+    def test_x_dominates_y(self, q2_result):
+        """The qualitative Figure 2 result: X is reported far more often than Y."""
+        assert q2_result.x_over_y_ratio() > 3.0
+
+    def test_quartiles_ordered(self, q2_result):
+        for stats in q2_result.quartiles().values():
+            assert stats["q25"] <= stats["median"] <= stats["q75"]
+
+    def test_format_mentions_landmarks(self, q2_result):
+        text = format_q2(q2_result)
+        assert "X" in text and "Y" in text and "Z" in text
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_q2(Q2Config(relaxed=0.95, radius=0.9))
+
+
+class TestQ3:
+    def test_all_cells_present(self, q3_result):
+        expected_cells = len(q3_result.config.radii) * len(q3_result.config.c_values)
+        assert len(q3_result.ratios) == expected_cells
+
+    def test_ratios_at_least_one(self, q3_result):
+        for values in q3_result.ratios.values():
+            assert all(v >= 1.0 for v in values)
+
+    def test_ratio_grows_as_c_shrinks(self, q3_result):
+        """Figure 3 shape: smaller c (bigger gap) gives larger b_cr / b_r."""
+        summary = q3_result.cell_summary()
+        for r in q3_result.config.radii:
+            cells = sorted(
+                ((c, summary[(float(r), float(c))]["median"]) for c in q3_result.config.c_values),
+                key=lambda item: item[0],
+            )
+            medians = [m for _, m in cells]
+            assert medians[0] >= medians[-1]
+
+    def test_format_produces_rows(self, q3_result):
+        text = format_q3(q3_result)
+        assert "median" in text
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_q3(Q3Config(c_values=(2.0,)))
+
+
+class TestReportHelpers:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        assert "a" in text and "bb" in text and "2.5" in text
+
+    def test_format_key_values(self):
+        text = format_key_values("Title", {"k": 1, "x": 2.5})
+        assert text.startswith("Title")
+        assert "k: 1" in text
+
+
+class TestRunner:
+    def test_parser_accepts_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["q2", "--fast"])
+        assert args.experiment == "q2" and args.fast
+
+    def test_main_q2_fast(self, capsys):
+        exit_code = main(["q2", "--fast"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Q2" in captured.out
+
+    def test_main_q3_fast(self, capsys):
+        exit_code = main(["q3", "--fast"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Q3" in captured.out

@@ -1,0 +1,62 @@
+"""Tests for the collect-all "fair LSH" baseline of Section 6."""
+
+import pytest
+
+from repro.core import CollectAllFairSampler
+from repro.exceptions import NotFittedError
+from repro.fairness.metrics import total_variation_from_uniform
+from repro.lsh import MinHashFamily
+
+
+def make_sampler(dataset, radius=0.5, seed=0):
+    return CollectAllFairSampler(
+        MinHashFamily(),
+        radius=radius,
+        far_radius=0.05,
+        num_hashes=1,
+        num_tables=60,
+        seed=seed,
+    ).fit(dataset)
+
+
+class TestCorrectness:
+    def test_returns_near_point(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"])
+        assert sampler.sample(planted_sets["query"]) in planted_sets["near_indices"]
+
+    def test_returns_none_without_neighbors(self):
+        dataset = [frozenset({200 + i}) for i in range(6)]
+        sampler = make_sampler(dataset)
+        assert sampler.sample(frozenset({1, 2})) is None
+
+    def test_not_fitted_raises(self):
+        sampler = CollectAllFairSampler(MinHashFamily(), radius=0.4, num_hashes=1, num_tables=4)
+        with pytest.raises(NotFittedError):
+            sampler.sample(frozenset({1}))
+
+    def test_collected_neighborhood_matches_ground_truth(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"])
+        collected = set(sampler.collect_neighborhood(planted_sets["query"]).tolist())
+        # With 60 tables and collision probability >= 0.7 per table, the whole
+        # neighborhood is collected with overwhelming probability.
+        assert collected == planted_sets["near_indices"]
+
+    def test_stats_report_work(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"])
+        result = sampler.sample_detailed(planted_sets["query"])
+        assert result.stats.distance_evaluations >= len(planted_sets["near_indices"])
+
+
+class TestUniformity:
+    def test_repeated_queries_are_uniform(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=1)
+        counts = {i: 0 for i in planted_sets["near_indices"]}
+        repetitions = 2500
+        for _ in range(repetitions):
+            counts[sampler.sample(planted_sets["query"])] += 1
+        assert total_variation_from_uniform(list(counts.values())) < 0.08
+
+    def test_all_neighbors_reachable(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=2)
+        seen = {sampler.sample(planted_sets["query"]) for _ in range(300)}
+        assert seen == planted_sets["near_indices"]

@@ -1,0 +1,147 @@
+"""Tests for the Section 3 rank-permutation fair sampler (r-NNS)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PermutationFairSampler
+from repro.distances import JaccardSimilarity
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.fairness.metrics import total_variation_from_uniform
+from repro.lsh import MinHashFamily
+
+
+def make_sampler(dataset, radius=0.5, seed=0, num_tables=60):
+    return PermutationFairSampler(
+        MinHashFamily(),
+        radius=radius,
+        far_radius=0.05,
+        num_hashes=1,
+        num_tables=num_tables,
+        seed=seed,
+    ).fit(dataset)
+
+
+class TestCorrectness:
+    def test_returns_near_point(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"])
+        assert sampler.sample(planted_sets["query"]) in planted_sets["near_indices"]
+
+    def test_returns_none_without_neighbors(self):
+        dataset = [frozenset({100 + i}) for i in range(8)]
+        sampler = make_sampler(dataset)
+        assert sampler.sample(frozenset({1, 2})) is None
+
+    def test_not_fitted_raises(self):
+        sampler = PermutationFairSampler(MinHashFamily(), radius=0.5, num_hashes=1, num_tables=5)
+        with pytest.raises(NotFittedError):
+            sampler.sample(frozenset({1}))
+
+    def test_deterministic_for_fixed_structure(self, planted_sets):
+        """Section 3 alone is deterministic at query time (the motivation for Section 4)."""
+        sampler = make_sampler(planted_sets["dataset"], seed=3)
+        outputs = {sampler.sample(planted_sets["query"]) for _ in range(20)}
+        assert len(outputs) == 1
+
+    def test_returned_point_has_lowest_rank_among_colliding_neighbors(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=4)
+        index = sampler.sample(planted_sets["query"])
+        colliding = set(sampler.tables.query_candidates(planted_sets["query"]).tolist())
+        colliding_near = colliding & planted_sets["near_indices"]
+        ranks = sampler.ranks
+        assert ranks[index] == min(ranks[i] for i in colliding_near)
+
+    def test_buckets_are_rank_sorted(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=5)
+        for table in sampler.tables._tables:
+            for bucket in table.values():
+                assert np.all(np.diff(bucket.ranks) >= 0)
+
+    def test_stats_counters(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=6)
+        result = sampler.sample_detailed(planted_sets["query"])
+        assert result.found
+        assert result.stats.buckets_probed == sampler.num_tables
+
+
+class TestUniformity:
+    def test_uniform_over_constructions(self, planted_sets):
+        """Theorem 1: over the construction randomness, every near neighbor is
+        equally likely to be the one returned."""
+        counts = {i: 0 for i in planted_sets["near_indices"]}
+        trials = 400
+        for seed in range(trials):
+            sampler = make_sampler(planted_sets["dataset"], seed=seed, num_tables=40)
+            index = sampler.sample(planted_sets["query"])
+            assert index in counts
+            counts[index] += 1
+        tv = total_variation_from_uniform(list(counts.values()))
+        assert tv < 0.12
+        assert min(counts.values()) > 0.4 * trials / len(counts)
+
+    def test_recall_of_neighborhood(self, small_set_dataset, jaccard):
+        """With the parameter rule, nearly every query with a non-empty
+        neighborhood gets an answer."""
+        sampler = PermutationFairSampler(
+            MinHashFamily(), radius=0.2, far_radius=0.1, recall=0.95, seed=0
+        ).fit(small_set_dataset)
+        answered = 0
+        queries_with_neighbors = 0
+        for query in small_set_dataset[:30]:
+            values = jaccard.values_to_query(small_set_dataset, query)
+            if np.sum(values >= 0.2) > 0:
+                queries_with_neighbors += 1
+                if sampler.sample(query) is not None:
+                    answered += 1
+        assert answered >= 0.9 * queries_with_neighbors
+
+
+class TestKSampling:
+    def test_without_replacement_returns_distinct_neighbors(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=7)
+        sample = sampler.sample_k(planted_sets["query"], 3, replacement=False)
+        assert len(sample) == 3
+        assert len(set(sample)) == 3
+        assert set(sample) <= planted_sets["near_indices"]
+
+    def test_without_replacement_all_neighbors(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=8)
+        sample = sampler.sample_k(planted_sets["query"], 10, replacement=False)
+        assert set(sample) == planted_sets["near_indices"]
+
+    def test_k_lowest_ranks_are_returned(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=9)
+        sample = sampler.sample_k(planted_sets["query"], 2, replacement=False)
+        ranks = sampler.ranks
+        sample_ranks = sorted(ranks[i] for i in sample)
+        all_near_ranks = sorted(ranks[i] for i in planted_sets["near_indices"])
+        assert sample_ranks == all_near_ranks[:2]
+
+    def test_zero_and_negative_k(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=10)
+        assert sampler.sample_k(planted_sets["query"], 0) == []
+        with pytest.raises(InvalidParameterError):
+            sampler.sample_k(planted_sets["query"], -2)
+
+    def test_with_replacement_repeats_single_answer(self, planted_sets):
+        """Without rank perturbation, with-replacement draws repeat the same point."""
+        sampler = make_sampler(planted_sets["dataset"], seed=11)
+        sample = sampler.sample_k(planted_sets["query"], 5, replacement=True)
+        assert len(set(sample)) == 1
+
+
+class TestParameterSelection:
+    def test_auto_parameters_resolved_at_fit(self, small_set_dataset):
+        sampler = PermutationFairSampler(
+            MinHashFamily(), radius=0.3, far_radius=0.1, recall=0.9, seed=1
+        ).fit(small_set_dataset)
+        assert sampler.params.k >= 1
+        assert sampler.params.l >= 1
+        assert sampler.params.recall >= 0.9
+
+    def test_explicit_parameters_respected(self, small_set_dataset):
+        sampler = PermutationFairSampler(
+            MinHashFamily(), radius=0.3, num_hashes=2, num_tables=17, seed=1
+        ).fit(small_set_dataset)
+        assert sampler.params.k == 2
+        assert sampler.params.l == 17
+        assert sampler.num_tables == 17

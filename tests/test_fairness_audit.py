@@ -1,0 +1,103 @@
+"""Tests for the fairness auditing harness (the machinery behind Figure 1)."""
+
+import pytest
+
+from repro.core import CollectAllFairSampler, ExactUniformSampler, StandardLSHSampler
+from repro.distances import JaccardSimilarity
+from repro.exceptions import InvalidParameterError
+from repro.fairness import FairnessAuditor
+from repro.lsh import MinHashFamily
+
+
+@pytest.fixture
+def auditor(planted_sets):
+    return FairnessAuditor(
+        planted_sets["dataset"], JaccardSimilarity(), radius=planted_sets["radius"], repetitions=400
+    )
+
+
+class TestAuditQuery:
+    def test_exact_sampler_audits_as_fair(self, auditor, planted_sets):
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=0).fit(
+            planted_sets["dataset"]
+        )
+        audit = auditor.audit_query(sampler, planted_sets["query"])
+        assert audit.neighborhood_size == len(planted_sets["near_indices"])
+        assert audit.tv_from_uniform < 0.15
+        assert audit.failure_rate == 0.0
+
+    def test_standard_lsh_audits_as_unfair(self, auditor, planted_sets):
+        sampler = StandardLSHSampler(
+            MinHashFamily(), radius=planted_sets["radius"], far_radius=0.05,
+            num_hashes=1, num_tables=40, seed=0,
+        ).fit(planted_sets["dataset"])
+        audit = auditor.audit_query(sampler, planted_sets["query"])
+        # A deterministic per-structure answer concentrates all mass on one
+        # point: total variation is near its maximum 1 - 1/b.
+        assert audit.tv_from_uniform > 0.5
+
+    def test_exclude_index_removes_query_from_neighborhood(self, planted_sets):
+        auditor = FairnessAuditor(
+            planted_sets["dataset"], JaccardSimilarity(), radius=planted_sets["radius"], repetitions=100
+        )
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=1).fit(
+            planted_sets["dataset"]
+        )
+        audit = auditor.audit_query(sampler, planted_sets["dataset"][0], exclude_index=0)
+        assert audit.neighborhood_size == len(planted_sets["near_indices"]) - 1
+
+    def test_by_similarity_rows_cover_neighborhood(self, auditor, planted_sets):
+        sampler = CollectAllFairSampler(
+            MinHashFamily(), radius=planted_sets["radius"], far_radius=0.05,
+            num_hashes=1, num_tables=40, seed=2,
+        ).fit(planted_sets["dataset"])
+        audit = auditor.audit_query(sampler, planted_sets["query"])
+        support = sum(count for _, _, count in audit.by_similarity.as_sorted_rows())
+        assert support == audit.neighborhood_size
+
+    def test_invalid_repetitions(self, planted_sets):
+        with pytest.raises(InvalidParameterError):
+            FairnessAuditor(planted_sets["dataset"], JaccardSimilarity(), 0.5, repetitions=0)
+
+
+class TestAuditReport:
+    def test_aggregates_over_queries(self, planted_sets):
+        auditor = FairnessAuditor(
+            planted_sets["dataset"], JaccardSimilarity(), radius=planted_sets["radius"], repetitions=150
+        )
+        sampler = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=3).fit(
+            planted_sets["dataset"]
+        )
+        queries = [planted_sets["query"], planted_sets["dataset"][0]]
+        report = auditor.audit(sampler, queries, sampler_name="exact")
+        assert report.sampler_name == "exact"
+        assert len(report.queries) == 2
+        assert 0.0 <= report.mean_tv <= 1.0
+        assert 0.0 <= report.mean_gini <= 1.0
+        assert len(report.summary_rows()) == 2
+
+    def test_empty_report_means(self):
+        from repro.fairness.audit import AuditReport
+
+        report = AuditReport(sampler_name="none", radius=0.5, repetitions=10)
+        assert report.mean_tv == 0.0
+        assert report.mean_gini == 0.0
+        assert report.mean_failure_rate == 0.0
+
+    def test_fair_beats_standard_on_average(self, planted_sets):
+        """The headline Q1 comparison in miniature."""
+        auditor = FairnessAuditor(
+            planted_sets["dataset"], JaccardSimilarity(), radius=planted_sets["radius"], repetitions=250
+        )
+        standard = StandardLSHSampler(
+            MinHashFamily(), radius=planted_sets["radius"], far_radius=0.05,
+            num_hashes=1, num_tables=40, seed=4,
+        ).fit(planted_sets["dataset"])
+        fair = CollectAllFairSampler(
+            MinHashFamily(), radius=planted_sets["radius"], far_radius=0.05,
+            num_hashes=1, num_tables=40, seed=4,
+        ).fit(planted_sets["dataset"])
+        queries = [planted_sets["query"]]
+        standard_report = auditor.audit(standard, queries)
+        fair_report = auditor.audit(fair, queries)
+        assert fair_report.mean_tv < standard_report.mean_tv

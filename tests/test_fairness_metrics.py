@@ -1,0 +1,153 @@
+"""Tests for the uniformity metrics and frequency bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.fairness import (
+    OutputFrequencies,
+    SimilarityBucketedFrequencies,
+    chi_square_uniformity,
+    empirical_probabilities,
+    gini_coefficient,
+    kl_divergence_from_uniform,
+    total_variation_from_uniform,
+)
+
+
+class TestEmpiricalProbabilities:
+    def test_normalizes(self):
+        np.testing.assert_allclose(empirical_probabilities([1, 1, 2]), [0.25, 0.25, 0.5])
+
+    def test_all_zero_maps_to_uniform(self):
+        np.testing.assert_allclose(empirical_probabilities([0, 0, 0, 0]), [0.25] * 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_probabilities([1, -1])
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_probabilities(np.ones((2, 2)))
+
+
+class TestTotalVariation:
+    def test_uniform_counts_give_zero(self):
+        assert total_variation_from_uniform([10, 10, 10, 10]) == 0.0
+
+    def test_concentrated_counts_give_max(self):
+        assert total_variation_from_uniform([100, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_empty_support(self):
+        assert total_variation_from_uniform([]) == 0.0
+
+    def test_between_zero_and_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            counts = rng.integers(0, 50, size=8)
+            tv = total_variation_from_uniform(counts)
+            assert 0.0 <= tv <= 1.0
+
+    def test_more_skew_means_larger_tv(self):
+        assert total_variation_from_uniform([9, 1]) > total_variation_from_uniform([6, 4])
+
+
+class TestKL:
+    def test_uniform_gives_zero(self):
+        assert kl_divergence_from_uniform([5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_gives_log_n(self):
+        assert kl_divergence_from_uniform([10, 0]) == pytest.approx(np.log(2))
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            counts = rng.integers(0, 30, size=6)
+            assert kl_divergence_from_uniform(counts) >= -1e-12
+
+
+class TestChiSquare:
+    def test_uniform_counts_high_p_value(self):
+        result = chi_square_uniformity([100, 101, 99, 100])
+        assert result["p_value"] > 0.5
+
+    def test_skewed_counts_low_p_value(self):
+        result = chi_square_uniformity([500, 10, 10, 10])
+        assert result["p_value"] < 0.001
+
+    def test_degrees_of_freedom(self):
+        assert chi_square_uniformity([1, 2, 3, 4, 5])["dof"] == 4
+
+    def test_small_support(self):
+        assert chi_square_uniformity([7])["p_value"] == 1.0
+
+    def test_p_value_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        counts = [40, 55, 62, 43, 50]
+        ours = chi_square_uniformity(counts)
+        _, reference = scipy_stats.chisquare(counts)
+        assert ours["p_value"] == pytest.approx(reference, abs=0.02)
+
+
+class TestGini:
+    def test_even_counts_give_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_counts_near_one(self):
+        assert gini_coefficient([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            gini_coefficient([-1, 2])
+
+
+class TestOutputFrequencies:
+    def test_record_and_rates(self):
+        frequencies = OutputFrequencies()
+        frequencies.record_many([1, 1, 2, None, 3])
+        assert frequencies.num_queries == 5
+        assert frequencies.num_failures == 1
+        assert frequencies.num_successes == 4
+        assert frequencies.relative_frequencies()[1] == pytest.approx(0.5)
+
+    def test_counts_for_unseen_points_are_zero(self):
+        frequencies = OutputFrequencies()
+        frequencies.record(7)
+        np.testing.assert_array_equal(frequencies.counts_for([7, 8]), [1.0, 0.0])
+
+    def test_empty_relative_frequencies(self):
+        assert OutputFrequencies().relative_frequencies() == {}
+
+
+class TestSimilarityBucketing:
+    def test_groups_by_rounded_similarity(self):
+        frequencies = OutputFrequencies()
+        frequencies.record_many([0, 0, 1, 2])
+        similarities = {0: 0.9, 1: 0.9, 2: 0.5}
+        bucketed = SimilarityBucketedFrequencies.from_frequencies(
+            frequencies, [0, 1, 2], similarities
+        )
+        rows = dict((sim, freq) for sim, freq, _ in bucketed.as_sorted_rows())
+        assert rows[0.9] == pytest.approx((0.5 + 0.25) / 2)
+        assert rows[0.5] == pytest.approx(0.25)
+
+    def test_unreported_points_count_as_zero(self):
+        frequencies = OutputFrequencies()
+        frequencies.record(0)
+        bucketed = SimilarityBucketedFrequencies.from_frequencies(
+            frequencies, [0, 1], {0: 0.8, 1: 0.8}
+        )
+        assert bucketed.per_similarity[0.8] == pytest.approx(0.5)
+        assert bucketed.support[0.8] == 2
+
+    def test_rows_sorted_by_similarity(self):
+        frequencies = OutputFrequencies()
+        frequencies.record_many([0, 1, 2])
+        bucketed = SimilarityBucketedFrequencies.from_frequencies(
+            frequencies, [0, 1, 2], {0: 0.3, 1: 0.9, 2: 0.6}
+        )
+        similarities = [sim for sim, _, _ in bucketed.as_sorted_rows()]
+        assert similarities == sorted(similarities)

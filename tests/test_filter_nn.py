@@ -1,0 +1,111 @@
+"""Tests for the Section 5 Gaussian filter index ((alpha, beta)-NN)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianFilterIndex
+from repro.core.filter_nn import default_filters_per_block, filter_rho, query_threshold_offset
+from repro.exceptions import EmptyDatasetError, InvalidParameterError, NotFittedError
+
+
+def make_index(points, alpha=0.8, beta=0.3, seed=0, **kwargs):
+    return GaussianFilterIndex(alpha=alpha, beta=beta, seed=seed, **kwargs).fit(points)
+
+
+class TestHelpers:
+    def test_rho_formula(self):
+        rho = filter_rho(0.8, 0.3)
+        expected = (1 - 0.64) * (1 - 0.09) / (1 - 0.24) ** 2
+        assert rho == pytest.approx(expected)
+
+    def test_rho_rejects_bad_thresholds(self):
+        with pytest.raises(InvalidParameterError):
+            filter_rho(0.3, 0.8)
+
+    def test_threshold_offset_decreases_with_alpha(self):
+        assert query_threshold_offset(0.9, 0.1) < query_threshold_offset(0.5, 0.1)
+
+    def test_threshold_offset_decreases_with_larger_epsilon(self):
+        assert query_threshold_offset(0.8, 0.5) < query_threshold_offset(0.8, 0.01)
+
+    def test_default_filters_per_block_positive(self):
+        assert default_filters_per_block(1000, 0.8, 0.3) >= 2
+
+    def test_default_filters_grow_with_n(self):
+        assert default_filters_per_block(100_000, 0.8, 0.3) >= default_filters_per_block(100, 0.8, 0.3)
+
+
+class TestConstruction:
+    def test_invalid_thresholds(self):
+        with pytest.raises(InvalidParameterError):
+            GaussianFilterIndex(alpha=0.3, beta=0.8)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            GaussianFilterIndex(alpha=0.8, beta=0.3).fit(np.empty((0, 4)))
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianFilterIndex(alpha=0.8, beta=0.3).search(np.ones(4))
+
+    def test_linear_space_every_point_stored_once(self, planted_unit_vectors):
+        index = make_index(planted_unit_vectors["points"])
+        assert index.total_stored_references() == len(planted_unit_vectors["points"])
+
+    def test_num_blocks_default(self):
+        index = GaussianFilterIndex(alpha=0.8, beta=0.3)
+        # t = ceil(1 / (1 - 0.64)) = ceil(2.78) = 3
+        assert index.num_blocks == 3
+
+    def test_bucket_of_returns_stored_key(self, planted_unit_vectors):
+        index = make_index(planted_unit_vectors["points"])
+        key = index.bucket_of(0)
+        assert 0 in index._buckets[key]
+        assert len(key) == index.num_blocks
+
+
+class TestQuery:
+    def test_finds_planted_neighbor(self, planted_unit_vectors):
+        index = make_index(planted_unit_vectors["points"], seed=1)
+        result = index.sample_detailed(planted_unit_vectors["query"])
+        assert result.found
+        assert result.value >= index.beta
+
+    def test_recall_over_constructions(self, planted_unit_vectors):
+        """Theorem 3: a near point is found with constant probability; with a
+        small epsilon the empirical success rate should be high."""
+        hits = 0
+        trials = 25
+        for seed in range(trials):
+            index = make_index(planted_unit_vectors["points"], seed=seed, epsilon=0.05)
+            if index.search(planted_unit_vectors["query"]) is not None:
+                hits += 1
+        assert hits >= 0.8 * trials
+
+    def test_returns_none_when_no_point_above_beta(self):
+        rng = np.random.default_rng(0)
+        # All points nearly orthogonal to the query.
+        points = rng.normal(size=(100, 16))
+        points[:, 0] = 0.0
+        points /= np.linalg.norm(points, axis=1, keepdims=True)
+        query = np.zeros(16)
+        query[0] = 1.0
+        index = GaussianFilterIndex(alpha=0.9, beta=0.8, seed=1).fit(points)
+        assert index.search(query) is None
+
+    def test_candidate_buckets_subset_of_existing(self, planted_unit_vectors):
+        index = make_index(planted_unit_vectors["points"], seed=2)
+        for key in index.candidate_buckets(planted_unit_vectors["query"]):
+            assert key in index._buckets
+
+    def test_stats_report_probed_buckets(self, planted_unit_vectors):
+        index = make_index(planted_unit_vectors["points"], seed=3)
+        result = index.sample_detailed(planted_unit_vectors["query"])
+        assert result.stats.buckets_probed >= 1
+
+    def test_returned_point_meets_beta_threshold(self, planted_unit_vectors):
+        index = make_index(planted_unit_vectors["points"], seed=4)
+        result = index.sample_detailed(planted_unit_vectors["query"])
+        if result.found:
+            value = float(planted_unit_vectors["points"][result.index] @ planted_unit_vectors["query"])
+            assert value >= index.beta

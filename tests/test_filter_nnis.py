@@ -1,0 +1,93 @@
+"""Tests for the Section 5.2 filter-based alpha-NNIS sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core import FilterFairSampler
+from repro.exceptions import EmptyDatasetError, InvalidParameterError, NotFittedError
+from repro.fairness.metrics import total_variation_from_uniform
+
+
+def make_sampler(points, alpha=0.8, beta=0.3, seed=0, num_structures=6, **kwargs):
+    return FilterFairSampler(
+        alpha=alpha, beta=beta, num_structures=num_structures, epsilon=0.05, seed=seed, **kwargs
+    ).fit(points)
+
+
+class TestConstruction:
+    def test_invalid_thresholds(self):
+        with pytest.raises(InvalidParameterError):
+            FilterFairSampler(alpha=0.2, beta=0.5)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            FilterFairSampler(alpha=0.8, beta=0.3).fit(np.empty((0, 3)))
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            FilterFairSampler(alpha=0.8, beta=0.3).sample(np.ones(3))
+
+    def test_number_of_structures(self, planted_unit_vectors):
+        sampler = make_sampler(planted_unit_vectors["points"], num_structures=5)
+        assert sampler.num_structures == 5
+
+    def test_default_structure_count_scales_with_n(self, planted_unit_vectors):
+        sampler = FilterFairSampler(alpha=0.8, beta=0.3, seed=0).fit(planted_unit_vectors["points"])
+        assert sampler.num_structures >= 3
+
+    def test_nearly_linear_space(self, planted_unit_vectors):
+        sampler = make_sampler(planted_unit_vectors["points"], num_structures=4)
+        total = sum(s.total_stored_references() for s in sampler.structures)
+        assert total == 4 * len(planted_unit_vectors["points"])
+
+
+class TestQuery:
+    def test_returns_near_point(self, planted_unit_vectors):
+        sampler = make_sampler(planted_unit_vectors["points"], seed=1)
+        index = sampler.sample(planted_unit_vectors["query"])
+        assert index in planted_unit_vectors["near_indices"]
+
+    def test_returned_value_at_least_alpha(self, planted_unit_vectors):
+        sampler = make_sampler(planted_unit_vectors["points"], seed=2)
+        result = sampler.sample_detailed(planted_unit_vectors["query"])
+        assert result.found
+        assert result.value >= sampler.alpha - 1e-9
+
+    def test_returns_none_when_no_near_point(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(80, 12))
+        points[:, 0] = 0.0
+        points /= np.linalg.norm(points, axis=1, keepdims=True)
+        query = np.zeros(12)
+        query[0] = 1.0
+        sampler = FilterFairSampler(alpha=0.9, beta=0.5, num_structures=4, seed=4).fit(points)
+        assert sampler.sample(query) is None
+
+    def test_occurrence_counts_bounded_by_structures(self, planted_unit_vectors):
+        sampler = make_sampler(planted_unit_vectors["points"], seed=5, num_structures=4)
+        gathered = sampler._gather_buckets(np.asarray(planted_unit_vectors["query"], dtype=float))
+        counts = sampler._occurrence_counts(gathered)
+        assert counts and max(counts.values()) <= 4
+
+
+class TestUniformityAndIndependence:
+    def test_repeated_query_is_uniform_over_near_neighbors(self, planted_unit_vectors):
+        """Theorem 4: every point of B(q, alpha) is reported equally often."""
+        sampler = make_sampler(planted_unit_vectors["points"], seed=6, num_structures=8)
+        reachable = planted_unit_vectors["near_indices"]
+        counts = {i: 0 for i in reachable}
+        repetitions = 1500
+        failures = 0
+        for _ in range(repetitions):
+            index = sampler.sample(planted_unit_vectors["query"])
+            if index is None:
+                failures += 1
+            else:
+                counts[index] += 1
+        assert failures < 0.05 * repetitions
+        assert total_variation_from_uniform(list(counts.values())) < 0.15
+
+    def test_outputs_vary_between_repetitions(self, planted_unit_vectors):
+        sampler = make_sampler(planted_unit_vectors["points"], seed=7)
+        outputs = [sampler.sample(planted_unit_vectors["query"]) for _ in range(40)]
+        assert len(set(outputs)) > 1

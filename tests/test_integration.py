@@ -1,0 +1,116 @@
+"""End-to-end integration tests exercising the public API across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CollectAllFairSampler,
+    ExactUniformSampler,
+    FairnessAuditor,
+    IndependentFairSampler,
+    JaccardSimilarity,
+    MinHashFamily,
+    PermutationFairSampler,
+    StandardLSHSampler,
+)
+from repro.data import generate_lastfm_like, select_interesting_queries
+from repro.distances import InnerProductSimilarity
+from repro.core import FilterFairSampler
+
+
+class TestJaccardPipeline:
+    """Full pipeline on set data: generate -> select queries -> index -> audit."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        dataset = generate_lastfm_like(num_users=150, seed=3)
+        measure = JaccardSimilarity()
+        family = MinHashFamily()
+        query_indices = select_interesting_queries(
+            dataset, measure, num_queries=3, min_neighbors=5, threshold=0.2, seed=3
+        )
+        samplers = {
+            "standard": StandardLSHSampler(
+                family, radius=0.2, far_radius=0.1, recall=0.95, seed=3
+            ).fit(dataset),
+            "fair_s3": PermutationFairSampler(
+                family, radius=0.2, far_radius=0.1, recall=0.95, seed=3
+            ).fit(dataset),
+            "fair_s4": IndependentFairSampler(
+                family, radius=0.2, far_radius=0.1, recall=0.95, seed=3
+            ).fit(dataset),
+            "collect": CollectAllFairSampler(
+                family, radius=0.2, far_radius=0.1, recall=0.95, seed=3
+            ).fit(dataset),
+        }
+        return {
+            "dataset": dataset,
+            "measure": measure,
+            "queries": [dataset[i] for i in query_indices],
+            "query_indices": query_indices,
+            "samplers": samplers,
+        }
+
+    def test_all_samplers_answer_queries(self, pipeline):
+        exact = ExactUniformSampler(pipeline["measure"], 0.2, seed=0).fit(pipeline["dataset"])
+        for query in pipeline["queries"]:
+            ground_truth = set(exact.neighborhood(query).tolist())
+            assert ground_truth, "interesting queries must have neighbors"
+            for name, sampler in pipeline["samplers"].items():
+                index = sampler.sample(query)
+                assert index is not None, f"{name} failed to answer"
+                assert index in ground_truth, f"{name} returned a non-near point"
+
+    def test_samplers_agree_on_neighborhood_membership(self, pipeline):
+        """Every point returned by any sampler over repetitions is a true near neighbor."""
+        exact = ExactUniformSampler(pipeline["measure"], 0.2, seed=1).fit(pipeline["dataset"])
+        query = pipeline["queries"][0]
+        ground_truth = set(exact.neighborhood(query).tolist())
+        for sampler in pipeline["samplers"].values():
+            for _ in range(15):
+                index = sampler.sample(query)
+                assert index is None or index in ground_truth
+
+    def test_audit_orders_samplers_by_fairness(self, pipeline):
+        auditor = FairnessAuditor(pipeline["dataset"], pipeline["measure"], radius=0.2, repetitions=150)
+        query = pipeline["queries"][0]
+        standard_audit = auditor.audit_query(pipeline["samplers"]["standard"], query)
+        fair_audit = auditor.audit_query(pipeline["samplers"]["fair_s4"], query)
+        assert fair_audit.tv_from_uniform <= standard_audit.tv_from_uniform + 0.05
+
+    def test_k_sampling_consistency(self, pipeline):
+        query = pipeline["queries"][0]
+        sampler = pipeline["samplers"]["fair_s3"]
+        without = sampler.sample_k(query, 3, replacement=False)
+        assert len(set(without)) == len(without)
+
+
+class TestInnerProductPipeline:
+    """Matrix-factorization-style pipeline for the Section 5 structures."""
+
+    def test_filter_sampler_on_normalized_factors(self):
+        rng = np.random.default_rng(4)
+        # Cluster structure on the sphere: 3 item groups around 3 centroids.
+        centroids = rng.normal(size=(3, 16))
+        centroids /= np.linalg.norm(centroids, axis=1, keepdims=True)
+        items = []
+        for centroid in centroids:
+            noisy = centroid + 0.15 * rng.normal(size=(40, 16))
+            items.append(noisy / np.linalg.norm(noisy, axis=1, keepdims=True))
+        items = np.vstack(items)
+        query = items[0]
+
+        measure = InnerProductSimilarity()
+        values = measure.values_to_query(items, query)
+        alpha = float(np.quantile(values, 0.8))
+        sampler = FilterFairSampler(
+            alpha=alpha, beta=alpha - 0.4, num_structures=6, epsilon=0.05, seed=5
+        ).fit(items)
+        ground_truth = set(np.flatnonzero(values >= alpha).tolist())
+        seen = set()
+        for _ in range(60):
+            index = sampler.sample(query)
+            if index is not None:
+                assert index in ground_truth
+                seen.add(index)
+        assert len(seen) >= 2

@@ -1,0 +1,108 @@
+"""Tests for LSH parameter selection (K, L, rho)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.lsh import MinHashFamily, OneBitMinHashFamily, compute_rho, select_parameters
+from repro.lsh.params import (
+    concatenation_length_for_far_collisions,
+    repetitions_for_recall,
+)
+
+
+class TestRho:
+    def test_known_value(self):
+        assert compute_rho(0.5, 0.25) == pytest.approx(0.5)
+
+    def test_equal_probabilities(self):
+        assert compute_rho(0.3, 0.3) == pytest.approx(1.0)
+
+    def test_rejects_p1_below_p2(self):
+        with pytest.raises(InvalidParameterError):
+            compute_rho(0.2, 0.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            compute_rho(1.0, 0.5)
+
+
+class TestConcatenationLength:
+    def test_drives_expected_collisions_below_budget(self):
+        k = concatenation_length_for_far_collisions(0.5, n=1000, max_expected_collisions=1.0)
+        assert 1000 * 0.5**k <= 1.0
+        assert 1000 * 0.5 ** (k - 1) > 1.0
+
+    def test_budget_of_five(self):
+        k = concatenation_length_for_far_collisions(0.55, n=1892, max_expected_collisions=5.0)
+        assert 1892 * 0.55**k <= 5.0 + 1e-9
+
+    def test_tiny_dataset_needs_one(self):
+        assert concatenation_length_for_far_collisions(0.5, n=1) == 1
+
+    def test_invalid_probability(self):
+        with pytest.raises(InvalidParameterError):
+            concatenation_length_for_far_collisions(1.5, n=10)
+
+    def test_invalid_budget(self):
+        with pytest.raises(InvalidParameterError):
+            concatenation_length_for_far_collisions(0.5, n=10, max_expected_collisions=0.0)
+
+
+class TestRepetitions:
+    def test_achieves_recall(self):
+        p = 0.01
+        l = repetitions_for_recall(p, recall=0.99)
+        assert 1 - (1 - p) ** l >= 0.99
+        assert 1 - (1 - p) ** (l - 1) < 0.99
+
+    def test_probability_one_needs_single_table(self):
+        assert repetitions_for_recall(1.0, recall=0.99) == 1
+
+    def test_invalid_recall(self):
+        with pytest.raises(InvalidParameterError):
+            repetitions_for_recall(0.5, recall=1.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(InvalidParameterError):
+            repetitions_for_recall(0.0)
+
+
+class TestSelectParameters:
+    def test_parameters_satisfy_both_constraints(self):
+        family = MinHashFamily()
+        params = select_parameters(
+            family, near_threshold=0.3, far_threshold=0.1, n=500, recall=0.95,
+            max_expected_far_collisions=2.0,
+        )
+        assert params.expected_far_collisions <= 2.0 + 1e-9
+        assert params.recall >= 0.95
+
+    def test_paper_experiment_rule(self):
+        """K for <=5 expected collisions at similarity 0.1, L for 99% at r."""
+        family = OneBitMinHashFamily()
+        params = select_parameters(
+            family, near_threshold=0.2, far_threshold=0.1, n=1892, recall=0.99,
+            max_expected_far_collisions=5.0,
+        )
+        p2 = family.collision_probability(0.1)
+        assert 1892 * p2**params.k <= 5.0 + 1e-9
+        assert params.recall >= 0.99
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(InvalidParameterError):
+            select_parameters(MinHashFamily(), near_threshold=0.1, far_threshold=0.3, n=100)
+
+    def test_smaller_gap_needs_more_tables(self):
+        family = MinHashFamily()
+        wide = select_parameters(family, 0.5, 0.1, n=1000)
+        narrow = select_parameters(family, 0.5, 0.4, n=1000)
+        assert narrow.l >= wide.l
+
+    def test_probabilities_consistent(self):
+        family = MinHashFamily()
+        params = select_parameters(family, 0.4, 0.2, n=200)
+        assert params.p_near == pytest.approx(0.4**params.k)
+        assert params.p_far == pytest.approx(0.2**params.k)
+        assert params.recall == pytest.approx(1 - (1 - params.p_near) ** params.l)

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distances import EuclideanDistance, JaccardSimilarity
+from repro.fairness.metrics import (
+    empirical_probabilities,
+    gini_coefficient,
+    kl_divergence_from_uniform,
+    total_variation_from_uniform,
+)
+from repro.lsh import MinHashFamily, OneBitMinHashFamily
+from repro.lsh.params import (
+    concatenation_length_for_far_collisions,
+    repetitions_for_recall,
+)
+from repro.lsh.tables import Bucket
+from repro.sketches import DistinctCountSketcher
+
+# Hypothesis settings: the suite must stay fast and deterministic.
+FAST = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+item_sets = st.frozensets(st.integers(min_value=0, max_value=300), min_size=0, max_size=30)
+nonempty_item_sets = st.frozensets(st.integers(min_value=0, max_value=300), min_size=1, max_size=30)
+
+
+class TestJaccardProperties:
+    @FAST
+    @given(a=item_sets, b=item_sets)
+    def test_symmetry(self, a, b):
+        measure = JaccardSimilarity()
+        assert measure.value(a, b) == pytest.approx(measure.value(b, a))
+
+    @FAST
+    @given(a=item_sets, b=item_sets)
+    def test_range(self, a, b):
+        value = JaccardSimilarity().value(a, b)
+        assert 0.0 <= value <= 1.0
+
+    @FAST
+    @given(a=item_sets)
+    def test_identity(self, a):
+        assert JaccardSimilarity().value(a, a) == 1.0
+
+    @FAST
+    @given(a=nonempty_item_sets, b=nonempty_item_sets, c=nonempty_item_sets)
+    def test_jaccard_distance_triangle_inequality(self, a, b, c):
+        """1 - J is a metric; the triangle inequality must hold."""
+        measure = JaccardSimilarity()
+        d_ab = 1 - measure.value(a, b)
+        d_bc = 1 - measure.value(b, c)
+        d_ac = 1 - measure.value(a, c)
+        assert d_ac <= d_ab + d_bc + 1e-12
+
+
+class TestEuclideanProperties:
+    vectors = st.lists(st.floats(-50, 50, allow_nan=False), min_size=3, max_size=3)
+
+    @FAST
+    @given(a=vectors, b=vectors)
+    def test_symmetry_and_nonnegativity(self, a, b):
+        measure = EuclideanDistance()
+        assert measure.value(a, b) == pytest.approx(measure.value(b, a))
+        assert measure.value(a, b) >= 0.0
+
+    @FAST
+    @given(a=vectors, b=vectors, c=vectors)
+    def test_triangle_inequality(self, a, b, c):
+        measure = EuclideanDistance()
+        assert measure.value(a, c) <= measure.value(a, b) + measure.value(b, c) + 1e-9
+
+
+class TestMinHashProperties:
+    @FAST
+    @given(point=nonempty_item_sets, seed=st.integers(0, 10**6))
+    def test_minhash_value_is_min_of_item_hashes(self, point, seed):
+        rng = np.random.default_rng(seed)
+        h = MinHashFamily().sample(rng)
+        assert h(point) == min(h(frozenset({item})) for item in point)
+
+    @FAST
+    @given(a=nonempty_item_sets, b=nonempty_item_sets, seed=st.integers(0, 10**6))
+    def test_minhash_of_union_is_min_of_minhashes(self, a, b, seed):
+        rng = np.random.default_rng(seed)
+        h = MinHashFamily().sample(rng)
+        assert h(a | b) == min(h(a), h(b))
+
+    @FAST
+    @given(point=nonempty_item_sets, seed=st.integers(0, 10**6))
+    def test_one_bit_is_parity_of_minhash(self, point, seed):
+        family_rng = np.random.default_rng(seed)
+        full = MinHashFamily().sample(family_rng)
+        bit_rng = np.random.default_rng(seed)
+        bit = OneBitMinHashFamily().sample(bit_rng)
+        assert bit(point) == full(point) & 1
+
+    @FAST
+    @given(
+        points=st.lists(nonempty_item_sets, min_size=1, max_size=15),
+        seed=st.integers(0, 10**6),
+        count=st.integers(1, 8),
+    )
+    def test_batch_hasher_matches_individual_functions(self, points, seed, count):
+        rng = np.random.default_rng(seed)
+        family = MinHashFamily()
+        functions = [family.sample(rng) for _ in range(count)]
+        hasher = family.make_batch_hasher(functions)
+        batch = hasher.keys_for_dataset(points)
+        for function, keys in zip(functions, batch):
+            assert keys == [function(p) for p in points]
+
+
+class TestParameterRuleProperties:
+    @FAST
+    @given(
+        p_far=st.floats(0.01, 0.95),
+        n=st.integers(2, 10**6),
+        budget=st.floats(0.5, 20),
+    )
+    def test_concatenation_length_meets_budget(self, p_far, n, budget):
+        k = concatenation_length_for_far_collisions(p_far, n, budget)
+        assert n * p_far**k <= budget + 1e-6
+
+    @FAST
+    @given(p=st.floats(0.001, 0.999), recall=st.floats(0.5, 0.999))
+    def test_repetitions_achieve_recall(self, p, recall):
+        l = repetitions_for_recall(p, recall)
+        assert 1 - (1 - p) ** l >= recall - 1e-9
+
+
+class TestSketchProperties:
+    @FAST
+    @given(
+        keys_a=st.lists(st.integers(0, 5000), min_size=0, max_size=200),
+        keys_b=st.lists(st.integers(0, 5000), min_size=0, max_size=200),
+        seed=st.integers(0, 1000),
+    )
+    def test_merge_estimate_equals_union_stream_estimate(self, keys_a, keys_b, seed):
+        sketcher = DistinctCountSketcher(universe_size=5001, epsilon=0.5, seed=seed)
+        merged = sketcher.sketch_keys(keys_a).merge(sketcher.sketch_keys(keys_b))
+        direct = sketcher.sketch_keys(keys_a + keys_b)
+        assert merged.estimate() == pytest.approx(direct.estimate())
+
+    @FAST
+    @given(keys=st.lists(st.integers(0, 200), min_size=0, max_size=60), seed=st.integers(0, 1000))
+    def test_small_streams_are_exact(self, keys, seed):
+        """With fewer than t distinct keys the estimate is exact (bar hash collisions)."""
+        sketcher = DistinctCountSketcher(universe_size=201, epsilon=0.25, seed=seed)
+        sketch = sketcher.sketch_keys(keys)
+        distinct = len(set(keys))
+        if distinct < sketcher.t:
+            assert sketch.estimate() == pytest.approx(distinct)
+
+    @FAST
+    @given(keys=st.lists(st.integers(0, 10**6), min_size=0, max_size=150), seed=st.integers(0, 100))
+    def test_estimate_is_order_insensitive(self, keys, seed):
+        sketcher = DistinctCountSketcher(universe_size=10**6 + 1, epsilon=0.5, seed=seed)
+        forward = sketcher.sketch_keys(keys).estimate()
+        backward = sketcher.sketch_keys(list(reversed(keys))).estimate()
+        assert forward == pytest.approx(backward)
+
+
+class TestBucketProperties:
+    @FAST
+    @given(
+        ranks=st.lists(st.integers(0, 1000), min_size=1, max_size=50, unique=True),
+        lo=st.integers(0, 1000),
+        span=st.integers(0, 1000),
+    )
+    def test_rank_range_matches_filter(self, ranks, lo, span):
+        ranks_sorted = np.array(sorted(ranks))
+        indices = np.arange(len(ranks_sorted))
+        bucket = Bucket(indices, ranks_sorted)
+        hi = lo + span
+        expected = [int(i) for i, r in zip(indices, ranks_sorted) if lo <= r < hi]
+        assert bucket.rank_range(lo, hi).tolist() == expected
+
+
+class TestFairnessMetricProperties:
+    counts = st.lists(st.integers(0, 500), min_size=1, max_size=30)
+
+    @FAST
+    @given(counts=counts)
+    def test_probabilities_sum_to_one(self, counts):
+        probabilities = empirical_probabilities(counts)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    @FAST
+    @given(counts=counts)
+    def test_tv_and_kl_bounds(self, counts):
+        assert 0.0 <= total_variation_from_uniform(counts) <= 1.0
+        assert kl_divergence_from_uniform(counts) >= -1e-12
+
+    @FAST
+    @given(counts=counts)
+    def test_gini_bounds(self, counts):
+        assert 0.0 <= gini_coefficient(counts) <= 1.0
+
+    @FAST
+    @given(counts=counts, scale=st.integers(2, 10))
+    def test_tv_scale_invariance(self, counts, scale):
+        scaled = [c * scale for c in counts]
+        assert total_variation_from_uniform(scaled) == pytest.approx(
+            total_variation_from_uniform(counts)
+        )
+
+    @FAST
+    @given(n=st.integers(1, 30), value=st.integers(1, 100))
+    def test_constant_counts_are_perfectly_uniform(self, n, value):
+        counts = [value] * n
+        assert total_variation_from_uniform(counts) == pytest.approx(0.0)
+        assert gini_coefficient(counts) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,104 @@
+"""Property-based tests over the samplers themselves.
+
+Hypothesis generates small random set datasets and queries; every sampler
+must uphold the same contract regardless of the input:
+
+* anything returned is a true r-near neighbor of the query,
+* an excluded index is never returned,
+* without-replacement k-samples are distinct near neighbors,
+* the exact sampler and the LSH samplers agree on neighborhood membership.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CollectAllFairSampler,
+    ExactUniformSampler,
+    IndependentFairSampler,
+    PermutationFairSampler,
+    StandardLSHSampler,
+)
+from repro.distances import JaccardSimilarity
+from repro.lsh import MinHashFamily
+
+SAMPLER_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+RADIUS = 0.4
+
+small_sets = st.frozensets(st.integers(min_value=0, max_value=40), min_size=1, max_size=12)
+datasets = st.lists(small_sets, min_size=2, max_size=25)
+
+
+def build(sampler_type, dataset, seed=0):
+    return sampler_type(
+        MinHashFamily(),
+        radius=RADIUS,
+        far_radius=0.1,
+        num_hashes=1,
+        num_tables=40,
+        seed=seed,
+    ).fit(dataset)
+
+
+SAMPLER_TYPES = [
+    StandardLSHSampler,
+    CollectAllFairSampler,
+    PermutationFairSampler,
+    IndependentFairSampler,
+]
+
+
+class TestSamplerContract:
+    @SAMPLER_SETTINGS
+    @given(dataset=datasets, query=small_sets)
+    @pytest.mark.parametrize("sampler_type", SAMPLER_TYPES)
+    def test_returned_point_is_always_near(self, sampler_type, dataset, query):
+        sampler = build(sampler_type, dataset)
+        measure = JaccardSimilarity()
+        index = sampler.sample(query)
+        if index is not None:
+            assert measure.value(dataset[index], query) >= RADIUS
+
+    @SAMPLER_SETTINGS
+    @given(dataset=datasets)
+    @pytest.mark.parametrize("sampler_type", SAMPLER_TYPES)
+    def test_excluded_index_is_never_returned(self, sampler_type, dataset):
+        sampler = build(sampler_type, dataset)
+        query = dataset[0]
+        for _ in range(5):
+            assert sampler.sample(query, exclude_index=0) != 0
+
+    @SAMPLER_SETTINGS
+    @given(dataset=datasets, query=small_sets)
+    def test_lsh_samplers_never_return_points_outside_exact_ball(self, dataset, query):
+        exact = ExactUniformSampler(JaccardSimilarity(), RADIUS, seed=0).fit(dataset)
+        ball = set(exact.neighborhood(query).tolist())
+        for sampler_type in SAMPLER_TYPES:
+            sampler = build(sampler_type, dataset)
+            index = sampler.sample(query)
+            assert index is None or index in ball
+
+    @SAMPLER_SETTINGS
+    @given(dataset=datasets, query=small_sets, k=st.integers(1, 6))
+    def test_without_replacement_samples_are_distinct_near_neighbors(self, dataset, query, k):
+        sampler = build(PermutationFairSampler, dataset)
+        measure = JaccardSimilarity()
+        sample = sampler.sample_k(query, k, replacement=False)
+        assert len(sample) == len(set(sample))
+        for index in sample:
+            assert measure.value(dataset[index], query) >= RADIUS
+
+    @SAMPLER_SETTINGS
+    @given(dataset=datasets)
+    def test_query_identical_to_dataset_point_finds_it(self, dataset):
+        """A dataset point queried with itself (similarity 1) is always near-covered."""
+        sampler = build(CollectAllFairSampler, dataset, seed=3)
+        index = sampler.sample(dataset[0])
+        assert index is not None

@@ -1,0 +1,91 @@
+"""Tests for the Appendix A rank-perturbation sampler (single repeated query)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RankPerturbationSampler
+from repro.exceptions import NotFittedError
+from repro.fairness.metrics import total_variation_from_uniform
+from repro.lsh import MinHashFamily
+
+
+def make_sampler(dataset, radius=0.5, seed=0, num_tables=50):
+    return RankPerturbationSampler(
+        MinHashFamily(),
+        radius=radius,
+        far_radius=0.05,
+        num_hashes=1,
+        num_tables=num_tables,
+        seed=seed,
+    ).fit(dataset)
+
+
+class TestCorrectness:
+    def test_returns_near_point(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"])
+        assert sampler.sample(planted_sets["query"]) in planted_sets["near_indices"]
+
+    def test_returns_none_without_neighbors(self):
+        dataset = [frozenset({300 + i}) for i in range(6)]
+        sampler = make_sampler(dataset)
+        assert sampler.sample(frozenset({1, 2})) is None
+
+    def test_not_fitted_raises(self):
+        sampler = RankPerturbationSampler(MinHashFamily(), radius=0.4, num_hashes=1, num_tables=4)
+        with pytest.raises(NotFittedError):
+            sampler.sample(frozenset({1}))
+
+    def test_ranks_remain_a_permutation_after_queries(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=1)
+        for _ in range(30):
+            sampler.sample(planted_sets["query"])
+        ranks = sampler.current_ranks
+        assert sorted(ranks.tolist()) == list(range(len(planted_sets["dataset"])))
+
+    def test_dynamic_buckets_stay_sorted(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=2)
+        for _ in range(20):
+            sampler.sample(planted_sets["query"])
+        for table in sampler._dynamic_tables:
+            for bucket in table.values():
+                assert bucket.ranks == sorted(bucket.ranks)
+
+    def test_bucket_membership_is_preserved(self, planted_sets):
+        """Rank swaps reorder buckets but never move points between buckets."""
+        sampler = make_sampler(planted_sets["dataset"], seed=3)
+        before = [
+            {key: sorted(bucket.indices) for key, bucket in table.items()}
+            for table in sampler._dynamic_tables
+        ]
+        for _ in range(25):
+            sampler.sample(planted_sets["query"])
+        after = [
+            {key: sorted(bucket.indices) for key, bucket in table.items()}
+            for table in sampler._dynamic_tables
+        ]
+        assert before == after
+
+
+class TestIndependenceForRepeatedQuery:
+    def test_repeated_query_is_uniform(self, planted_sets):
+        """Theorem 5: repeating the same query yields fresh uniform samples."""
+        sampler = make_sampler(planted_sets["dataset"], seed=4)
+        counts = {i: 0 for i in planted_sets["near_indices"]}
+        repetitions = 1500
+        for _ in range(repetitions):
+            index = sampler.sample(planted_sets["query"])
+            assert index in counts
+            counts[index] += 1
+        assert total_variation_from_uniform(list(counts.values())) < 0.12
+        assert min(counts.values()) > 0.4 * repetitions / len(counts)
+
+    def test_repeated_query_visits_every_neighbor(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], seed=5)
+        seen = {sampler.sample(planted_sets["query"]) for _ in range(300)}
+        assert seen == planted_sets["near_indices"]
+
+    def test_outputs_change_between_repetitions(self, planted_sets):
+        """Unlike the plain Section 3 structure, the output is not constant."""
+        sampler = make_sampler(planted_sets["dataset"], seed=6)
+        outputs = [sampler.sample(planted_sets["query"]) for _ in range(40)]
+        assert len(set(outputs)) > 1

@@ -1,0 +1,98 @@
+"""Tests for the small shared utilities: RNG handling, type helpers, exceptions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    EmptyDatasetError,
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+    UnsupportedDataTypeError,
+)
+from repro.rng import ensure_rng, random_permutation_ranks, spawn_rngs
+from repro.types import as_set_dataset, as_set_point, dataset_size, is_set_data
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        rngs = spawn_rngs(1, 3)
+        assert len(rngs) == 3
+        draws = [r.integers(0, 10**9) for r in rngs]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_from_seed(self):
+        a = [r.integers(0, 10**6) for r in spawn_rngs(5, 2)]
+        b = [r.integers(0, 10**6) for r in spawn_rngs(5, 2)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(rngs) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestPermutationRanks:
+    def test_is_permutation(self):
+        ranks = random_permutation_ranks(np.random.default_rng(0), 20)
+        assert sorted(ranks.tolist()) == list(range(20))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_permutation_ranks(np.random.default_rng(0), -1)
+
+
+class TestTypeHelpers:
+    def test_is_set_data(self):
+        assert is_set_data([frozenset({1})])
+        assert is_set_data([])
+        assert not is_set_data(np.zeros((3, 2)))
+
+    def test_as_set_point(self):
+        assert as_set_point([1, 2, 2]) == frozenset({1, 2})
+        existing = frozenset({3})
+        assert as_set_point(existing) is existing
+
+    def test_as_set_dataset(self):
+        converted = as_set_dataset([[1, 2], (3,)])
+        assert converted == [frozenset({1, 2}), frozenset({3})]
+
+    def test_dataset_size(self):
+        assert dataset_size(np.zeros((4, 2))) == 4
+        assert dataset_size([frozenset()]) == 1
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [NotFittedError, EmptyDatasetError, InvalidParameterError, UnsupportedDataTypeError],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)

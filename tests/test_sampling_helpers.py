@@ -1,0 +1,71 @@
+"""Tests for the module-level k-sampling helpers and the sampler base class."""
+
+import pytest
+
+from repro.core import (
+    ExactUniformSampler,
+    IndependentFairSampler,
+    sample_with_replacement,
+    sample_without_replacement,
+)
+from repro.distances import JaccardSimilarity
+from repro.exceptions import InvalidParameterError
+from repro.lsh import MinHashFamily
+
+
+@pytest.fixture
+def fitted_exact(planted_sets):
+    return ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=0).fit(
+        planted_sets["dataset"]
+    )
+
+
+@pytest.fixture
+def fitted_nnis(planted_sets):
+    return IndependentFairSampler(
+        MinHashFamily(), radius=planted_sets["radius"], far_radius=0.05,
+        num_hashes=1, num_tables=50, seed=0,
+    ).fit(planted_sets["dataset"])
+
+
+class TestHelpers:
+    def test_with_replacement_length(self, fitted_nnis, planted_sets):
+        sample = sample_with_replacement(fitted_nnis, planted_sets["query"], 12)
+        assert len(sample) == 12
+        assert set(sample) <= planted_sets["near_indices"]
+
+    def test_with_replacement_produces_variety_for_independent_sampler(self, fitted_nnis, planted_sets):
+        sample = sample_with_replacement(fitted_nnis, planted_sets["query"], 30)
+        assert len(set(sample)) >= 2
+
+    def test_without_replacement_distinct(self, fitted_nnis, planted_sets):
+        sample = sample_without_replacement(fitted_nnis, planted_sets["query"], 4)
+        assert len(sample) == len(set(sample))
+        assert set(sample) <= planted_sets["near_indices"]
+
+    def test_without_replacement_exact_sampler(self, fitted_exact, planted_sets):
+        sample = sample_without_replacement(fitted_exact, planted_sets["query"], 5)
+        assert set(sample) == planted_sets["near_indices"]
+
+    def test_negative_k_rejected(self, fitted_exact, planted_sets):
+        with pytest.raises(InvalidParameterError):
+            sample_with_replacement(fitted_exact, planted_sets["query"], -1)
+        with pytest.raises(InvalidParameterError):
+            sample_without_replacement(fitted_exact, planted_sets["query"], -1)
+
+    def test_no_neighbors_gives_empty_sample(self, fitted_exact):
+        assert sample_with_replacement(fitted_exact, frozenset({999}), 5) == []
+
+
+class TestBaseClassBehaviour:
+    def test_dataset_property(self, fitted_exact, planted_sets):
+        assert fitted_exact.dataset is planted_sets["dataset"]
+
+    def test_generic_sample_k_stops_on_failure(self, fitted_exact):
+        assert fitted_exact.sample_k(frozenset({12345}), 3) == []
+
+    def test_query_result_found_property(self, fitted_exact, planted_sets):
+        result = fitted_exact.sample_detailed(planted_sets["query"])
+        assert result.found is True
+        missing = fitted_exact.sample_detailed(frozenset({54321}))
+        assert missing.found is False

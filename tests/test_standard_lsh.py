@@ -1,0 +1,118 @@
+"""Tests for the standard (biased) LSH query baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactUniformSampler, StandardLSHSampler
+from repro.distances import JaccardSimilarity
+from repro.exceptions import NotFittedError
+from repro.lsh import MinHashFamily
+
+
+def make_sampler(dataset, radius=0.5, seed=0, **kwargs):
+    return StandardLSHSampler(
+        MinHashFamily(),
+        radius=radius,
+        far_radius=0.05,
+        num_hashes=1,
+        num_tables=60,
+        seed=seed,
+        **kwargs,
+    ).fit(dataset)
+
+
+class TestCorrectness:
+    def test_returns_near_point(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"])
+        index = sampler.sample(planted_sets["query"])
+        assert index in planted_sets["near_indices"]
+
+    def test_returns_none_without_neighbors(self):
+        dataset = [frozenset({100 + i}) for i in range(10)]
+        sampler = make_sampler(dataset)
+        assert sampler.sample(frozenset({1, 2, 3})) is None
+
+    def test_not_fitted_raises(self):
+        sampler = StandardLSHSampler(MinHashFamily(), radius=0.5, num_hashes=1, num_tables=5)
+        with pytest.raises(NotFittedError):
+            sampler.sample(frozenset({1}))
+
+    def test_detailed_stats_populated(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"])
+        result = sampler.sample_detailed(planted_sets["query"])
+        assert result.found
+        assert result.stats.buckets_probed >= 1
+        assert result.stats.candidates_examined >= 1
+
+    def test_value_is_similarity_of_returned_point(self, planted_sets, jaccard):
+        sampler = make_sampler(planted_sets["dataset"])
+        result = sampler.sample_detailed(planted_sets["query"])
+        expected = jaccard.value(planted_sets["dataset"][result.index], planted_sets["query"])
+        assert result.value == pytest.approx(expected)
+
+
+class TestBias:
+    """The paper's Section 2.2 example: standard LSH is biased towards the query itself."""
+
+    def test_two_point_example_returns_closest_nearly_always(self):
+        x = frozenset(range(1, 11))
+        y = frozenset(range(1, 10))  # Jaccard 0.9 with x
+        dataset = [x, y]
+        hits_x = 0
+        trials = 200
+        for seed in range(trials):
+            sampler = make_sampler(dataset, radius=0.5, seed=seed)
+            if sampler.sample(x) == 0:
+                hits_x += 1
+        # Standard LSH finds x (the query itself) essentially every time,
+        # while a fair sampler would return each point about half the time.
+        assert hits_x / trials > 0.9
+
+    def test_exact_sampler_is_fair_on_same_instance(self):
+        x = frozenset(range(1, 11))
+        y = frozenset(range(1, 10))
+        dataset = [x, y]
+        sampler = ExactUniformSampler(JaccardSimilarity(), 0.5, seed=0).fit(dataset)
+        hits_x = sum(sampler.sample(x) == 0 for _ in range(600))
+        assert 0.4 < hits_x / 600 < 0.6
+
+    def test_output_correlates_with_similarity(self, planted_sets, jaccard):
+        """Across constructions, closer points are over-represented."""
+        counts = {i: 0 for i in planted_sets["near_indices"]}
+        trials = 150
+        for seed in range(trials):
+            sampler = make_sampler(planted_sets["dataset"], seed=seed)
+            index = sampler.sample(planted_sets["query"])
+            if index in counts:
+                counts[index] += 1
+        similarities = {
+            i: jaccard.value(planted_sets["dataset"][i], planted_sets["query"])
+            for i in planted_sets["near_indices"]
+        }
+        best = max(similarities, key=similarities.get)
+        worst = min(similarities, key=similarities.get)
+        assert counts[best] > counts[worst]
+
+
+class TestOptions:
+    def test_far_point_limit_stops_early(self):
+        # A dataset with only far points: with a far-point limit the query
+        # gives up after ~3L far candidates instead of scanning everything.
+        dataset = [frozenset({1, 2, 3, 100 + i}) for i in range(50)]
+        sampler = StandardLSHSampler(
+            MinHashFamily(),
+            radius=0.99,
+            far_radius=0.05,
+            num_hashes=1,
+            num_tables=10,
+            far_point_limit_factor=3.0,
+            seed=1,
+        ).fit(dataset)
+        result = sampler.sample_detailed(frozenset({1, 2, 3}))
+        assert result.index is None
+        assert result.stats.candidates_examined <= 3 * 10 + 10 + 1
+
+    def test_shuffled_table_order_still_finds_neighbor(self, planted_sets):
+        sampler = make_sampler(planted_sets["dataset"], shuffle_tables=True)
+        for _ in range(10):
+            assert sampler.sample(planted_sets["query"]) in planted_sets["near_indices"]

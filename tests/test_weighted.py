@@ -1,0 +1,133 @@
+"""Tests for the weighted fair sampler (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExactUniformSampler,
+    IndependentFairSampler,
+    WeightedFairSampler,
+    exponential_similarity_weight,
+    inverse_distance_weight,
+)
+from repro.distances import JaccardSimilarity
+from repro.exceptions import InvalidParameterError
+from repro.lsh import MinHashFamily
+
+
+def make_base(planted_sets, seed=0):
+    return IndependentFairSampler(
+        MinHashFamily(), radius=planted_sets["radius"], far_radius=0.05,
+        num_hashes=1, num_tables=50, seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_invalid_max_weight(self, planted_sets):
+        with pytest.raises(InvalidParameterError):
+            WeightedFairSampler(make_base(planted_sets), weight=lambda v: v, max_weight=0.0)
+
+    def test_invalid_max_attempts(self, planted_sets):
+        with pytest.raises(InvalidParameterError):
+            WeightedFairSampler(
+                make_base(planted_sets), weight=lambda v: v, max_weight=1.0, max_attempts=0
+            )
+
+    def test_fit_fits_base(self, planted_sets):
+        sampler = WeightedFairSampler(
+            make_base(planted_sets), weight=lambda v: v, max_weight=1.0, seed=1
+        ).fit(planted_sets["dataset"])
+        assert sampler.num_points == len(planted_sets["dataset"])
+
+    def test_adopts_prefitted_base(self, planted_sets):
+        base = make_base(planted_sets).fit(planted_sets["dataset"])
+        sampler = WeightedFairSampler(base, weight=lambda v: 1.0, max_weight=1.0, seed=2)
+        assert sampler.sample(planted_sets["query"]) in planted_sets["near_indices"]
+
+    def test_negative_weight_rejected_at_query_time(self, planted_sets):
+        sampler = WeightedFairSampler(
+            make_base(planted_sets), weight=lambda v: -1.0, max_weight=1.0, seed=3
+        ).fit(planted_sets["dataset"])
+        with pytest.raises(InvalidParameterError):
+            sampler.sample(planted_sets["query"])
+
+
+class TestDistribution:
+    def test_constant_weight_stays_uniform(self, planted_sets):
+        from repro.fairness.metrics import total_variation_from_uniform
+
+        sampler = WeightedFairSampler(
+            make_base(planted_sets, seed=4), weight=lambda v: 1.0, max_weight=1.0, seed=4
+        ).fit(planted_sets["dataset"])
+        counts = {i: 0 for i in planted_sets["near_indices"]}
+        for _ in range(1200):
+            index = sampler.sample(planted_sets["query"])
+            if index is not None:
+                counts[index] += 1
+        assert total_variation_from_uniform(list(counts.values())) < 0.12
+
+    def test_exponential_weight_prefers_similar_points(self, planted_sets, jaccard):
+        weight = exponential_similarity_weight(scale=8.0)
+        sampler = WeightedFairSampler(
+            make_base(planted_sets, seed=5), weight=weight, max_weight=weight(1.0), seed=5
+        ).fit(planted_sets["dataset"])
+        counts = {i: 0 for i in planted_sets["near_indices"]}
+        for _ in range(1500):
+            index = sampler.sample(planted_sets["query"])
+            if index is not None:
+                counts[index] += 1
+        similarities = {
+            i: jaccard.value(planted_sets["dataset"][i], planted_sets["query"])
+            for i in planted_sets["near_indices"]
+        }
+        most_similar = max(similarities, key=similarities.get)
+        least_similar = min(similarities, key=similarities.get)
+        assert counts[most_similar] > counts[least_similar]
+
+    def test_empirical_distribution_tracks_weights(self, planted_sets, jaccard):
+        """Sampling frequencies are proportional to the weights (chi-square style check)."""
+        weight = exponential_similarity_weight(scale=4.0)
+        base = ExactUniformSampler(JaccardSimilarity(), planted_sets["radius"], seed=6)
+        sampler = WeightedFairSampler(
+            base, weight=weight, max_weight=weight(1.0), seed=6
+        ).fit(planted_sets["dataset"])
+        repetitions = 4000
+        counts = {i: 0 for i in planted_sets["near_indices"]}
+        for _ in range(repetitions):
+            index = sampler.sample(planted_sets["query"])
+            if index is not None:
+                counts[index] += 1
+        weights = {
+            i: weight(jaccard.value(planted_sets["dataset"][i], planted_sets["query"]))
+            for i in planted_sets["near_indices"]
+        }
+        total_weight = sum(weights.values())
+        total_count = sum(counts.values())
+        for index in planted_sets["near_indices"]:
+            expected = weights[index] / total_weight
+            observed = counts[index] / total_count
+            assert observed == pytest.approx(expected, abs=0.06)
+
+    def test_returns_none_without_neighbors(self, planted_sets):
+        sampler = WeightedFairSampler(
+            make_base(planted_sets, seed=7), weight=lambda v: 1.0, max_weight=1.0, seed=7
+        ).fit(planted_sets["dataset"])
+        assert sampler.sample(frozenset({9999})) is None
+
+
+class TestWeightHelpers:
+    def test_exponential_weight_monotone(self):
+        weight = exponential_similarity_weight(2.0)
+        assert weight(0.9) > weight(0.5) > weight(0.1)
+
+    def test_exponential_weight_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_similarity_weight(-1.0)
+
+    def test_inverse_distance_weight_monotone(self):
+        weight = inverse_distance_weight(epsilon=0.01)
+        assert weight(0.1) > weight(1.0) > weight(10.0)
+
+    def test_inverse_distance_weight_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            inverse_distance_weight(0.0)
