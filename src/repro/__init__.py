@@ -55,6 +55,15 @@ from repro.lsh import (
     compute_rho,
     select_parameters,
 )
+from repro.engine import (
+    BatchQueryEngine,
+    DynamicLSHTables,
+    EngineStats,
+    QueryRequest,
+    QueryResponse,
+    load_engine,
+    save_engine,
+)
 from repro.fairness import FairnessAuditor, total_variation_from_uniform
 from repro.exceptions import (
     EmptyDatasetError,
@@ -104,6 +113,14 @@ __all__ = [
     "LSHTables",
     "compute_rho",
     "select_parameters",
+    # engine
+    "BatchQueryEngine",
+    "DynamicLSHTables",
+    "EngineStats",
+    "QueryRequest",
+    "QueryResponse",
+    "save_engine",
+    "load_engine",
     # fairness
     "FairnessAuditor",
     "total_variation_from_uniform",

@@ -10,6 +10,7 @@ Section 3 / Appendix A / Section 4 structures).
 from __future__ import annotations
 
 import abc
+import copy
 import math
 from typing import List, Optional
 
@@ -39,6 +40,11 @@ class NeighborSampler(abc.ABC):
     measure: Measure
     #: The near threshold ``r`` (a distance or a similarity).
     radius: float
+    #: True when repeated queries provably return the same answer (no
+    #: query-time randomness).  The serving engine may then coalesce
+    #: duplicate requests in a batch without changing any output.  Samplers
+    #: that draw randomness per query MUST leave this False.
+    deterministic_queries: bool = False
 
     def __init__(self) -> None:
         self._dataset: Optional[Dataset] = None
@@ -153,6 +159,12 @@ class LSHNeighborSampler(NeighborSampler):
         randomness).
     """
 
+    #: Whether the sampler's query procedure works over an arbitrary rank
+    #: domain (ranks as i.i.d. draws from a large interval, as the dynamic
+    #: table layer uses) rather than requiring a permutation of ``0 .. n-1``.
+    #: Samplers that index arrays by rank value must set this False.
+    supports_dynamic_ranks: bool = True
+
     def __init__(
         self,
         family: LSHFamily,
@@ -235,6 +247,9 @@ class LSHNeighborSampler(NeighborSampler):
         self.params = self._resolve_parameters(n)
         concatenated = self.family.concatenate(self.params.k) if self.params.k > 1 else self.family
         self.tables = LSHTables(concatenated, self.params.l, seed=self._tables_rng)
+        # Reset first: a previous attach() to ranked tables may have left
+        # foreign ranks behind on a rankless sampler.
+        self.ranks = None
         if self._use_ranks:
             self.ranks = self._perm_rng.permutation(n)
         self.tables.fit(dataset, ranks=self.ranks)
@@ -242,8 +257,115 @@ class LSHNeighborSampler(NeighborSampler):
         self._after_fit()
         return self
 
+    def attach(self, tables: LSHTables, dataset: Dataset) -> "LSHNeighborSampler":
+        """Bind this sampler to externally built (possibly mutable) tables.
+
+        This is the serving-engine entry point: the engine owns an
+        :class:`~repro.engine.dynamic.DynamicLSHTables` over a mutable dataset
+        and re-points samplers at it instead of letting each sampler build a
+        private static index.  ``dataset`` must be the table layer's own live
+        container so that points inserted later are visible to the sampler
+        without a refit.  The caller is responsible for passing tables whose
+        family matches this sampler's.
+        """
+        n = len(dataset)
+        if n == 0:
+            raise EmptyDatasetError("cannot attach a sampler to an empty dataset")
+        if self._use_ranks and tables.ranks is None:
+            raise InvalidParameterError(
+                f"{type(self).__name__} needs rank-sorted buckets but the tables were built without ranks"
+            )
+        if not self.supports_dynamic_ranks and tables.rank_domain > tables.num_points:
+            raise InvalidParameterError(
+                f"{type(self).__name__} requires permutation ranks (0..n-1) and cannot "
+                "attach to tables with a dynamic rank domain; build the engine with "
+                "dynamic=False or use a rank-domain-agnostic sampler"
+            )
+        self.tables = tables
+        # Rank-agnostic samplers must not adopt the tables' ranks: a later
+        # plain fit() would feed them to the fresh tables.
+        self.ranks = tables.ranks if self._use_ranks else None
+        # Params reflect the attached structure; _explicit_k/_explicit_l are
+        # left untouched so a later plain fit() still auto-selects (K, L).
+        self.params = self._attached_parameters(n)
+        self._store_dataset(dataset)
+        self._after_fit()
+        return self
+
+    def _attached_parameters(self, n: int) -> LSHParameters:
+        """The parameter record describing externally built tables."""
+        k = getattr(self.tables.family, "k", 1)
+        l = self.tables.num_tables
+        p1 = self.family.collision_probability(self.radius) ** k
+        p2 = self.family.collision_probability(self.far_radius) ** k
+        return LSHParameters(
+            k=k,
+            l=l,
+            p_near=p1,
+            p_far=p2,
+            recall=1.0 - (1.0 - p1) ** l,
+            expected_far_collisions=n * p2,
+        )
+
+    def notify_update(self) -> None:
+        """Tell the sampler its attached tables mutated (insert/delete).
+
+        Refreshes the views that go stale when the table layer grows its
+        arrays, recomputes the parameter record for the new ``n``, and gives
+        subclasses a chance to rebuild derived per-bucket state through
+        :meth:`_after_update`.
+        """
+        self._check_fitted()
+        self.ranks = self.tables.ranks if self._use_ranks else None
+        # Size off the live count: under sustained churn the slot count keeps
+        # growing while the served dataset does not, and parameter records
+        # (expected far collisions etc.) should describe the latter.
+        self.params = self._attached_parameters(max(1, self.tables.num_live))
+        self._after_update()
+
+    def sample_detailed_from_candidates(
+        self,
+        query: Point,
+        view: tuple,
+        exclude_index: Optional[int] = None,
+    ) -> Optional[QueryResult]:
+        """Answer one query from a pre-gathered candidate view, or ``None``.
+
+        *view* is the rank-sorted ``(ranks, indices)`` multiset produced by
+        :meth:`~repro.lsh.tables.LSHTables.colliding_view`.  The batch engine
+        gathers it once per query with array operations and offers it to the
+        sampler; samplers whose query procedure is a function of the colliding
+        multiset override this to skip their per-bucket Python loop.  The
+        default returns ``None``, telling the engine to fall back to
+        :meth:`sample_detailed`.  Overrides must answer with exactly the same
+        distribution as ``sample_detailed`` — this is a fast path, not a
+        different sampler.
+        """
+        return None
+
+    def _stripped_for_snapshot(self) -> "LSHNeighborSampler":
+        """A shallow copy of the sampler suitable for pickling into a snapshot.
+
+        The heavy references (tables, dataset, rank view) are nulled — the
+        snapshot layer persists them as arrays and re-binds them on load.
+        Subclasses drop rebuildable per-query caches here too; state needed
+        for bit-identical post-load behaviour (RNG streams, sketches) stays.
+        """
+        clone = copy.copy(self)
+        clone.tables = None
+        clone._dataset = None
+        clone.ranks = None
+        return clone
+
     def _after_fit(self) -> None:
         """Hook for subclasses needing extra per-bucket structures."""
+
+    def _after_update(self) -> None:
+        """Hook invoked by :meth:`notify_update`; default is a no-op.
+
+        Subclasses that cache per-bucket derivatives (e.g. the Section 4
+        count-distinct sketches) must rebuild or invalidate them here.
+        """
 
     # ------------------------------------------------------------------
     @property

@@ -33,6 +33,7 @@ from repro.core.base import LSHNeighborSampler
 from repro.core.result import QueryResult, QueryStats
 from repro.exceptions import InvalidParameterError
 from repro.lsh.family import LSHFamily
+from repro.lsh.tables import point_digest
 from repro.rng import SeedLike
 from repro.sketches.kmv import BottomTSketch, DistinctCountSketcher
 from repro.types import Point
@@ -114,6 +115,10 @@ class IndependentFairSampler(LSHNeighborSampler):
     # Construction
     # ------------------------------------------------------------------
     def _after_fit(self) -> None:
+        # Runs on fit() and attach() alike: any previously served queries'
+        # cached estimates/views describe the old tables and must go.
+        self._estimate_cache.clear()
+        self._view_cache.clear()
         n = self.num_points
         self._sketcher = DistinctCountSketcher(
             universe_size=n,
@@ -129,24 +134,34 @@ class IndependentFairSampler(LSHNeighborSampler):
                     sketches[key] = self._sketcher.sketch_keys(int(i) for i in bucket.indices)
             self._bucket_sketches.append(sketches)
 
+    def _after_update(self) -> None:
+        """Attached tables mutated: cached estimates and sketches are stale.
+
+        Tombstoned members must not be counted by the rebuilt sketches (an
+        inflated ``s_q`` makes queries with an emptied neighborhood burn the
+        full rejection-round budget), so pending tombstones are compacted
+        away first — no extra asymptotic cost, since the sketch rebuild
+        already touches every bucket reference.  The serving engine coalesces
+        updates so this runs once per mutation batch, not once per insert.
+        """
+        self.tables.ensure_clean_buckets()
+        self._after_fit()
+
+    def _stripped_for_snapshot(self):
+        # The per-query caches are deterministic functions of the tables and
+        # rebuild lazily; pickling them only bloats snapshots.
+        clone = super()._stripped_for_snapshot()
+        clone._estimate_cache = {}
+        clone._view_cache = {}
+        return clone
+
     # ------------------------------------------------------------------
     # Query helpers
     # ------------------------------------------------------------------
-    @staticmethod
-    def _query_digest(query: Point) -> Optional[Hashable]:
-        """A hashable digest of the query for the estimate cache (None if unhashable)."""
-        if isinstance(query, (frozenset, tuple, str, bytes, int)):
-            return query
-        if isinstance(query, set):
-            return frozenset(query)
-        if isinstance(query, np.ndarray):
-            return (query.shape, query.tobytes())
-        return None
-
     def estimate_colliding_count(self, query: Point) -> float:
         """Sketch-based estimate of ``s_q``, the number of colliding points."""
         self._check_fitted()
-        digest = self._query_digest(query)
+        digest = point_digest(query)
         if digest is not None and digest in self._estimate_cache:
             return self._estimate_cache[digest]
         query_keys = self.tables.query_keys(query)
@@ -177,19 +192,10 @@ class IndependentFairSampler(LSHNeighborSampler):
         several tables appear once per table; the segment lookup
         de-duplicates after slicing.
         """
-        digest = self._query_digest(query)
+        digest = point_digest(query)
         if digest is not None and digest in self._view_cache:
             return self._view_cache[digest]
-        buckets = self.tables.query_buckets(query)
-        rank_parts = [b.ranks for b in buckets if len(b)]
-        index_parts = [b.indices for b in buckets if len(b)]
-        if rank_parts:
-            ranks = np.concatenate(rank_parts)
-            indices = np.concatenate(index_parts)
-            order = np.argsort(ranks, kind="stable")
-            view = (ranks[order], indices[order])
-        else:
-            view = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.intp))
+        view = self.tables.colliding_view(query)
         if digest is not None:
             if len(self._view_cache) >= self._cache_limit:
                 self._view_cache.clear()
@@ -197,12 +203,16 @@ class IndependentFairSampler(LSHNeighborSampler):
         return view
 
     def _log_n(self) -> float:
-        return max(1.0, math.log2(max(2, self.num_points)))
+        # Live count: dead slots neither collide nor get sampled, so they
+        # should not inflate the rejection-round budgets.
+        return max(1.0, math.log2(max(2, self.tables.num_live)))
 
     def _segment_bounds(self, segment: int, k: int) -> tuple:
-        n = self.num_points
-        lo = int(math.floor(segment * n / k))
-        hi = int(math.floor((segment + 1) * n / k)) if segment + 1 < k else n
+        # Integer arithmetic: the dynamic table layer uses a 2^62-sized rank
+        # domain, where float division would mis-place segment boundaries.
+        domain = self.tables.rank_domain
+        lo = (segment * domain) // k
+        hi = ((segment + 1) * domain) // k if segment + 1 < k else domain
         return lo, hi
 
     # ------------------------------------------------------------------
@@ -212,7 +222,7 @@ class IndependentFairSampler(LSHNeighborSampler):
         self._check_fitted()
         stats = QueryStats()
         value_cache: dict = {}
-        n = self.num_points
+        n = self.tables.num_live
 
         estimate = self.estimate_colliding_count(query)
         if estimate <= 0.0:

@@ -31,6 +31,10 @@ from repro.types import Point
 class PermutationFairSampler(LSHNeighborSampler):
     """Fair r-near-neighbor sampling via a random rank permutation."""
 
+    # Section 3 is deterministic at query time (the motivation for
+    # Section 4), so the serving engine may coalesce duplicate queries.
+    deterministic_queries = True
+
     def __init__(
         self,
         family: LSHFamily,
@@ -86,6 +90,33 @@ class PermutationFairSampler(LSHNeighborSampler):
         return QueryResult(index=best_index, value=best_value, stats=stats)
 
     # ------------------------------------------------------------------
+    def sample_detailed_from_candidates(
+        self, query: Point, view: tuple, exclude_index: Optional[int] = None
+    ) -> QueryResult:
+        """Fast path over a pre-gathered rank-sorted candidate view.
+
+        The Section 3 answer is "the r-near colliding point of smallest
+        rank", which is a function of the colliding multiset alone: walking
+        the rank-sorted view and returning the first near point is exactly
+        equivalent to the per-bucket scan of :meth:`sample_detailed`, without
+        the Python loop over ``L`` buckets.  Duplicate entries (one per
+        colliding table) cost one cache lookup each.
+        """
+        ranks, indices = view
+        stats = QueryStats(buckets_probed=self.tables.num_tables)
+        value_cache: dict = {}
+        for index in indices.tolist():
+            if index == exclude_index:
+                continue
+            if index in value_cache:
+                continue  # already evaluated (and found far) at a lower rank
+            stats.candidates_examined += 1
+            value = self._value(index, query, value_cache)
+            stats.distance_evaluations += 1
+            if self.measure.within(value, self.radius):
+                return QueryResult(index=index, value=value, stats=stats)
+        return QueryResult(index=None, value=None, stats=stats)
+
     def sample_k(self, query: Point, k: int, replacement: bool = True) -> List[int]:
         """Sample ``k`` near neighbors.
 

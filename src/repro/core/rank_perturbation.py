@@ -60,6 +60,11 @@ class _DynamicBucket:
 class RankPerturbationSampler(LSHNeighborSampler):
     """Section 3 sampler + Appendix A rank perturbation after every query."""
 
+    # The perturbation walk indexes rank->point arrays by rank value, so the
+    # ranks must be a permutation of 0..n-1; the dynamic table layer's large
+    # i.i.d. rank domain is incompatible (attach() rejects it cleanly).
+    supports_dynamic_ranks = False
+
     def __init__(
         self,
         family: LSHFamily,

@@ -39,6 +39,11 @@ class StandardLSHSampler(LSHNeighborSampler):
         self._shuffle_tables = shuffle_tables
         self._far_point_limit_factor = far_point_limit_factor
 
+    @property
+    def deterministic_queries(self) -> bool:
+        """First-found scanning is deterministic unless table order is shuffled."""
+        return not self._shuffle_tables
+
     def sample_detailed(self, query: Point, exclude_index: int = None) -> QueryResult:
         self._check_fitted()
         stats = QueryStats()

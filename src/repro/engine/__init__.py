@@ -1,0 +1,45 @@
+"""Online serving layer: dynamic indexes, batched queries, snapshots.
+
+The :mod:`repro.core` samplers reproduce the paper's data structures as
+static, single-query objects.  This package turns them into a serving
+system:
+
+* :class:`~repro.engine.dynamic.DynamicLSHTables` — LSH tables that absorb
+  inserts and deletes online (rank-sorted bucket insertion, tombstone
+  deletes, amortized compaction) while preserving the rank exchangeability
+  the fair samplers' uniformity guarantees rest on;
+* :class:`~repro.engine.batch.BatchQueryEngine` — batched query execution
+  that hashes a whole batch of queries in one vectorized pass and dispatches
+  to any sampler, with per-engine serving statistics;
+* :mod:`~repro.engine.requests` — the typed request/response surface;
+* :mod:`~repro.engine.snapshot` — save/load of a fitted engine, so indexes
+  can be built offline and shipped to servers.
+
+Quickstart
+----------
+>>> from repro import MinHashFamily, PermutationFairSampler
+>>> from repro.engine import BatchQueryEngine
+>>> sets = [frozenset({1, 2, 3}), frozenset({1, 2, 4}), frozenset({7, 8, 9})]
+>>> sampler = PermutationFairSampler(MinHashFamily(), radius=0.4, seed=0)
+>>> engine = BatchQueryEngine.build(sampler, sets, seed=0)
+>>> new_index = engine.insert(frozenset({1, 2, 3, 4}))
+>>> responses = engine.run([frozenset({1, 2, 3, 4})])
+>>> responses[0].found
+True
+"""
+
+from repro.engine.batch import BatchQueryEngine
+from repro.engine.dynamic import RANK_DOMAIN, DynamicLSHTables
+from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
+from repro.engine.snapshot import load_engine, save_engine
+
+__all__ = [
+    "BatchQueryEngine",
+    "DynamicLSHTables",
+    "RANK_DOMAIN",
+    "EngineStats",
+    "QueryRequest",
+    "QueryResponse",
+    "save_engine",
+    "load_engine",
+]

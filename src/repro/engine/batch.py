@@ -1,0 +1,309 @@
+"""Batched query execution over any fitted neighbor sampler.
+
+:class:`BatchQueryEngine` is the serving loop's front door.  Its job is to
+make a batch of ``m`` queries much cheaper than ``m`` independent calls:
+
+1. **Vectorized hashing.**  All queries are hashed against all ``L`` tables
+   in one pass through the family's
+   :class:`~repro.lsh.family.BatchHasher` (``LSHTables.query_keys_many``),
+   then the per-query keys are primed into the table layer's key cache.  When
+   the samplers subsequently call ``query_keys`` internally, the hash work is
+   a dict lookup — hashing, the dominant per-query cost with hundreds of
+   tables, is paid once per batch instead of once per query.
+2. **Uniform dispatch.**  Each request is answered through the sampler's
+   public surface (``sample_detailed`` for single draws, ``sample_k`` for
+   multi-draws), so every structure in :mod:`repro.core` — fair or baseline —
+   can sit behind the engine unchanged.
+3. **Mutation coalescing.**  ``insert``/``delete`` are forwarded to the
+   attached :class:`~repro.engine.dynamic.DynamicLSHTables` and the sampler
+   is re-synchronized lazily, once per batch, so samplers with expensive
+   derived state (the Section 4 sketches) pay per *batch of updates*, not per
+   update.
+
+Engines over a static :class:`~repro.lsh.tables.LSHTables` support
+everything except mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Union
+
+from repro.core.base import LSHNeighborSampler, NeighborSampler
+from repro.engine.dynamic import DynamicLSHTables
+from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.lsh.family import LSHFamily
+from repro.lsh.tables import LSHTables, point_digest
+from repro.rng import SeedLike
+from repro.types import Dataset, Point
+
+
+class BatchQueryEngine:
+    """Serve sampling queries in batches over one fitted sampler.
+
+    Parameters
+    ----------
+    sampler:
+        Any fitted :class:`~repro.core.base.NeighborSampler`.  Samplers bound
+        to an :class:`~repro.lsh.tables.LSHTables` get vectorized batch
+        hashing; others still get the uniform request/response surface.
+    batch_hashing:
+        Set False to disable key priming (used by the benchmarks to measure
+        the win, and as an escape hatch for exotic samplers).
+    coalesce_duplicates:
+        Set False to answer every request independently even when the sampler
+        is query-deterministic (duplicates are then re-executed).
+    """
+
+    def __init__(
+        self,
+        sampler: NeighborSampler,
+        batch_hashing: bool = True,
+        coalesce_duplicates: bool = True,
+    ):
+        if not getattr(sampler, "_fitted", False):
+            raise NotFittedError("BatchQueryEngine requires a fitted (or attached) sampler")
+        self.sampler = sampler
+        self.batch_hashing = bool(batch_hashing)
+        self.coalesce_duplicates = bool(coalesce_duplicates)
+        self.stats = EngineStats()
+        self._tables_dirty = False
+
+    # ------------------------------------------------------------------
+    # Construction convenience
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        sampler: LSHNeighborSampler,
+        dataset: Dataset,
+        dynamic: bool = True,
+        max_tombstone_fraction: float = 0.25,
+        seed: SeedLike = None,
+    ) -> "BatchQueryEngine":
+        """Build tables for an *unfitted* LSH sampler and wrap it in an engine.
+
+        This is the one-call path to a serving engine: parameters ``(K, L)``
+        are resolved exactly as ``sampler.fit`` would, but the tables are
+        created as :class:`~repro.engine.dynamic.DynamicLSHTables` (unless
+        ``dynamic=False``) and the sampler is attached to them, so the
+        resulting engine supports online inserts and deletes.
+        """
+        n = len(dataset)
+        if n == 0:
+            raise InvalidParameterError("cannot build an engine over an empty dataset")
+        # Reaching into the sampler's parameter machinery keeps the engine's
+        # (K, L) byte-for-byte consistent with the offline fit path.
+        params = sampler._resolve_parameters(n)
+        family: LSHFamily = sampler.family
+        concatenated = family.concatenate(params.k) if params.k > 1 else family
+        # Default to the sampler's own table stream so that build(seed=s) and
+        # an offline fit(seed=s) draw identical hash functions.
+        tables_seed = seed if seed is not None else sampler._tables_rng
+        if dynamic:
+            tables = DynamicLSHTables(
+                concatenated,
+                params.l,
+                seed=tables_seed,
+                use_ranks=sampler._use_ranks,
+                max_tombstone_fraction=max_tombstone_fraction,
+            )
+            tables.fit(dataset)
+            sampler.attach(tables, tables.dataset)
+        else:
+            ranks = None
+            if sampler._use_ranks:
+                ranks = sampler._perm_rng.permutation(n)
+            tables = LSHTables(concatenated, params.l, seed=tables_seed)
+            tables.fit(dataset, ranks=ranks)
+            sampler.attach(tables, list(dataset))
+        return cls(sampler)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tables(self) -> Optional[LSHTables]:
+        """The sampler's table layer, when it has one."""
+        return getattr(self.sampler, "tables", None)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the engine supports online index mutation."""
+        return isinstance(self.tables, DynamicLSHTables)
+
+    @property
+    def num_live_points(self) -> int:
+        """Live (non-tombstoned) indexed points."""
+        tables = self.tables
+        if isinstance(tables, DynamicLSHTables):
+            return tables.num_live
+        return self.sampler.num_points
+
+    # ------------------------------------------------------------------
+    # Index mutation
+    # ------------------------------------------------------------------
+    def _dynamic_tables(self) -> DynamicLSHTables:
+        tables = self.tables
+        if not isinstance(tables, DynamicLSHTables):
+            raise InvalidParameterError(
+                "engine is backed by static tables; build with dynamic=True for insert/delete"
+            )
+        return tables
+
+    def insert(self, point: Point) -> int:
+        """Index a new point online; returns its dataset index."""
+        return self.insert_many([point])[0]
+
+    def insert_many(self, points: Dataset) -> List[int]:
+        """Bulk-index new points (vectorized hashing, merged bucket splices)."""
+        tables = self._dynamic_tables()
+        indices = tables.insert_many(points)
+        self.stats.inserts += len(indices)
+        if indices:
+            self._tables_dirty = True
+        return indices
+
+    def delete(self, index: int) -> None:
+        """Remove a point online (tombstone + amortized compaction)."""
+        tables = self._dynamic_tables()
+        tables.delete(index)
+        self.stats.deletes += 1
+        self._tables_dirty = True
+
+    def _sync(self) -> None:
+        """Propagate pending index mutations to the sampler (lazily, per batch)."""
+        if not self._tables_dirty:
+            return
+        tables = self.tables
+        if isinstance(self.sampler, LSHNeighborSampler):
+            self.sampler.notify_update()
+        if isinstance(tables, DynamicLSHTables):
+            self.stats.rebuilds_triggered = tables.rebuilds_triggered
+        self._tables_dirty = False
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Union[QueryRequest, Point]]) -> List[QueryResponse]:
+        """Answer a batch of requests; responses are returned in order.
+
+        Bare points are treated as ``QueryRequest(query=point)``.  Two
+        batch-level amortizations apply: duplicate single-draw requests are
+        coalesced when the sampler declares itself query-deterministic
+        (serving traffic is heavy-tailed; hot queries repeat), and the
+        distinct queries are hashed against all ``L`` tables in one
+        vectorized pass.
+        """
+        self._sync()
+        normalized = [
+            request if isinstance(request, QueryRequest) else QueryRequest(query=request)
+            for request in requests
+        ]
+        distinct, assignment = self._coalesce(normalized)
+        tables = self.tables
+        primed = False
+        if self.batch_hashing and tables is not None and len(distinct) > 1:
+            queries = [request.query for request in distinct]
+            tables.prime_key_cache(queries, tables.query_keys_many(queries))
+            primed = True
+        hits_before = tables.key_cache_hits if tables is not None else 0
+        try:
+            answers = [
+                self._answer(position, request) for position, request in enumerate(distinct)
+            ]
+        finally:
+            if primed:
+                tables.clear_key_cache()
+        if tables is not None:
+            self.stats.key_cache_hits += tables.key_cache_hits - hits_before
+        self.stats.queries_served += len(normalized)
+        self.stats.batches_served += 1
+        responses = []
+        for position, answer_index in enumerate(assignment):
+            answer = answers[answer_index]
+            if answer.request_index == position:
+                responses.append(answer)
+            else:
+                responses.append(
+                    QueryResponse(
+                        request_index=position,
+                        indices=list(answer.indices),
+                        value=answer.value,
+                        # Own copy: sharing one mutable QueryStats across
+                        # coalesced responses would let a caller's edit to
+                        # one response corrupt the counters of the others.
+                        stats=replace(answer.stats),
+                    )
+                )
+        return responses
+
+    def _coalesce(self, normalized: Sequence[QueryRequest]):
+        """Collapse duplicate single-draw requests for deterministic samplers.
+
+        Returns ``(distinct_requests, assignment)`` where ``assignment[i]``
+        is the index into ``distinct_requests`` answering request ``i``.
+        Coalescing is exact — the sampler has declared that identical queries
+        always receive identical answers — and never applies to multi-draw
+        requests or samplers with query-time randomness.
+        """
+        eligible = self.coalesce_duplicates and getattr(
+            self.sampler, "deterministic_queries", False
+        )
+        distinct: List[QueryRequest] = []
+        assignment: List[int] = []
+        slot_of: dict = {}
+        for request in normalized:
+            slot_key = None
+            if eligible and request.k == 1:
+                digest = point_digest(request.query)
+                if digest is not None:
+                    slot_key = (digest, request.exclude_index)
+            slot = slot_of.get(slot_key) if slot_key is not None else None
+            if slot is None:
+                slot = len(distinct)
+                distinct.append(request)
+                if slot_key is not None:
+                    slot_of[slot_key] = slot
+            else:
+                self.stats.coalesced_queries += 1
+            assignment.append(slot)
+        return distinct, assignment
+
+    def sample_batch(self, queries: Sequence[Point]) -> List[Optional[int]]:
+        """Convenience wrapper: one single-draw sample index per query."""
+        return [response.index for response in self.run(list(queries))]
+
+    def _answer(self, position: int, request: QueryRequest) -> QueryResponse:
+        if request.k == 1:
+            result = None
+            tables = self.tables
+            has_fast_path = (
+                isinstance(self.sampler, LSHNeighborSampler)
+                and type(self.sampler).sample_detailed_from_candidates
+                is not LSHNeighborSampler.sample_detailed_from_candidates
+            )
+            if has_fast_path and tables is not None and tables.ranks is not None:
+                # Candidate-gathering stage: hand the sampler the rank-sorted
+                # colliding multiset, assembled with array operations; samplers
+                # without a view-based fast path return None and fall through.
+                result = self.sampler.sample_detailed_from_candidates(
+                    request.query,
+                    tables.colliding_view(request.query),
+                    exclude_index=request.exclude_index,
+                )
+            if result is None:
+                result = self.sampler.sample_detailed(
+                    request.query, exclude_index=request.exclude_index
+                )
+            self.stats.candidates_scanned += result.stats.candidates_examined
+            self.stats.distance_evaluations += result.stats.distance_evaluations
+            return QueryResponse(
+                request_index=position,
+                indices=[] if result.index is None else [int(result.index)],
+                value=result.value,
+                stats=result.stats,
+            )
+        indices = self.sampler.sample_k(request.query, request.k, replacement=request.replacement)
+        return QueryResponse(request_index=position, indices=[int(i) for i in indices])

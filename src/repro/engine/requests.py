@@ -1,0 +1,140 @@
+"""Request/response containers and serving statistics for the engine layer.
+
+The serving engine speaks a tiny typed protocol: callers submit
+:class:`QueryRequest` objects (or bare points, which the engine wraps) and
+receive one :class:`QueryResponse` per request, in order.  The containers are
+deliberately plain dataclasses — they hold indices into the engine's dataset
+plus the work counters of :class:`~repro.core.result.QueryStats`, nothing that
+would tie them to a transport.
+
+:class:`EngineStats` aggregates per-engine counters across the engine's
+lifetime (queries, candidates, primed-cache hits, index mutations and
+amortized rebuilds) so operators can watch a server's behaviour without
+instrumenting the samplers themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.result import QueryStats
+from repro.exceptions import InvalidParameterError
+from repro.types import Point
+
+
+@dataclass
+class QueryRequest:
+    """One near-neighbor sampling request.
+
+    Attributes
+    ----------
+    query:
+        The query point (same representation as the indexed dataset).
+    k:
+        Number of neighbors to sample; ``k=1`` uses the sampler's single-draw
+        path and also reports per-query work counters.
+    replacement:
+        Whether multi-draw sampling is with replacement (forwarded to
+        :meth:`~repro.core.base.NeighborSampler.sample_k`).
+    exclude_index:
+        Optional dataset index removed from consideration (querying with a
+        point that is itself indexed).
+    """
+
+    query: Point
+    k: int = 1
+    replacement: bool = True
+    exclude_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+        if self.k > 1 and self.exclude_index is not None:
+            # sample_k has no exclusion surface; silently dropping the
+            # exclusion would hand the query back to itself.
+            raise InvalidParameterError("exclude_index is only supported for k=1 requests")
+
+
+@dataclass
+class QueryResponse:
+    """The engine's answer to one :class:`QueryRequest`.
+
+    Attributes
+    ----------
+    request_index:
+        Position of the originating request in the submitted batch.
+    indices:
+        Sampled dataset indices (empty when no near neighbor was found;
+        length 1 for ``k=1`` requests that found one).
+    value:
+        Measure value between the sampled point and the query for ``k=1``
+        requests, when the sampler computed it.
+    stats:
+        Work counters for the query (``k=1`` requests only; multi-draw
+        requests aggregate inside the sampler and report empty counters).
+    """
+
+    request_index: int
+    indices: List[int] = field(default_factory=list)
+    value: Optional[float] = None
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def found(self) -> bool:
+        """True when at least one near neighbor was returned."""
+        return bool(self.indices)
+
+    @property
+    def index(self) -> Optional[int]:
+        """The first sampled index, or ``None`` (the paper's ``⊥``)."""
+        return self.indices[0] if self.indices else None
+
+
+@dataclass
+class EngineStats:
+    """Lifetime serving counters of one engine instance.
+
+    Attributes
+    ----------
+    queries_served:
+        Total requests answered.
+    batches_served:
+        Number of :meth:`~repro.engine.batch.BatchQueryEngine.run` calls.
+    candidates_scanned:
+        Sum of ``candidates_examined`` over all detailed queries.
+    distance_evaluations:
+        Sum of exact measure evaluations over all detailed queries.
+    key_cache_hits:
+        Query-key lookups served from the primed hash cache (each hit is an
+        ``L``-table hashing pass that batching avoided).
+    coalesced_queries:
+        Duplicate requests answered from an identical request in the same
+        batch (exact for query-deterministic samplers).
+    inserts, deletes:
+        Index mutations applied through the engine.
+    rebuilds_triggered:
+        Bucket compaction sweeps — those triggered by tombstone pressure
+        *and* those forced per mutation batch by samplers that need clean
+        buckets to rebuild derived state (e.g. the Section 4 sketches).
+    """
+
+    queries_served: int = 0
+    batches_served: int = 0
+    candidates_scanned: int = 0
+    distance_evaluations: int = 0
+    key_cache_hits: int = 0
+    coalesced_queries: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    rebuilds_triggered: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for logging / snapshot manifests)."""
+        return {field_name: getattr(self, field_name) for field_name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "EngineStats":
+        """Inverse of :meth:`as_dict` (ignores unknown keys)."""
+        known = {f: int(data[f]) for f in cls.__dataclass_fields__ if f in data}
+        return cls(**known)

@@ -1,0 +1,210 @@
+"""Persist a serving engine to a directory and load it back.
+
+Indexes are expensive to build and cheap to serve, so production deployments
+build them offline and ship the artifact to servers.  A snapshot directory
+holds three files:
+
+``manifest.json``
+    Human-readable metadata: format version, class names, table shape,
+    liveness counters and the engine's serving statistics.
+``arrays.npz``
+    The numeric bulk — per-table bucket member/rank arrays (flattened with
+    bucket offsets), the global rank array and the liveness mask.
+``objects.pkl``
+    The Python objects with no natural array form: the drawn hash functions,
+    the LSH family, per-table bucket keys, the dataset points, the sampler
+    (stripped of its table/dataset references, which are restored from the
+    arrays) and the mutation RNG of dynamic tables.
+
+``load_engine`` rebuilds bit-identical state: the restored sampler carries
+the same query RNG stream and (for Section 4) the same bucket sketches, so
+subsequent samples reproduce exactly what the saved engine would have
+returned.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import pickle
+from typing import Dict, Hashable, List, Union
+
+import numpy as np
+
+from repro.core.base import LSHNeighborSampler
+from repro.engine.batch import BatchQueryEngine
+from repro.engine.dynamic import DynamicLSHTables
+from repro.engine.requests import EngineStats
+from repro.exceptions import InvalidParameterError
+from repro.lsh.tables import Bucket, LSHTables
+
+FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+_OBJECTS = "objects.pkl"
+
+
+def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write *engine* to *directory* (created if needed); returns the path."""
+    sampler = engine.sampler
+    if not isinstance(sampler, LSHNeighborSampler) or sampler.tables is None:
+        raise InvalidParameterError(
+            "only engines over LSH-table-backed samplers can be snapshotted"
+        )
+    # Flush pending mutations into the sampler first: the pickled sampler
+    # carries derived state (caches, sketches) that must reflect the tables
+    # being written, or the loaded clone would serve stale answers forever.
+    engine._sync()
+    tables = sampler.tables
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {}
+    bucket_keys: List[List[Hashable]] = []
+    for table_index, table in enumerate(tables._tables):
+        keys = list(table.keys())
+        bucket_keys.append(keys)
+        buckets = [table[key] for key in keys]
+        sizes = np.asarray([len(bucket) for bucket in buckets], dtype=np.int64)
+        arrays[f"t{table_index}_offsets"] = np.concatenate([[0], np.cumsum(sizes)])
+        arrays[f"t{table_index}_indices"] = (
+            np.concatenate([bucket.indices for bucket in buckets])
+            if buckets
+            else np.empty(0, dtype=np.intp)
+        )
+        if tables.ranks is not None:
+            arrays[f"t{table_index}_ranks"] = (
+                np.concatenate([bucket.ranks for bucket in buckets])
+                if buckets
+                else np.empty(0, dtype=np.int64)
+            )
+    if tables.ranks is not None:
+        arrays["ranks"] = tables.ranks
+
+    dynamic = isinstance(tables, DynamicLSHTables)
+    if dynamic:
+        arrays["alive"] = tables.alive
+        arrays["pending"] = np.asarray(sorted(tables._pending), dtype=np.intp)
+
+    # The sampler travels as a stripped copy: its heavy references (tables,
+    # dataset, rank view) and rebuildable caches are dropped and rebuilt on
+    # load, while query-time state (RNG streams, Section 4 sketches) rides
+    # along for bit-identical post-load behaviour.
+    sampler_copy = sampler._stripped_for_snapshot()
+
+    objects = {
+        "family": tables.family,
+        "functions": tables._functions,
+        "bucket_keys": bucket_keys,
+        "dataset": list(sampler.dataset),
+        "sampler": sampler_copy,
+        "mut_rng": tables._mut_rng if dynamic else None,
+    }
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "sampler_class": type(sampler).__name__,
+        "tables_class": type(tables).__name__,
+        "dynamic": dynamic,
+        "num_tables": tables.num_tables,
+        "num_points": tables.num_points,
+        "has_ranks": tables.ranks is not None,
+        "num_live": tables.num_live if dynamic else tables.num_points,
+        "pending_tombstones": tables.pending_tombstones if dynamic else 0,
+        "rebuilds_triggered": tables.rebuilds_triggered if dynamic else 0,
+        "max_tombstone_fraction": tables.max_tombstone_fraction if dynamic else None,
+        "use_ranks": tables._use_ranks if dynamic else (tables.ranks is not None),
+        "batch_hashing": engine.batch_hashing,
+        "coalesce_duplicates": engine.coalesce_duplicates,
+        "stats": engine.stats.as_dict(),
+    }
+
+    np.savez(directory / _ARRAYS, **arrays)
+    with open(directory / _OBJECTS, "wb") as handle:
+        pickle.dump(objects, handle)
+    with open(directory / _MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return directory
+
+
+def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
+    """Reconstruct a :class:`BatchQueryEngine` saved by :func:`save_engine`."""
+    directory = pathlib.Path(directory)
+    with open(directory / _MANIFEST, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest["format_version"] != FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"snapshot format {manifest['format_version']} not supported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    with open(directory / _OBJECTS, "rb") as handle:
+        objects = pickle.load(handle)
+    num_tables = int(manifest["num_tables"])
+    num_points = int(manifest["num_points"])
+    has_ranks = bool(manifest["has_ranks"])
+    dynamic = bool(manifest["dynamic"])
+
+    if dynamic:
+        tables = DynamicLSHTables(
+            objects["family"],
+            num_tables,
+            seed=0,
+            use_ranks=bool(manifest["use_ranks"]),
+            max_tombstone_fraction=float(manifest["max_tombstone_fraction"]),
+            _functions=objects["functions"],
+        )
+    else:
+        tables = LSHTables(objects["family"], num_tables, seed=0, _functions=objects["functions"])
+    # All array accesses happen inside the with block (NpzFile materializes
+    # plain ndarrays on access), so the file handle is released on exit.
+    with np.load(directory / _ARRAYS, allow_pickle=False) as arrays:
+        tables._tables = [
+            _restore_table(arrays, table_index, objects["bucket_keys"][table_index], has_ranks)
+            for table_index in range(num_tables)
+        ]
+        tables._n = num_points
+        tables._ranks = arrays["ranks"] if has_ranks else None
+        tables._fitted = True
+
+        if dynamic:
+            tables._points = list(objects["dataset"])
+            if has_ranks:
+                # Re-establish the capacity buffer the rank view grows inside.
+                tables._ranks_buf = np.array(tables._ranks, dtype=np.int64)
+                tables._ranks = tables._ranks_buf[:num_points]
+            tables._alive = arrays["alive"].astype(bool)
+            tables._num_live = int(manifest["num_live"])
+            tables._pending = set(arrays["pending"].tolist())
+            tables.rebuilds_triggered = int(manifest["rebuilds_triggered"])
+            tables._mut_rng = objects["mut_rng"]
+            dataset = tables.dataset
+        else:
+            dataset = list(objects["dataset"])
+
+    sampler = objects["sampler"]
+    sampler.tables = tables
+    sampler._dataset = dataset
+    sampler.ranks = tables.ranks if sampler._use_ranks else None
+
+    engine = BatchQueryEngine(
+        sampler,
+        batch_hashing=bool(manifest["batch_hashing"]),
+        coalesce_duplicates=bool(manifest["coalesce_duplicates"]),
+    )
+    engine.stats = EngineStats.from_dict(manifest["stats"])
+    return engine
+
+
+def _restore_table(arrays, table_index: int, keys: List[Hashable], has_ranks: bool) -> dict:
+    """Rebuild one table's ``key -> Bucket`` dict from the flattened arrays."""
+    offsets = arrays[f"t{table_index}_offsets"]
+    indices = arrays[f"t{table_index}_indices"].astype(np.intp)
+    ranks = arrays[f"t{table_index}_ranks"] if has_ranks else None
+    table = {}
+    for position, key in enumerate(keys):
+        lo, hi = int(offsets[position]), int(offsets[position + 1])
+        table[key] = Bucket(
+            indices[lo:hi], None if ranks is None else ranks[lo:hi]
+        )
+    return table

@@ -55,6 +55,17 @@ class BatchHasher(abc.ABC):
     def keys_for_dataset(self, dataset: Dataset) -> List[List[Hashable]]:
         """Per wrapped function, the bucket key of every dataset point."""
 
+    def keys_for_points(self, points: Dataset) -> List[List[Hashable]]:
+        """Per *query point*, the bucket key under every wrapped function.
+
+        This is the transpose of :meth:`keys_for_dataset` and is the entry
+        point used by batched query execution: hashing a whole batch of
+        queries in one vectorized pass instead of once per query.  Subclasses
+        whose per-function layout makes the transpose expensive may override.
+        """
+        per_function = self.keys_for_dataset(points)
+        return [list(row) for row in zip(*per_function)] if per_function else []
+
 
 class LSHFamily(abc.ABC):
     """A distribution over locality sensitive hash functions."""

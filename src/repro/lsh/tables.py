@@ -31,6 +31,24 @@ from repro.rng import SeedLike, ensure_rng
 from repro.types import Dataset, Point
 
 
+def point_digest(point: Point) -> Optional[Hashable]:
+    """A hashable digest of *point*, or ``None`` when it has no cheap one.
+
+    Used wherever per-query results are memoised (the Section 4 sampler's
+    sketch-estimate cache, the serving engine's primed-key cache).  Digests of
+    distinct points may in principle collide only for numpy arrays that share
+    dtype, shape and raw bytes, i.e. equal arrays — which is exactly the
+    equality the caches want.
+    """
+    if isinstance(point, (frozenset, tuple, str, bytes, int)):
+        return point
+    if isinstance(point, set):
+        return frozenset(point)
+    if isinstance(point, np.ndarray):
+        return (point.dtype.str, point.shape, point.tobytes())
+    return None
+
+
 class Bucket:
     """A single hash bucket: indices of the points hashing to one key.
 
@@ -60,6 +78,42 @@ class Bucket:
         right = int(np.searchsorted(self.ranks, hi, side="left"))
         return self.indices[left:right]
 
+    @classmethod
+    def from_members(cls, indices: np.ndarray, ranks: Optional[np.ndarray]) -> "Bucket":
+        """Build a bucket from unsorted members, rank-sorting when ranks exist."""
+        indices = np.asarray(indices, dtype=np.intp)
+        if ranks is None:
+            return cls(indices)
+        ranks = np.asarray(ranks)
+        order = np.argsort(ranks, kind="stable")
+        return cls(indices[order], ranks[order])
+
+    def inserted(self, index: int, rank: Optional[int]) -> "Bucket":
+        """A new bucket with one member added, preserving rank order.
+
+        With ranks, the member is spliced into its sorted position; without,
+        it is appended (insertion order).  This is the single-point update
+        primitive shared by the dynamic table layer.
+        """
+        if self.ranks is None:
+            if rank is not None:
+                raise InvalidParameterError("cannot insert a ranked member into a rankless bucket")
+            return Bucket(np.append(self.indices, np.intp(index)))
+        if rank is None:
+            raise InvalidParameterError("bucket has ranks; a rank is required to insert")
+        position = int(np.searchsorted(self.ranks, rank, side="left"))
+        return Bucket(
+            np.insert(self.indices, position, np.intp(index)),
+            np.insert(self.ranks, position, rank),
+        )
+
+    def filtered(self, keep: np.ndarray) -> "Bucket":
+        """A new bucket keeping only the members where *keep* is True."""
+        return Bucket(
+            self.indices[keep],
+            None if self.ranks is None else self.ranks[keep],
+        )
+
 
 class LSHTables:
     """``L`` independent LSH hash tables over a dataset.
@@ -74,13 +128,18 @@ class LSHTables:
         Seed controlling the choice of the ``l`` hash functions.
     """
 
-    def __init__(self, family: LSHFamily, l: int, seed: SeedLike = None):
+    def __init__(self, family: LSHFamily, l: int, seed: SeedLike = None, *, _functions=None):
         if l < 1:
             raise InvalidParameterError(f"number of tables must be >= 1, got {l}")
         self.family = family
         self.l = int(l)
         self._rng = ensure_rng(seed)
-        self._functions: List[HashFunction] = [self.family.sample(self._rng) for _ in range(self.l)]
+        # _functions is the snapshot-restore path: it injects previously drawn
+        # hash functions instead of sampling (and discarding) fresh ones.
+        if _functions is not None:
+            self._functions: List[HashFunction] = list(_functions)
+        else:
+            self._functions = [self.family.sample(self._rng) for _ in range(self.l)]
         # Families that support it provide a vectorized evaluator over all L
         # functions at once; pure-Python hashing loops are the bottleneck
         # otherwise (hundreds of tables times thousands of points).
@@ -89,6 +148,9 @@ class LSHTables:
         self._n = 0
         self._ranks: Optional[np.ndarray] = None
         self._fitted = False
+        # Primed query-key cache (see prime_key_cache): digest -> per-table keys.
+        self._key_cache: Dict[Hashable, List[Hashable]] = {}
+        self.key_cache_hits = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -122,21 +184,21 @@ class LSHTables:
         else:
             all_keys = [function.hash_dataset(dataset) for function in self._functions]
         for keys in all_keys:
-            groups: Dict[Hashable, List[int]] = {}
-            for index, key in enumerate(keys):
-                groups.setdefault(key, []).append(index)
-            table: Dict[Hashable, Bucket] = {}
-            for key, members in groups.items():
-                indices = np.asarray(members, dtype=np.intp)
-                if ranks is not None:
-                    member_ranks = ranks[indices]
-                    order = np.argsort(member_ranks, kind="stable")
-                    table[key] = Bucket(indices[order], member_ranks[order])
-                else:
-                    table[key] = Bucket(indices)
-            self._tables.append(table)
+            self._tables.append(self._build_table(keys, ranks))
         self._fitted = True
         return self
+
+    @staticmethod
+    def _build_table(keys: Sequence[Hashable], ranks: Optional[np.ndarray]) -> Dict[Hashable, Bucket]:
+        """Group per-point bucket keys into one table of rank-sorted buckets."""
+        groups: Dict[Hashable, List[int]] = {}
+        for index, key in enumerate(keys):
+            groups.setdefault(key, []).append(index)
+        table: Dict[Hashable, Bucket] = {}
+        for key, members in groups.items():
+            indices = np.asarray(members, dtype=np.intp)
+            table[key] = Bucket.from_members(indices, None if ranks is None else ranks[indices])
+        return table
 
     # ------------------------------------------------------------------
     # Introspection
@@ -152,9 +214,40 @@ class LSHTables:
         return self.l
 
     @property
+    def num_live(self) -> int:
+        """Number of live indexed points (static tables: every point).
+
+        Mutable subclasses override this to exclude tombstoned slots, so
+        samplers can size budgets and parameter records off the data actually
+        being served rather than every slot ever allocated.
+        """
+        return self._n
+
+    def ensure_clean_buckets(self) -> None:
+        """Guarantee buckets reference live points only (static: always true).
+
+        Samplers that derive per-bucket state (e.g. the Section 4
+        count-distinct sketches) call this before rebuilding, so the contract
+        lives in the table API; mutable subclasses override it to sweep
+        pending tombstones.
+        """
+
+    @property
     def ranks(self) -> Optional[np.ndarray]:
         """The rank array used at construction time, if any."""
         return self._ranks
+
+    @property
+    def rank_domain(self) -> int:
+        """Exclusive upper bound of the stored rank values.
+
+        Static tables use a permutation of ``0 .. n-1``; mutable tables draw
+        ranks from a much larger fixed domain so that inserts stay
+        exchangeable with existing points (see
+        :class:`~repro.engine.dynamic.DynamicLSHTables`).  Rank-segment
+        queries (Section 4) must partition this domain, not ``n``.
+        """
+        return self._n
 
     def bucket_sizes(self) -> List[Dict[Hashable, int]]:
         """Size of every bucket per table (useful for diagnostics/tests)."""
@@ -170,10 +263,54 @@ class LSHTables:
     # Queries
     # ------------------------------------------------------------------
     def query_keys(self, query: Point) -> List[Hashable]:
-        """The bucket key of *query* in each table."""
+        """The bucket key of *query* in each table.
+
+        Keys primed via :meth:`prime_key_cache` are served from the cache, so
+        batched execution pays for hashing once per query even though the
+        samplers call this method internally.
+        """
+        if self._key_cache:
+            digest = point_digest(query)
+            if digest is not None:
+                cached = self._key_cache.get(digest)
+                if cached is not None:
+                    self.key_cache_hits += 1
+                    return cached
         if self._batch_hasher is not None:
             return self._batch_hasher.keys_for_point(query)
         return [function(query) for function in self._functions]
+
+    def query_keys_many(self, queries: Sequence[Point]) -> List[List[Hashable]]:
+        """Per query, the bucket key in each table — hashed in one batch.
+
+        Uses the family's :class:`~repro.lsh.family.BatchHasher` to evaluate
+        all ``L`` functions over the whole query batch with vectorized numpy
+        operations; families without one fall back to per-query hashing.
+        """
+        if len(queries) == 0:
+            return []
+        if self._batch_hasher is not None:
+            return self._batch_hasher.keys_for_points(queries)
+        return [self.query_keys(query) for query in queries]
+
+    def prime_key_cache(self, queries: Sequence[Point], keys_per_query: Sequence[List[Hashable]]) -> None:
+        """Pre-populate the query-key cache (used by the batch engine).
+
+        Queries without a hashable digest are silently skipped; they fall
+        back to per-query hashing.
+        """
+        if len(queries) != len(keys_per_query):
+            raise InvalidParameterError(
+                f"got {len(queries)} queries but {len(keys_per_query)} key lists"
+            )
+        for query, keys in zip(queries, keys_per_query):
+            digest = point_digest(query)
+            if digest is not None:
+                self._key_cache[digest] = list(keys)
+
+    def clear_key_cache(self) -> None:
+        """Drop all primed query keys (hit counters are preserved)."""
+        self._key_cache.clear()
 
     def query_buckets(self, query: Point) -> List[Bucket]:
         """The (possibly empty) bucket colliding with *query* in each table."""
@@ -196,6 +333,34 @@ class LSHTables:
         if not buckets:
             return np.empty(0, dtype=np.intp)
         return np.concatenate([b.indices for b in buckets])
+
+    def colliding_view(self, query: Point) -> tuple:
+        """Rank-sorted ``(ranks, indices)`` of all points colliding with *query*.
+
+        The concatenation of the ``L`` colliding buckets, sorted by rank, with
+        multiplicity (a point colliding in several tables appears once per
+        table).  This is the single array pass that replaces per-bucket Python
+        loops in both the Section 4 rejection sampler and the batch engine's
+        candidate-gathering stage; consumers de-duplicate after slicing.
+        """
+        self._check_fitted()
+        if self._ranks is None:
+            raise InvalidParameterError("tables were built without ranks; no rank-sorted view")
+        rank_parts = []
+        index_parts = []
+        # One pass, attribute access only: with hundreds of tables this loop
+        # is hot enough that Bucket.__len__ calls and empty-bucket
+        # placeholders show up in serving profiles.
+        for bucket in self.query_buckets(query):
+            if bucket.indices.size:
+                rank_parts.append(bucket.ranks)
+                index_parts.append(bucket.indices)
+        if not rank_parts:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.intp))
+        ranks = np.concatenate(rank_parts)
+        indices = np.concatenate(index_parts)
+        order = np.argsort(ranks, kind="stable")
+        return (ranks[order], indices[order])
 
     def rank_range_candidates(self, query: Point, lo: int, hi: int) -> np.ndarray:
         """Unique colliding indices with rank in ``[lo, hi)`` (Section 4, step 3b)."""

@@ -38,6 +38,35 @@ class TestBucket:
         assert bucket.rank_range(9, 100).tolist() == [13]
         assert bucket.rank_range(3, 5).tolist() == []
 
+    def test_rank_range_on_empty_bucket(self):
+        bucket = Bucket(np.empty(0, dtype=np.intp), np.empty(0, dtype=np.int64))
+        assert bucket.rank_range(0, 100).tolist() == []
+        assert len(bucket) == 0
+
+    def test_rank_range_with_lo_equal_hi_is_empty(self):
+        bucket = Bucket(np.array([7, 8]), np.array([1, 3]))
+        assert bucket.rank_range(1, 1).tolist() == []
+        assert bucket.rank_range(3, 3).tolist() == []
+
+    def test_rank_range_without_ranks_raises_invalid_parameter(self):
+        bucket = Bucket(np.array([0, 1, 2]))
+        with pytest.raises(InvalidParameterError):
+            bucket.rank_range(0, 0)
+
+    def test_inserted_keeps_rank_order(self):
+        bucket = Bucket(np.array([10, 11], dtype=np.intp), np.array([2, 8]))
+        grown = bucket.inserted(12, 5)
+        assert grown.indices.tolist() == [10, 12, 11]
+        assert grown.ranks.tolist() == [2, 5, 8]
+        # Original bucket is untouched (inserted returns a copy).
+        assert bucket.indices.tolist() == [10, 11]
+
+    def test_inserted_rank_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            Bucket(np.array([0])).inserted(1, 5)
+        with pytest.raises(InvalidParameterError):
+            Bucket(np.array([0]), np.array([1])).inserted(1, None)
+
 
 class TestConstruction:
     def test_requires_at_least_one_table(self):
@@ -138,3 +167,45 @@ class TestQueries:
         # A completely unrelated set should rarely collide; at worst it returns
         # a small subset of the data, never an error.
         assert candidates.size <= len(tiny_sets)
+
+    def test_collision_counts_with_no_collisions_is_empty(self, tiny_sets):
+        # Concatenating several MinHash functions drives the collision
+        # probability of a disjoint query to (essentially) zero.
+        tables = LSHTables(MinHashFamily().concatenate(4), l=5, seed=11).fit(tiny_sets)
+        counts = tables.collision_counts(frozenset({999, 1000, 1001}))
+        assert counts == {}
+
+
+class TestBatchedQueryKeys:
+    def test_query_keys_many_matches_per_query_hashing(self, tiny_sets):
+        tables = LSHTables(MinHashFamily(), l=6, seed=12).fit(tiny_sets)
+        batched = tables.query_keys_many(tiny_sets)
+        assert batched == [tables.query_keys(point) for point in tiny_sets]
+
+    def test_query_keys_many_matches_for_concatenated_family(self, tiny_sets):
+        tables = LSHTables(OneBitMinHashFamily().concatenate(3), l=4, seed=13).fit(tiny_sets)
+        batched = tables.query_keys_many(tiny_sets)
+        assert batched == [tables.query_keys(point) for point in tiny_sets]
+
+    def test_query_keys_many_without_batch_hasher_falls_back(self, tiny_sets):
+        tables = LSHTables(MinHashFamily(), l=3, seed=14).fit(tiny_sets)
+        expected = [tables.query_keys(point) for point in tiny_sets]
+        tables._batch_hasher = None
+        assert tables.query_keys_many(tiny_sets) == expected
+        assert tables.query_keys_many([]) == []
+
+    def test_primed_key_cache_serves_hits_and_clears(self, tiny_sets):
+        tables = LSHTables(MinHashFamily(), l=5, seed=15).fit(tiny_sets)
+        expected = [tables.query_keys(point) for point in tiny_sets]
+        tables.prime_key_cache(tiny_sets, tables.query_keys_many(tiny_sets))
+        assert tables.key_cache_hits == 0
+        assert [tables.query_keys(point) for point in tiny_sets] == expected
+        assert tables.key_cache_hits == len(tiny_sets)
+        tables.clear_key_cache()
+        assert [tables.query_keys(point) for point in tiny_sets] == expected
+        assert tables.key_cache_hits == len(tiny_sets)  # no further hits
+
+    def test_prime_key_cache_length_mismatch_rejected(self, tiny_sets):
+        tables = LSHTables(MinHashFamily(), l=2, seed=16).fit(tiny_sets)
+        with pytest.raises(InvalidParameterError):
+            tables.prime_key_cache(tiny_sets, [[0]])
