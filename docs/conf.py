@@ -1,0 +1,31 @@
+"""Sphinx configuration for the repro library documentation.
+
+The pages are MyST markdown (``myst_parser``); build them with::
+
+    sphinx-build -W -b html docs docs/_build
+
+``-W`` (warnings are errors) is enforced in CI, so keep every page in the
+``index.md`` toctree and every cross-page link valid.
+"""
+
+import pathlib
+import sys
+
+# Make the library importable for doctest-style snippets and future autodoc.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+project = "repro — fair near-neighbor sampling"
+author = "repro contributors"
+copyright = "2026, repro contributors"
+
+extensions = ["myst_parser"]
+
+source_suffix = {".md": "markdown"}
+root_doc = "index"
+
+exclude_patterns = ["_build"]
+
+html_theme = "alabaster"
+html_title = "repro"
+
+myst_enable_extensions = ["colon_fence"]

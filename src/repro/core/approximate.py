@@ -29,6 +29,14 @@ class ApproximateNeighborhoodSampler(LSHNeighborSampler):
     """
 
     def sample_detailed(self, query: Point, exclude_index: int = None) -> QueryResult:
+        """Draw uniformly from the colliding points within the relaxed radius.
+
+        Points are filtered against ``far_radius`` (``cr``), not ``radius``:
+        this is Har-Peled and Mahabadi's approximate-neighborhood notion, so
+        the returned point may be a cr-near (rather than r-near) neighbor.
+        See :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
+        parameters and the returned :class:`~repro.core.result.QueryResult`.
+        """
         self._check_fitted()
         stats = QueryStats()
         candidates = self.tables.query_candidates(query)

@@ -165,6 +165,13 @@ class LSHNeighborSampler(NeighborSampler):
     #: Samplers that index arrays by rank value must set this False.
     supports_dynamic_ranks: bool = True
 
+    #: Whether this sampler's :meth:`_after_update` consumes the structured
+    #: :class:`~repro.engine.dynamic.MutationDelta`.  Samplers with derived
+    #: per-bucket state set this True; for everyone else ``notify_update``
+    #: discards the record unresolved, skipping the per-batch hashing and
+    #: grouping that resolution costs.
+    consumes_mutation_deltas: bool = False
+
     def __init__(
         self,
         family: LSHFamily,
@@ -192,6 +199,9 @@ class LSHNeighborSampler(NeighborSampler):
         self.params: Optional[LSHParameters] = None
         self.tables: Optional[LSHTables] = None
         self.ranks: Optional[np.ndarray] = None
+        # Table-layer mutation epoch this sampler last synchronized at; see
+        # notify_update.
+        self._synced_epoch = 0
 
     # ------------------------------------------------------------------
     def _default_far_radius(self) -> float:
@@ -254,6 +264,7 @@ class LSHNeighborSampler(NeighborSampler):
             self.ranks = self._perm_rng.permutation(n)
         self.tables.fit(dataset, ranks=self.ranks)
         self._store_dataset(dataset)
+        self._synced_epoch = self.tables.mutation_epoch
         self._after_fit()
         return self
 
@@ -289,6 +300,14 @@ class LSHNeighborSampler(NeighborSampler):
         # left untouched so a later plain fit() still auto-selects (K, L).
         self.params = self._attached_parameters(n)
         self._store_dataset(dataset)
+        # _after_fit rebuilds all derived state from the tables as they are
+        # now: any still-undrained mutation record predates that rebuild, so
+        # it is discarded (unresolved — cheap) and the sampler starts
+        # epoch-aligned instead of paying a second full rebuild on its first
+        # sync.  A previously attached sampler loses the record too, but its
+        # epoch check detects that and falls back to a rebuild of its own.
+        tables.discard_delta()
+        self._synced_epoch = getattr(tables, "mutation_epoch", 0)
         self._after_fit()
         return self
 
@@ -311,9 +330,21 @@ class LSHNeighborSampler(NeighborSampler):
         """Tell the sampler its attached tables mutated (insert/delete).
 
         Refreshes the views that go stale when the table layer grows its
-        arrays, recomputes the parameter record for the new ``n``, and gives
-        subclasses a chance to rebuild derived per-bucket state through
-        :meth:`_after_update`.
+        arrays, recomputes the parameter record for the new ``n``, drains the
+        table layer's structured :class:`~repro.engine.dynamic.MutationDelta`
+        and hands it to :meth:`_after_update` so subclasses can maintain
+        derived per-bucket state incrementally.  Tables that do not track
+        deltas report ``None``, which subclasses must treat as "anything may
+        have changed" (full rebuild).
+
+        The delta is drained (single-consumer).  Samplers track the table
+        layer's mutation epoch and compare it with the drained record's
+        ``start_epoch``, so a sampler that missed an earlier record (it went
+        to a different consumer — two samplers attached to one table set)
+        detects the gap, receives ``None`` and rebuilds in full instead of
+        silently applying only the tail of the mutation history.  Samplers
+        that declare :attr:`consumes_mutation_deltas` False skip the drain
+        (and its resolution cost) entirely; the record is discarded.
         """
         self._check_fitted()
         self.ranks = self.tables.ranks if self._use_ranks else None
@@ -321,7 +352,19 @@ class LSHNeighborSampler(NeighborSampler):
         # growing while the served dataset does not, and parameter records
         # (expected far collisions etc.) should describe the latter.
         self.params = self._attached_parameters(max(1, self.tables.num_live))
-        self._after_update()
+        epoch = getattr(self.tables, "mutation_epoch", 0)
+        if self.consumes_mutation_deltas:
+            delta = self.tables.drain_delta()
+            if delta is not None and delta.start_epoch != self._synced_epoch:
+                # Mutations between our last sync and this record's start
+                # were drained by another consumer; without their record,
+                # only a full rebuild is safe.
+                delta = None
+        else:
+            self.tables.discard_delta()
+            delta = None
+        self._synced_epoch = epoch
+        self._after_update(delta)
 
     def sample_detailed_from_candidates(
         self,
@@ -360,11 +403,20 @@ class LSHNeighborSampler(NeighborSampler):
     def _after_fit(self) -> None:
         """Hook for subclasses needing extra per-bucket structures."""
 
-    def _after_update(self) -> None:
+    def _after_update(self, delta=None) -> None:
         """Hook invoked by :meth:`notify_update`; default is a no-op.
 
         Subclasses that cache per-bucket derivatives (e.g. the Section 4
-        count-distinct sketches) must rebuild or invalidate them here.
+        count-distinct sketches) must bring them up to date here.
+
+        Parameters
+        ----------
+        delta:
+            The :class:`~repro.engine.dynamic.MutationDelta` drained from the
+            table layer, naming exactly which buckets changed and how —
+            subclasses should use it to update only the affected state.
+            ``None`` means the tables reported no structured delta; the only
+            safe response is a full rebuild of all derived state.
         """
 
     # ------------------------------------------------------------------

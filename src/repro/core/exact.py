@@ -21,7 +21,17 @@ from repro.types import Dataset, Point
 
 
 class ExactUniformSampler(NeighborSampler):
-    """Uniform sampling from the exact neighborhood by exhaustive search."""
+    """Uniform sampling from the exact neighborhood by exhaustive search.
+
+    Parameters
+    ----------
+    measure:
+        Distance or similarity measure defining the ball.
+    radius:
+        Near threshold ``r`` in that measure.
+    seed:
+        Controls the uniform draw from the computed neighborhood.
+    """
 
     def __init__(self, measure: Measure, radius: float, seed: SeedLike = None):
         super().__init__()
@@ -30,6 +40,7 @@ class ExactUniformSampler(NeighborSampler):
         self._rng = ensure_rng(seed)
 
     def fit(self, dataset: Dataset) -> "ExactUniformSampler":
+        """Store the dataset (no index is built); returns ``self``."""
         self._store_dataset(dataset)
         return self
 
@@ -40,6 +51,13 @@ class ExactUniformSampler(NeighborSampler):
         return np.flatnonzero(self.measure.within_mask(values, self.radius))
 
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        """Compute the exact ball and return a uniform element of it.
+
+        Linear in ``n`` — the reference answer distribution the fair
+        samplers are audited against.  See
+        :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
+        parameters and the returned :class:`~repro.core.result.QueryResult`.
+        """
         self._check_fitted()
         values = self.measure.values_to_query(self._dataset, query)
         near = np.flatnonzero(self.measure.within_mask(values, self.radius))

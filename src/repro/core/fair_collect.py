@@ -21,6 +21,14 @@ class CollectAllFairSampler(LSHNeighborSampler):
     """Collect every colliding r-near point, dedupe, sample uniformly."""
 
     def sample_detailed(self, query: Point, exclude_index: int = None) -> QueryResult:
+        """Gather all colliding points, keep the r-near ones, draw uniformly.
+
+        Exact uniformity over the colliding near points, bought with a full
+        scan of every colliding bucket — the Section 6 "fair LSH" baseline
+        cost the paper's structures avoid.  See
+        :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
+        parameters and the returned :class:`~repro.core.result.QueryResult`.
+        """
         self._check_fitted()
         stats = QueryStats()
         candidates = self.tables.query_candidates(query)

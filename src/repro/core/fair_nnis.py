@@ -20,6 +20,13 @@ by a random rank permutation) and adds two ingredients:
 with high probability) and is halved every ``Sigma = Theta(log^2 n)``
 unsuccessful rounds, which keeps the expected query time at
 ``O~(n^rho + b(q, cr) / (b(q, r) + 1))``.
+
+Served over :class:`~repro.engine.dynamic.DynamicLSHTables`, the per-bucket
+sketches are maintained *incrementally*: each mutation batch's
+:class:`~repro.engine.dynamic.MutationDelta` is folded into only the
+affected bucket sketches (inserts merge, deletions trigger a targeted
+per-bucket rebuild), so sketch upkeep costs ``O(batch x L)`` instead of the
+``O(total bucket refs)`` a full rebuild would — see :meth:`_after_update`.
 """
 
 from __future__ import annotations
@@ -42,6 +49,11 @@ from repro.types import Point
 class IndependentFairSampler(LSHNeighborSampler):
     """The Section 4 r-NNIS data structure.
 
+    The per-bucket sketches are derived state, so this sampler opts into
+    structured mutation deltas (see
+    :attr:`~repro.core.base.LSHNeighborSampler.consumes_mutation_deltas`)
+    and maintains the sketches incrementally under churn.
+
     Extra parameters beyond :class:`~repro.core.base.LSHNeighborSampler`:
 
     lambda_factor, sigma_factor:
@@ -58,6 +70,8 @@ class IndependentFairSampler(LSHNeighborSampler):
     max_rounds:
         Hard safety cap on the total number of rejection rounds.
     """
+
+    consumes_mutation_deltas = True
 
     def __init__(
         self,
@@ -129,23 +143,102 @@ class IndependentFairSampler(LSHNeighborSampler):
         self._bucket_sketches = []
         for table in self.tables._tables:
             sketches: Dict[Hashable, BottomTSketch] = {}
-            for key, bucket in table.items():
-                if len(bucket) >= self.sketch_min_bucket:
-                    sketches[key] = self._sketcher.sketch_keys(int(i) for i in bucket.indices)
+            # Through _refresh_bucket_sketch so that attach()ing to dynamic
+            # tables with tombstones still awaiting compaction never bakes
+            # dead members into a sketch.
+            for key in table:
+                self._refresh_bucket_sketch(table, sketches, key)
             self._bucket_sketches.append(sketches)
 
-    def _after_update(self) -> None:
-        """Attached tables mutated: cached estimates and sketches are stale.
+    def _after_update(self, delta=None) -> None:
+        """Attached tables mutated: bring the per-bucket sketches up to date.
 
-        Tombstoned members must not be counted by the rebuilt sketches (an
-        inflated ``s_q`` makes queries with an emptied neighborhood burn the
-        full rejection-round budget), so pending tombstones are compacted
-        away first — no extra asymptotic cost, since the sketch rebuild
-        already touches every bucket reference.  The serving engine coalesces
-        updates so this runs once per mutation batch, not once per insert.
+        With a structured :class:`~repro.engine.dynamic.MutationDelta` the
+        work is proportional to the batch, not the index: inserted members
+        are folded into the ``L`` affected bucket sketches with
+        :meth:`~repro.sketches.kmv.BottomTSketch.add_keys` (sketches are
+        union-closed, so merging is exact), buckets whose live size crosses
+        ``sketch_min_bucket`` are promoted to a stored sketch, and only the
+        buckets that saw deletions or a compaction sweep fall back to a
+        targeted rebuild — a tombstone cannot be subtracted from a sketch.
+        Buckets that shrink below ``sketch_min_bucket`` drop their sketch
+        (keeping it would over-count forever; the exact small-bucket path
+        takes over).  The serving engine coalesces updates so this runs once
+        per mutation batch, not once per mutation.
+
+        Without a delta (``None`` — the tables do not track mutations) every
+        sketch is rebuilt from compacted buckets, the pre-incremental
+        behaviour.
         """
-        self.tables.ensure_clean_buckets()
-        self._after_fit()
+        # A full rebuild also re-draws the sketcher for the current n, so the
+        # sketch hash range tracks the index size.  The incremental path must
+        # not outgrow the fit-time range indefinitely (keys colliding in a
+        # too-small range make sketches under-count): once the slot count
+        # exceeds the sketcher's universe with 4x headroom, fall back to one
+        # full rebuild — amortized O(1) per insert, since the next fallback
+        # is another 4x away.  getattr: sketchers unpickled from pre-v2
+        # snapshots lack the attribute, and the 0 default routes them into
+        # the same rebuild (which re-draws a modern sketcher).
+        if (
+            delta is None
+            or delta.overflowed
+            or self.tables.num_points > 4 * getattr(self._sketcher, "universe_size", 0)
+        ):
+            self.tables.ensure_clean_buckets()
+            self._after_fit()
+            # The rebuild reflects everything up to and including the
+            # compaction it just forced — whose sweep record landed in the
+            # tables' fresh delta.  Drop that residue and re-anchor, or the
+            # next sync would redundantly re-sketch every swept bucket.
+            self.tables.discard_delta()
+            self._synced_epoch = getattr(self.tables, "mutation_epoch", 0)
+            return
+        # Cached estimates and candidate views may describe pre-mutation
+        # tables; drop them even for an empty delta — they are cheap to
+        # rebuild and notify_update only fires when something mutated.
+        self._estimate_cache.clear()
+        self._view_cache.clear()
+        if delta.is_empty:
+            return
+        for table_index, table in enumerate(self.tables._tables):
+            sketches = self._bucket_sketches[table_index]
+            rebuild_keys = delta.rebuild_keys(table_index)
+            for key in rebuild_keys:
+                self._refresh_bucket_sketch(table, sketches, key)
+            for key, members in delta.inserted_members[table_index].items():
+                if key in rebuild_keys:
+                    continue  # already rebuilt from the current live members
+                sketch = sketches.get(key)
+                if sketch is not None:
+                    sketch.add_keys(members)
+                else:
+                    # No stored sketch: the bucket was small before the batch;
+                    # promote it if the inserts pushed it past the cutoff.
+                    self._refresh_bucket_sketch(table, sketches, key)
+
+    def _refresh_bucket_sketch(
+        self, table: Dict[Hashable, object], sketches: Dict[Hashable, BottomTSketch], key: Hashable
+    ) -> None:
+        """Recompute one bucket's stored sketch from its live members.
+
+        Drops the sketch when the bucket disappeared or its live size is
+        below ``sketch_min_bucket`` (small buckets are answered exactly at
+        query time); otherwise re-sketches the surviving members.  Bucket
+        arrays may still hold tombstoned references awaiting compaction, so
+        membership is filtered through the table layer's liveness mask.
+        """
+        bucket = table.get(key)
+        if bucket is None:
+            sketches.pop(key, None)
+            return
+        members = bucket.indices
+        alive = getattr(self.tables, "alive", None)
+        if alive is not None:
+            members = members[alive[members]]
+        if members.size >= self.sketch_min_bucket:
+            sketches[key] = self._sketcher.sketch_keys(int(i) for i in members)
+        else:
+            sketches.pop(key, None)
 
     def _stripped_for_snapshot(self):
         # The per-query caches are deterministic functions of the tables and
@@ -165,10 +258,14 @@ class IndependentFairSampler(LSHNeighborSampler):
         if digest is not None and digest in self._estimate_cache:
             return self._estimate_cache[digest]
         query_keys = self.tables.query_keys(query)
+        # query_buckets (rather than raw table access) so that tombstoned
+        # members awaiting compaction are filtered out of the on-the-fly
+        # small-bucket sketches; stored sketches already exclude them.  The
+        # keys are passed along so the query is hashed only once.
+        buckets = self.tables.query_buckets(query, keys=query_keys)
         merged: Optional[BottomTSketch] = None
-        for table_index, (key, table) in enumerate(zip(query_keys, self.tables._tables)):
-            bucket = table.get(key)
-            if bucket is None or len(bucket) == 0:
+        for table_index, (key, bucket) in enumerate(zip(query_keys, buckets)):
+            if len(bucket) == 0:
                 continue
             sketch = self._bucket_sketches[table_index].get(key)
             if sketch is None:
@@ -219,6 +316,16 @@ class IndependentFairSampler(LSHNeighborSampler):
     # Query
     # ------------------------------------------------------------------
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        """Section 4 r-NNIS query: segment rejection sampling over ranks.
+
+        Estimates ``s_q`` from the merged bucket sketches, splits the rank
+        domain into ``k ~ 2 s_q`` segments and rejection-samples segments
+        until one is accepted; all randomness is drawn at query time, so
+        answers are uniform *and* independent across repeated queries
+        (Theorem 2).  See
+        :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
+        parameters and the returned :class:`~repro.core.result.QueryResult`.
+        """
         self._check_fitted()
         stats = QueryStats()
         value_cache: dict = {}

@@ -60,6 +60,16 @@ class PermutationFairSampler(LSHNeighborSampler):
 
     # ------------------------------------------------------------------
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        """Return the minimum-rank r-near colliding point (Section 3 query).
+
+        Scans the ``L`` colliding buckets in rank order and returns the near
+        point with the smallest rank; because the rank permutation is
+        uniform, the answer is a uniform draw from the colliding near points
+        (deterministic given the construction randomness — repeated queries
+        return the same neighbor).  See
+        :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
+        parameters and the returned :class:`~repro.core.result.QueryResult`.
+        """
         self._check_fitted()
         stats = QueryStats()
         value_cache: dict = {}

@@ -119,6 +119,11 @@ class GaussianFilterIndex(NeighborSampler):
     # Construction
     # ------------------------------------------------------------------
     def fit(self, dataset: Dataset) -> "GaussianFilterIndex":
+        """Build the filter index over a 2-D array of unit vectors.
+
+        Draws the Gaussian filter directions, evaluates every point against
+        every filter and stores the survivors per filter; returns ``self``.
+        """
         data = np.asarray(dataset, dtype=float)
         if data.ndim != 2 or data.shape[0] == 0:
             raise EmptyDatasetError("GaussianFilterIndex requires a non-empty 2-D dataset")

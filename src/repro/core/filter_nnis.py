@@ -83,6 +83,12 @@ class FilterFairSampler(NeighborSampler):
 
     # ------------------------------------------------------------------
     def fit(self, dataset: Dataset) -> "FilterFairSampler":
+        """Build the ``O(log n)`` independent filter indexes; returns ``self``.
+
+        Each query round consumes one structure's independent randomness, so
+        the number of structures bounds how many rejection rounds stay
+        provably independent.
+        """
         data = np.asarray(dataset, dtype=float)
         if data.ndim != 2 or data.shape[0] == 0:
             raise EmptyDatasetError("FilterFairSampler requires a non-empty 2-D dataset")
@@ -136,6 +142,15 @@ class FilterFairSampler(NeighborSampler):
 
     # ------------------------------------------------------------------
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        """Section 5.2 alpha-NNIS query: rejection-sample over the filters.
+
+        Each round queries one of the independent filter structures and
+        accepts a candidate with the bias-correcting probability, so every
+        alpha-near point is returned uniformly and independently across
+        queries.  See :meth:`~repro.core.base.NeighborSampler.sample_detailed`
+        for the parameters and the returned
+        :class:`~repro.core.result.QueryResult`.
+        """
         self._check_fitted()
         query = np.asarray(query, dtype=float)
         stats = QueryStats()

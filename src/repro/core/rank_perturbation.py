@@ -39,11 +39,13 @@ class _DynamicBucket:
         self.indices: List[int] = []
 
     def insert(self, rank: int, index: int) -> None:
+        """Splice point *index* with *rank* into its sorted position."""
         position = bisect.bisect_left(self.ranks, rank)
         self.ranks.insert(position, rank)
         self.indices.insert(position, index)
 
     def remove(self, rank: int, index: int) -> None:
+        """Remove the (rank, index) pair (tolerating duplicate ranks)."""
         position = bisect.bisect_left(self.ranks, rank)
         while position < len(self.ranks) and self.ranks[position] == rank:
             if self.indices[position] == index:
@@ -121,6 +123,14 @@ class RankPerturbationSampler(LSHNeighborSampler):
 
     # ------------------------------------------------------------------
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        """Appendix A query: re-randomize one rank, return the minimum-rank near point.
+
+        Before the scan, a random point's rank is redrawn (the "perturbation"),
+        which makes repeated queries independent while keeping each answer
+        uniform over the colliding near points.  See
+        :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
+        parameters and the returned :class:`~repro.core.result.QueryResult`.
+        """
         self._check_fitted()
         stats = QueryStats()
         value_cache: dict = {}

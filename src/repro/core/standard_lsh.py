@@ -45,6 +45,13 @@ class StandardLSHSampler(LSHNeighborSampler):
         return not self._shuffle_tables
 
     def sample_detailed(self, query: Point, exclude_index: int = None) -> QueryResult:
+        """Classical LSH query: return the first r-near colliding point found.
+
+        Fast — but the output is biased towards close neighbors (the paper's
+        Figure 1); use the fair samplers when uniformity matters.  See
+        :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
+        parameters and the returned :class:`~repro.core.result.QueryResult`.
+        """
         self._check_fitted()
         stats = QueryStats()
         value_cache: dict = {}

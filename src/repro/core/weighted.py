@@ -83,6 +83,15 @@ class WeightedFairSampler(NeighborSampler):
             self._store_dataset(self.base.dataset)
 
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
+        """Weighted draw: rejection-sample the base sampler's uniform output.
+
+        Each round draws a uniform near neighbor from the base sampler and
+        accepts it with probability proportional to its weight, so the
+        output distribution is proportional to the weight function over the
+        neighborhood.  See
+        :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
+        parameters and the returned :class:`~repro.core.result.QueryResult`.
+        """
         self._ensure_bound_to_base()
         self._check_fitted()
         stats = QueryStats()

@@ -7,7 +7,10 @@ system:
 * :class:`~repro.engine.dynamic.DynamicLSHTables` — LSH tables that absorb
   inserts and deletes online (rank-sorted bucket insertion, tombstone
   deletes, amortized compaction) while preserving the rank exchangeability
-  the fair samplers' uniformity guarantees rest on;
+  the fair samplers' uniformity guarantees rest on, and that report every
+  mutation batch as a structured
+  :class:`~repro.engine.dynamic.MutationDelta` so attached samplers can
+  maintain derived per-bucket state incrementally;
 * :class:`~repro.engine.batch.BatchQueryEngine` — batched query execution
   that hashes a whole batch of queries in one vectorized pass and dispatches
   to any sampler, with per-engine serving statistics;
@@ -29,13 +32,14 @@ True
 """
 
 from repro.engine.batch import BatchQueryEngine
-from repro.engine.dynamic import RANK_DOMAIN, DynamicLSHTables
+from repro.engine.dynamic import RANK_DOMAIN, DynamicLSHTables, MutationDelta
 from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
 from repro.engine.snapshot import load_engine, save_engine
 
 __all__ = [
     "BatchQueryEngine",
     "DynamicLSHTables",
+    "MutationDelta",
     "RANK_DOMAIN",
     "EngineStats",
     "QueryRequest",

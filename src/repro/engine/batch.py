@@ -16,9 +16,12 @@ make a batch of ``m`` queries much cheaper than ``m`` independent calls:
    can sit behind the engine unchanged.
 3. **Mutation coalescing.**  ``insert``/``delete`` are forwarded to the
    attached :class:`~repro.engine.dynamic.DynamicLSHTables` and the sampler
-   is re-synchronized lazily, once per batch, so samplers with expensive
-   derived state (the Section 4 sketches) pay per *batch of updates*, not per
-   update.
+   is re-synchronized lazily, once per batch: the tables' accumulated
+   :class:`~repro.engine.dynamic.MutationDelta` is drained through
+   :meth:`~repro.core.base.LSHNeighborSampler.notify_update`, so samplers
+   with expensive derived state (the Section 4 sketches) pay incremental,
+   per-affected-bucket maintenance per *batch of updates*, not a full
+   rebuild per update.
 
 Engines over a static :class:`~repro.lsh.tables.LSHTables` support
 everything except mutation.
@@ -173,7 +176,13 @@ class BatchQueryEngine:
         self._tables_dirty = True
 
     def _sync(self) -> None:
-        """Propagate pending index mutations to the sampler (lazily, per batch)."""
+        """Propagate pending index mutations to the sampler (lazily, per batch).
+
+        ``notify_update`` drains the tables' accumulated
+        :class:`~repro.engine.dynamic.MutationDelta`, so the sampler sees one
+        structured description of everything that changed since the last
+        batch and can update only the affected per-bucket state.
+        """
         if not self._tables_dirty:
             return
         tables = self.tables

@@ -8,7 +8,9 @@ serving engine can absorb churn without rebuilding the index:
   it into each bucket's rank-sorted arrays (``O(L * (K + bucket size))``,
   versus ``O(n * L * K)`` for a full refit);
 * **delete** is a tombstone: the point is marked dead in a global liveness
-  mask and queries filter it out lazily, so a delete is ``O(1)``;
+  mask and queries filter it out lazily, so a delete is ``O(1)`` (the
+  buckets it vacated are resolved later, in one vectorized hashing pass
+  over the whole batch, when the mutation delta is read);
 * when the fraction of un-swept tombstones exceeds
   ``max_tombstone_fraction``, every bucket is compacted in one sweep.  The
   sweep visits all ``O(n * L)`` stored references, so with a trigger every
@@ -16,6 +18,17 @@ serving engine can absorb churn without rebuilding the index:
   ``O(L / max_tombstone_fraction)`` per delete — constant per (delete,
   table) pair, far below a refit, but a sweep is a real pause on large
   indexes; size serving budgets accordingly.
+
+**Mutation deltas.**  Every mutation is additionally recorded in a
+:class:`MutationDelta` — per table, which bucket keys gained which members,
+which lost which, and which buckets a compaction sweep rewrote.  The
+attached sampler drains the delta through
+:meth:`~repro.core.base.LSHNeighborSampler.notify_update` (the serving
+engine triggers this once per mutation batch) and uses it to maintain
+derived per-bucket state incrementally: the Section 4 sampler merges
+inserted members into the ``L`` affected count-distinct sketches and
+rebuilds only the buckets that saw deletions, turning sketch upkeep from
+``O(total bucket refs)`` per batch into ``O(batch x L)``.
 
 **Ranks under churn.**  The fair samplers' uniformity rests on every point's
 rank being exchangeable with every other's.  A static index uses a
@@ -39,7 +52,8 @@ snapshot layer persists the liveness mask alongside the buckets.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
 
 import numpy as np
 
@@ -52,6 +66,101 @@ from repro.types import Dataset, Point
 #: Exclusive upper bound of the dynamic rank domain.  62 bits keeps every
 #: rank representable in a signed int64 with headroom for searchsorted bounds.
 RANK_DOMAIN = 1 << 62
+
+
+@dataclass
+class MutationDelta:
+    """Structured record of index mutations since the last drain.
+
+    :class:`DynamicLSHTables` accumulates one of these across mutation calls
+    and hands it to the attached sampler through
+    :meth:`~repro.lsh.tables.LSHTables.drain_delta` /
+    :meth:`~repro.core.base.LSHNeighborSampler.notify_update`.  Samplers with
+    per-bucket derived state (the Section 4 count-distinct sketches) use it
+    to update only the buckets a mutation batch actually touched — ``O(batch
+    x L)`` work — instead of rebuilding every bucket's state from scratch.
+
+    The per-table maps are keyed by bucket key, exactly as the table dicts
+    are, so a consumer can look the affected buckets up directly.
+
+    Attributes
+    ----------
+    inserted:
+        Slot indices added since the last drain, in insertion order.
+    deleted:
+        Slot indices tombstoned since the last drain.
+    inserted_members:
+        One dict per table: bucket key -> slot indices spliced into that
+        bucket by inserts.  Inserted members are *mergeable* into derived
+        per-bucket state (sketches are union-closed).
+    tombstoned_members:
+        One dict per table: bucket key -> slot indices tombstoned out of
+        that bucket.  Tombstones cannot be subtracted from a sketch, so
+        consumers must rebuild these buckets' derived state from the
+        surviving members.
+    compacted_keys:
+        One set per table: bucket keys rewritten (or dropped entirely) by
+        compaction sweeps.  Compaction never changes a bucket's *live*
+        membership, but consumers that track per-bucket state keyed by
+        bucket key should treat these like deletion-affected buckets — a
+        swept bucket may have disappeared from the table altogether.
+    overflowed:
+        True when the record was collapsed because it outgrew its bound
+        (mutations kept accumulating with no consumer draining them).  An
+        overflowed delta's per-item fields are incomplete; the only safe
+        response is a full rebuild of derived state, exactly as for a
+        missing (``None``) delta.
+    start_epoch:
+        The table layer's :attr:`~repro.lsh.tables.LSHTables.mutation_epoch`
+        at the moment this record started accumulating.  A consumer whose
+        last synchronized epoch differs has a *gap* — some earlier record
+        went to a different consumer — and must rebuild in full rather than
+        apply this delta incrementally.
+    """
+
+    inserted: List[int] = field(default_factory=list)
+    deleted: List[int] = field(default_factory=list)
+    inserted_members: List[Dict[Hashable, List[int]]] = field(default_factory=list)
+    tombstoned_members: List[Dict[Hashable, List[int]]] = field(default_factory=list)
+    compacted_keys: List[Set[Hashable]] = field(default_factory=list)
+    overflowed: bool = False
+    start_epoch: int = 0
+
+    @classmethod
+    def empty(cls, num_tables: int, start_epoch: int = 0) -> "MutationDelta":
+        """A delta for *num_tables* tables with nothing recorded yet."""
+        return cls(
+            inserted=[],
+            deleted=[],
+            inserted_members=[{} for _ in range(num_tables)],
+            tombstoned_members=[{} for _ in range(num_tables)],
+            compacted_keys=[set() for _ in range(num_tables)],
+            start_epoch=start_epoch,
+        )
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables the per-table maps describe."""
+        return len(self.inserted_members)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no mutation has been recorded since the last drain."""
+        return not (
+            self.inserted
+            or self.deleted
+            or self.overflowed
+            or any(self.compacted_keys)
+        )
+
+    def rebuild_keys(self, table_index: int) -> Set[Hashable]:
+        """Bucket keys of *table_index* whose derived state must be rebuilt.
+
+        These are the buckets that saw deletions or compaction; merging is
+        impossible there, only a targeted rebuild from the surviving members
+        is correct.
+        """
+        return set(self.tombstoned_members[table_index]) | self.compacted_keys[table_index]
 
 
 class DynamicLSHTables(LSHTables):
@@ -99,6 +208,17 @@ class DynamicLSHTables(LSHTables):
         # the index's whole lifetime.
         self._pending: set = set()
         self.rebuilds_triggered = 0
+        # Mutations accumulated since the last drain_delta(); the serving
+        # engine's per-batch sampler sync consumes this so derived per-bucket
+        # state (the Section 4 sketches) is maintained incrementally.
+        self._delta = MutationDelta.empty(self.l)
+        # Mutations whose per-table bucket keys have not been folded into the
+        # delta yet.  Keeping the raw records and resolving them only when
+        # the delta is read keeps the mutation hot path lean: a delete stays
+        # O(1) (the point object is captured so it survives compaction), and
+        # an insert batch just parks the key lists it computed anyway.
+        self._unresolved_deletes: list = []
+        self._unresolved_inserts: list = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -133,6 +253,10 @@ class DynamicLSHTables(LSHTables):
             self._ranks = self._ranks_buf[:n]
         self._num_live = n
         self._pending.clear()
+        # A refit supersedes any unconsumed mutation history.
+        self._delta = MutationDelta.empty(self.l, start_epoch=self.mutation_epoch)
+        self._unresolved_deletes = []
+        self._unresolved_inserts = []
         return self
 
     def _draw_ranks(self, count: int) -> np.ndarray:
@@ -143,6 +267,7 @@ class DynamicLSHTables(LSHTables):
     # ------------------------------------------------------------------
     @property
     def rank_domain(self) -> int:
+        """The fixed ``2^62`` i.i.d. rank domain (see the module docstring)."""
         return RANK_DOMAIN
 
     @property
@@ -176,6 +301,91 @@ class DynamicLSHTables(LSHTables):
     def pending_tombstones(self) -> int:
         """Dead references still present in bucket arrays (cleared by compaction)."""
         return len(self._pending)
+
+    def peek_delta(self) -> MutationDelta:
+        """The unconsumed :class:`MutationDelta` (without draining it)."""
+        self._resolve_delta()
+        return self._delta
+
+    def _resolve_delta(self) -> None:
+        """Fold mutations recorded since the last read into the delta's maps.
+
+        Deferred so the mutation hot path stays lean: tombstoned points are
+        hashed against all ``L`` tables here, in one vectorized
+        :meth:`query_keys_many` pass per delta read (a ``delete`` itself does
+        no hashing), and insert batches are grouped into per-table
+        ``inserted_members`` from the key lists ``insert_many`` computed
+        anyway.  The work is paid where the record is consumed — the
+        sampler's per-batch sync — not on every mutation call.
+        """
+        if self._delta.overflowed:
+            # The per-item record is already incomplete; resolving the tail
+            # would be wasted work, the consumer must rebuild regardless.
+            self._unresolved_deletes.clear()
+            self._unresolved_inserts.clear()
+            return
+        if self._unresolved_deletes:
+            keys_per_point = self.query_keys_many(
+                [point for _, point in self._unresolved_deletes]
+            )
+            for (index, _), keys in zip(self._unresolved_deletes, keys_per_point):
+                for table_index, key in enumerate(keys):
+                    self._delta.tombstoned_members[table_index].setdefault(key, []).append(index)
+            self._unresolved_deletes.clear()
+        if self._unresolved_inserts:
+            inserted_members = self._delta.inserted_members
+            for start, keys_per_point in self._unresolved_inserts:
+                for offset, keys in enumerate(keys_per_point):
+                    index = start + offset
+                    for table_index, key in enumerate(keys):
+                        inserted_members[table_index].setdefault(key, []).append(index)
+            self._unresolved_inserts.clear()
+
+    def drain_delta(self) -> MutationDelta:
+        """Return and reset the mutations accumulated since the last drain.
+
+        The delta is single-consumer: whoever drains it owns the record, and
+        the tables start accumulating a fresh one.  The serving engine drains
+        once per mutation batch through the attached sampler's
+        :meth:`~repro.core.base.LSHNeighborSampler.notify_update`, which lets
+        the Section 4 sampler fold a batch into only the affected bucket
+        sketches instead of rebuilding all of them.
+        """
+        self._resolve_delta()
+        delta = self._delta
+        self._delta = MutationDelta.empty(self.l, start_epoch=self.mutation_epoch)
+        return delta
+
+    def discard_delta(self) -> None:
+        """Drop the unconsumed mutation record without resolving it.
+
+        Cheaper than :meth:`drain_delta` — no hashing or grouping happens —
+        for consumers (samplers without derived per-bucket state) that only
+        need the record out of the way so it cannot accumulate unboundedly.
+        """
+        self._delta = MutationDelta.empty(self.l, start_epoch=self.mutation_epoch)
+        self._unresolved_deletes.clear()
+        self._unresolved_inserts.clear()
+
+    def _maybe_overflow_delta(self) -> None:
+        """Collapse the unconsumed delta when it outgrows its bound.
+
+        With no consumer draining it (standalone table usage), the record —
+        and the deleted point objects the unresolved queue pins — would grow
+        with lifetime mutations.  Past ``max(1024, 2 * num_live)`` recorded
+        mutations the per-item history stops being cheaper than a rebuild
+        anyway, so it is dropped and replaced by an ``overflowed`` marker;
+        memory stays bounded by the live index size.
+        """
+        delta = self._delta
+        if len(delta.inserted) + len(delta.deleted) <= max(1024, 2 * self._num_live):
+            return
+        # The collapsed record still covers everything since the original
+        # start, so the start epoch is preserved.
+        self._delta = MutationDelta.empty(self.l, start_epoch=delta.start_epoch)
+        self._delta.overflowed = True
+        self._unresolved_deletes.clear()
+        self._unresolved_inserts.clear()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -248,7 +458,15 @@ class DynamicLSHTables(LSHTables):
                     )
         self._points.extend(points)
         self._grow_slots(new_ranks, count)
-        return list(range(start, start + count))
+        indices = list(range(start, start + count))
+        self._delta.inserted.extend(indices)
+        # Park the key lists for the delta; they are grouped into per-table
+        # inserted_members only when the delta is read (see
+        # _resolve_delta), keeping the insert path itself lean.
+        self._unresolved_inserts.append((start, keys_per_point))
+        self.mutation_epoch += 1
+        self._maybe_overflow_delta()
+        return indices
 
     def _grow_slots(self, new_ranks: Optional[np.ndarray], count: int) -> None:
         """Extend the per-slot arrays (liveness, ranks) by *count* live entries.
@@ -277,14 +495,25 @@ class DynamicLSHTables(LSHTables):
     def delete(self, index: int) -> None:
         """Tombstone the point at *index*; queries stop returning it at once.
 
-        Triggers a full bucket compaction when the pending-tombstone fraction
-        crosses :attr:`max_tombstone_fraction`.
+        O(1): the mutation delta's record of which buckets lost the member
+        is resolved lazily — all of a batch's tombstoned points are hashed
+        in one vectorized pass when the delta is next read.  Triggers a full
+        bucket compaction when the pending-tombstone fraction crosses
+        :attr:`max_tombstone_fraction`.
         """
         self._check_fitted()
         if not 0 <= index < self._n:
             raise InvalidParameterError(f"index {index} out of range [0, {self._n})")
         if not self._alive[index]:
             raise InvalidParameterError(f"point {index} was already deleted")
+        # Capture the point object while it still exists (a compaction sweep
+        # — possibly the one triggered below — releases the slot's entry);
+        # its bucket keys are resolved lazily, in one vectorized pass per
+        # delta read, so the delete itself does no hashing.
+        self._unresolved_deletes.append((index, self._points[index]))
+        self._delta.deleted.append(index)
+        self.mutation_epoch += 1
+        self._maybe_overflow_delta()
         self._alive[index] = False
         self._num_live -= 1
         self._pending.add(index)
@@ -315,12 +544,14 @@ class DynamicLSHTables(LSHTables):
         # amortized cost documented in the module docstring.
         alive = self._alive.tolist()
         dead = self._pending
-        for table in self._tables:
+        for table_index, table in enumerate(self._tables):
+            swept = self._delta.compacted_keys[table_index]
             dead_keys: List[Hashable] = []
             for key, bucket in table.items():
                 members = bucket.indices.tolist()
                 if dead.isdisjoint(members):
                     continue
+                swept.add(key)
                 keep = [position for position, index in enumerate(members) if alive[index]]
                 if not keep:
                     dead_keys.append(key)
@@ -331,6 +562,7 @@ class DynamicLSHTables(LSHTables):
                     )
             for key in dead_keys:
                 del table[key]
+        self.mutation_epoch += 1
         # Release the swept points' memory.  Slots are deliberately not
         # renumbered — index stability is what lets samplers, responses and
         # snapshots keep referring to points across mutations — so the slot
@@ -344,9 +576,13 @@ class DynamicLSHTables(LSHTables):
     # ------------------------------------------------------------------
     # Queries (liveness-aware)
     # ------------------------------------------------------------------
-    def query_buckets(self, query: Point) -> List[Bucket]:
-        """Colliding buckets with tombstoned members filtered out."""
-        buckets = super().query_buckets(query)
+    def query_buckets(self, query: Point, keys: Optional[List[Hashable]] = None) -> List[Bucket]:
+        """Colliding buckets with tombstoned members filtered out.
+
+        *keys* are optional pre-computed per-table bucket keys, as in
+        :meth:`~repro.lsh.tables.LSHTables.query_buckets`.
+        """
+        buckets = super().query_buckets(query, keys)
         if not self._pending:
             return buckets
         alive = self._alive

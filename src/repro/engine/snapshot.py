@@ -14,7 +14,9 @@ holds three files:
     The Python objects with no natural array form: the drawn hash functions,
     the LSH family, per-table bucket keys, the dataset points, the sampler
     (stripped of its table/dataset references, which are restored from the
-    arrays) and the mutation RNG of dynamic tables.
+    arrays) and — for dynamic tables — the mutation RNG plus any
+    not-yet-consumed :class:`~repro.engine.dynamic.MutationDelta`, so the
+    restored engine keeps maintaining sampler state incrementally.
 
 ``load_engine`` rebuilds bit-identical state: the restored sampler carries
 the same query RNG stream and (for Section 4) the same bucket sketches, so
@@ -33,12 +35,19 @@ import numpy as np
 
 from repro.core.base import LSHNeighborSampler
 from repro.engine.batch import BatchQueryEngine
-from repro.engine.dynamic import DynamicLSHTables
+from repro.engine.dynamic import DynamicLSHTables, MutationDelta
 from repro.engine.requests import EngineStats
 from repro.exceptions import InvalidParameterError
 from repro.lsh.tables import Bucket, LSHTables
 
-FORMAT_VERSION = 1
+#: Version 2 added the pending :class:`~repro.engine.dynamic.MutationDelta`
+#: to ``objects.pkl`` so a restored engine keeps maintaining derived sampler
+#: state incrementally across the save/load boundary.
+FORMAT_VERSION = 2
+
+#: Older formats ``load_engine`` still reads.  Version 1 merely lacks the
+#: pending delta; the loader substitutes an empty one.
+COMPATIBLE_VERSIONS = (1, FORMAT_VERSION)
 
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"
@@ -100,6 +109,12 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
         "dataset": list(sampler.dataset),
         "sampler": sampler_copy,
         "mut_rng": tables._mut_rng if dynamic else None,
+        # Mutations recorded but not yet consumed by a sampler sync (possible
+        # when the tables were mutated directly rather than through the
+        # engine).  Persisting the delta means the restored sampler's first
+        # notify_update still sees exactly what changed and can stay on the
+        # incremental maintenance path.
+        "pending_delta": tables.peek_delta() if dynamic else None,
     }
 
     manifest = {
@@ -133,10 +148,10 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
     directory = pathlib.Path(directory)
     with open(directory / _MANIFEST, "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
-    if manifest["format_version"] != FORMAT_VERSION:
+    if manifest["format_version"] not in COMPATIBLE_VERSIONS:
         raise InvalidParameterError(
             f"snapshot format {manifest['format_version']} not supported "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected one of {COMPATIBLE_VERSIONS})"
         )
     with open(directory / _OBJECTS, "rb") as handle:
         objects = pickle.load(handle)
@@ -178,6 +193,14 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
             tables._pending = set(arrays["pending"].tolist())
             tables.rebuilds_triggered = int(manifest["rebuilds_triggered"])
             tables._mut_rng = objects["mut_rng"]
+            restored_delta = objects.get("pending_delta")
+            tables._delta = (
+                restored_delta if restored_delta is not None else MutationDelta.empty(num_tables)
+            )
+            # Epochs restart at 0 in the restored tables; re-anchor the delta
+            # so the re-anchored sampler (below) sees no epoch gap and can
+            # still apply the persisted record incrementally.
+            tables._delta.start_epoch = tables.mutation_epoch
             dataset = tables.dataset
         else:
             dataset = list(objects["dataset"])
@@ -186,6 +209,10 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
     sampler.tables = tables
     sampler._dataset = dataset
     sampler.ranks = tables.ranks if sampler._use_ranks else None
+    # Restored tables restart their mutation epoch; re-anchor the sampler so
+    # its next empty drain is not mistaken for a missed (stolen) delta.  Any
+    # delta persisted above round-trips and is applied on the next sync.
+    sampler._synced_epoch = tables.mutation_epoch
 
     engine = BatchQueryEngine(
         sampler,

@@ -148,6 +148,11 @@ class LSHTables:
         self._n = 0
         self._ranks: Optional[np.ndarray] = None
         self._fitted = False
+        #: Monotone counter of mutation events (static tables never move it).
+        #: Samplers remember the epoch they last synchronized at, so a
+        #: consumer that receives an empty delta can tell "nothing changed"
+        #: apart from "another consumer drained the record first".
+        self.mutation_epoch = 0
         # Primed query-key cache (see prime_key_cache): digest -> per-table keys.
         self._key_cache: Dict[Hashable, List[Hashable]] = {}
         self.key_cache_hits = 0
@@ -232,6 +237,28 @@ class LSHTables:
         pending tombstones.
         """
 
+    def drain_delta(self):
+        """Return and reset the mutations recorded since the last drain.
+
+        Static tables never mutate and have nothing to report: they return
+        ``None``, which tells :meth:`~repro.core.base.LSHNeighborSampler.notify_update`
+        consumers that no structured delta is available and a full rebuild of
+        derived state is the only safe course.
+        :class:`~repro.engine.dynamic.DynamicLSHTables` overrides this to
+        return a :class:`~repro.engine.dynamic.MutationDelta` (possibly
+        empty), enabling incremental maintenance.
+        """
+        return None
+
+    def discard_delta(self) -> None:
+        """Drop any unconsumed mutation record without the cost of resolving it.
+
+        Static tables record nothing, so this is a no-op; mutable subclasses
+        override it.  Samplers that do not consume deltas call this from
+        ``notify_update`` so the record can neither accumulate unboundedly
+        nor charge them for resolution work they would throw away.
+        """
+
     @property
     def ranks(self) -> Optional[np.ndarray]:
         """The rank array used at construction time, if any."""
@@ -312,11 +339,22 @@ class LSHTables:
         """Drop all primed query keys (hit counters are preserved)."""
         self._key_cache.clear()
 
-    def query_buckets(self, query: Point) -> List[Bucket]:
-        """The (possibly empty) bucket colliding with *query* in each table."""
+    def query_buckets(self, query: Point, keys: Optional[List[Hashable]] = None) -> List[Bucket]:
+        """The (possibly empty) bucket colliding with *query* in each table.
+
+        Parameters
+        ----------
+        query:
+            The query point.
+        keys:
+            Optional pre-computed per-table bucket keys for *query* (as
+            returned by :meth:`query_keys`).  Callers that already hold the
+            keys pass them to avoid hashing the query a second time.
+        """
         self._check_fitted()
         empty = Bucket(np.empty(0, dtype=np.intp), None if self._ranks is None else np.empty(0, dtype=self._ranks.dtype))
-        keys = self.query_keys(query)
+        if keys is None:
+            keys = self.query_keys(query)
         return [table.get(key, empty) for table, key in zip(self._tables, keys)]
 
     def query_candidates(self, query: Point) -> np.ndarray:

@@ -27,7 +27,22 @@ from repro.sketches.hashing import PairwiseIndependentHash
 
 
 class BottomTSketch:
-    """A mergeable bottom-``t`` sketch over integer keys."""
+    """A mergeable bottom-``t`` sketch over integer keys.
+
+    Mergeability works in both directions: whole sketches combine with
+    :meth:`merge` (the query-time operation over the ``L`` colliding
+    buckets), and key batches fold into an existing sketch with
+    :meth:`add_keys` (the maintenance-time operation the dynamic serving
+    layer uses to absorb insert batches without re-sketching buckets).
+
+    Parameters
+    ----------
+    hashes:
+        The shared hash rows; obtain them from a
+        :class:`DistinctCountSketcher` so sketches stay mergeable.
+    t:
+        Number of smallest distinct hash values kept per row.
+    """
 
     def __init__(self, hashes: Sequence[PairwiseIndependentHash], t: int):
         if t < 1:
@@ -53,9 +68,34 @@ class BottomTSketch:
             _insert_bottom(row, value, self.t)
 
     def update_many(self, keys: Iterable[int]) -> None:
-        """Insert many elements."""
-        for key in keys:
-            self.update(key)
+        """Insert many elements (see :meth:`add_keys`)."""
+        self.add_keys(keys)
+
+    def add_keys(self, keys: Iterable[int]) -> "BottomTSketch":
+        """Fold a batch of keys into this sketch in place; returns ``self``.
+
+        This is the incremental-maintenance primitive: inserting a key is
+        equivalent to merging a singleton sketch of it, so a mutation batch
+        can be absorbed into an existing bucket sketch in ``O(batch)`` hash
+        evaluations instead of re-sketching the whole bucket.  Insertion is
+        idempotent — bottom-``t`` rows are deduplicated sets of hash values —
+        so re-adding an already-counted key never changes the estimate.
+
+        Parameters
+        ----------
+        keys:
+            Integer keys (dataset slot indices) to insert.
+        """
+        materialized = [int(key) for key in keys]
+        t = self.t
+        for row, hash_function in zip(self._rows, self._hashes):
+            for key in materialized:
+                value = hash_function(key)
+                # Skip the bisect for values that cannot enter a full row.
+                if len(row) == t and value >= row[-1]:
+                    continue
+                _insert_bottom(row, value, t)
+        return self
 
     def estimate(self) -> float:
         """Median-of-rows estimate of the number of distinct inserted keys."""
@@ -161,6 +201,7 @@ class DistinctCountSketcher:
         if not 0.0 < delta < 1.0:
             raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
         rng = ensure_rng(seed)
+        self.universe_size = int(universe_size)
         self.epsilon = float(epsilon)
         self.delta = float(delta)
         self.t = max(1, int(math.ceil(4.0 / (epsilon * epsilon))))

@@ -388,7 +388,10 @@ class TestChurnedFairness:
     def test_independent_sampler_estimate_excludes_tombstones(self, planted_sets):
         """Deleting a query's whole neighborhood must drop the colliding-count
         estimate to ~0 after the next sync, so the rejection loop exits
-        immediately instead of burning its full round budget."""
+        immediately instead of burning its full round budget.  Incremental
+        sketch maintenance must achieve this without forcing a compaction
+        sweep — tombstones may legitimately stay pending in the bucket
+        arrays; the sketches and estimates just must not count them."""
         engine = make_engine(
             planted_sets["dataset"], seed=23, sampler_cls=IndependentFairSampler
         )
@@ -397,7 +400,7 @@ class TestChurnedFairness:
         response = engine.run([planted_sets["query"]])[0]
         assert not response.found
         assert response.stats.rounds == 0
-        assert engine.tables.pending_tombstones == 0  # update hook compacted
+        assert engine.sampler.estimate_colliding_count(planted_sets["query"]) == 0.0
 
     def test_standard_lsh_serves_from_rankless_dynamic_tables(self, planted_sets):
         sampler = StandardLSHSampler(
