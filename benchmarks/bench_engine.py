@@ -29,7 +29,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_result, write_result_json
 from repro.core import IndependentFairSampler, PermutationFairSampler
 from repro.engine import BatchQueryEngine
 from repro.lsh import LSHTables, MinHashFamily, OneBitMinHashFamily
@@ -66,12 +66,19 @@ def test_batched_vs_per_query_throughput(small_lastfm):
 
     lines = ["workload                        batched      loop    speedup"]
     speedups = {}
+    payload = {"workloads": {}}
     for label, queries in workloads:
         engine.sample_batch(queries[:50])  # warm both paths
         batched_answers, batched_time = _timed(lambda: engine.sample_batch(queries))
         loop_answers, loop_time = _timed(lambda: [sampler.sample(q) for q in queries])
         assert batched_answers == loop_answers  # the fast path may not change answers
         speedups[label] = loop_time / batched_time
+        payload["workloads"][label] = {
+            "wall_ms_batched": round(batched_time * 1000, 3),
+            "wall_ms_loop": round(loop_time * 1000, 3),
+            "speedup": round(speedups[label], 2),
+            "queries": len(queries),
+        }
         lines.append(
             f"{label:<30}  {batched_time * 1000:7.1f}ms {loop_time * 1000:7.1f}ms  {speedups[label]:6.2f}x"
         )
@@ -79,6 +86,8 @@ def test_batched_vs_per_query_throughput(small_lastfm):
     lines.append("")
     lines.append(f"engine stats: {engine.stats.as_dict()}")
     write_result("engine_batched_throughput", "\n".join(lines))
+    payload["engine_stats"] = engine.stats.as_dict()
+    write_result_json("engine_batched_throughput", payload)
 
     # Acceptance: >= 3x on the serving-shaped (>= 1k queries) workloads.
     assert speedups["zipf-hot (1500 queries)"] >= 3.0
@@ -125,6 +134,18 @@ def test_dynamic_churn_vs_full_refit(small_lastfm):
                 f"advantage: {advantage:.2f}x",
             ]
         ),
+    )
+    write_result_json(
+        "engine_dynamic_churn",
+        {
+            "dataset_size": n,
+            "churn_deletes": int(churn),
+            "churn_inserts": int(churn),
+            "wall_ms_dynamic": round(dynamic_time * 1000, 3),
+            "wall_ms_refit": round(refit_time * 1000, 3),
+            "advantage": round(advantage, 2),
+            "compactions": engine.tables.rebuilds_triggered,
+        },
     )
     assert dynamic_time < refit_time
 
@@ -197,6 +218,22 @@ def test_incremental_sketch_maintenance_vs_full_rebuild():
                 f"{estimate_rebuilt:.0f} rebuilt",
             ]
         ),
+    )
+    write_result_json(
+        "engine_incremental_sketches",
+        {
+            "index_points": n,
+            "mutation_batch": batch,
+            "tables": engine.tables.num_tables,
+            "stored_references": int(stored_refs),
+            "sketched_buckets": int(sketched),
+            "wall_ms_incremental": round(incremental_time * 1000, 3),
+            "wall_ms_full_rebuild": round(rebuild_time * 1000, 3),
+            "speedup": round(speedup, 2),
+            "estimate_before": round(estimate_before, 1),
+            "estimate_incremental": round(estimate_incremental, 1),
+            "estimate_rebuilt": round(estimate_rebuilt, 1),
+        },
     )
     assert speedup >= 5.0
     # The incremental estimate must agree with the rebuilt one (different

@@ -9,6 +9,7 @@ re-derived with a single ``pytest benchmarks/ --benchmark-only`` run.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -20,6 +21,18 @@ def write_result(name: str, text: str) -> None:
     """Persist a figure reproduction to benchmarks/results/<name>.txt."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def write_result_json(name: str, payload: dict) -> None:
+    """Persist machine-readable benchmark results to benchmarks/results/<name>.json.
+
+    The JSON sits alongside the human-readable .txt rendering so the perf
+    trajectory (wall-ms, candidates, distance evaluations, kernel calls per
+    workload) can be diffed and plotted across PRs.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
 
 @pytest.fixture(scope="session")

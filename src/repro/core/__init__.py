@@ -24,6 +24,7 @@ The samplers all answer the same question — "give me a point of
 """
 
 from repro.core.result import QueryResult, QueryStats
+from repro.core.evaluator import CandidateEvaluator, scalar_kernels, vectorized_kernels_enabled
 from repro.core.base import NeighborSampler, LSHNeighborSampler
 from repro.core.exact import ExactUniformSampler
 from repro.core.standard_lsh import StandardLSHSampler
@@ -44,6 +45,9 @@ from repro.core.sampling import sample_with_replacement, sample_without_replacem
 __all__ = [
     "QueryResult",
     "QueryStats",
+    "CandidateEvaluator",
+    "scalar_kernels",
+    "vectorized_kernels_enabled",
     "NeighborSampler",
     "LSHNeighborSampler",
     "ExactUniformSampler",

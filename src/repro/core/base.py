@@ -16,6 +16,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.evaluator import CandidateEvaluator
+from repro.data.store import DatasetStore, make_store
 from repro.distances.base import Measure
 from repro.exceptions import EmptyDatasetError, InvalidParameterError, NotFittedError
 from repro.lsh.family import LSHFamily
@@ -49,6 +51,9 @@ class NeighborSampler(abc.ABC):
     def __init__(self) -> None:
         self._dataset: Optional[Dataset] = None
         self._fitted = False
+        # Columnar store for the vectorized candidate-evaluation pipeline.
+        # None = not built yet (lazy), False = dataset has no columnar form.
+        self._store = None
 
     # ------------------------------------------------------------------
     @property
@@ -119,6 +124,34 @@ class NeighborSampler(abc.ABC):
             raise EmptyDatasetError("cannot fit a sampler on an empty dataset")
         self._dataset = dataset
         self._fitted = True
+        self._store = None  # rebuilt lazily for the new dataset
+
+    def _active_store(self) -> Optional[DatasetStore]:
+        """The columnar store candidates are scored against, or ``None``.
+
+        Samplers attached to a table layer that maintains its own store under
+        mutation (:class:`~repro.engine.dynamic.DynamicLSHTables`) share that
+        store, so inserted points become scoreable without a rebuild; everyone
+        else packs their (immutable) dataset once, on first use.
+        """
+        tables = getattr(self, "tables", None)
+        if tables is not None and hasattr(tables, "point_store"):
+            return tables.point_store
+        if self._store is None:
+            self._store = make_store(self._dataset)
+            if self._store is None:
+                self._store = False  # remember the miss; don't re-probe per query
+        return self._store or None
+
+    def _evaluator(self, query: Point) -> CandidateEvaluator:
+        """A fresh per-query memoized batch evaluator over the dataset."""
+        return CandidateEvaluator(
+            self.measure,
+            query,
+            store=self._active_store(),
+            dataset=self._dataset,
+            size=len(self._dataset),
+        )
 
     def _is_near(self, index: int, query: Point, value_cache: Optional[dict] = None) -> bool:
         """Whether dataset point *index* is r-near to *query* (with caching)."""
@@ -398,6 +431,7 @@ class LSHNeighborSampler(NeighborSampler):
         clone.tables = None
         clone._dataset = None
         clone.ranks = None
+        clone._store = None  # columnar store rebuilds lazily from the dataset
         return clone
 
     def _after_fit(self) -> None:

@@ -44,10 +44,20 @@ class ExactUniformSampler(NeighborSampler):
         self._store_dataset(dataset)
         return self
 
+    def _all_values(self, query: Point) -> np.ndarray:
+        """Measure values of every dataset point against *query*.
+
+        Runs through the per-query evaluator so the scan uses the columnar
+        batch kernels (one kernel call for the whole dataset) and honours the
+        scalar-fallback switch for datasets with no columnar form.
+        """
+        evaluator = self._evaluator(query)
+        return evaluator.values(np.arange(len(self._dataset), dtype=np.intp))
+
     def neighborhood(self, query: Point) -> np.ndarray:
         """Indices of the exact ball ``B_S(q, r)``."""
         self._check_fitted()
-        values = self.measure.values_to_query(self._dataset, query)
+        values = self._all_values(query)
         return np.flatnonzero(self.measure.within_mask(values, self.radius))
 
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
@@ -59,7 +69,7 @@ class ExactUniformSampler(NeighborSampler):
         parameters and the returned :class:`~repro.core.result.QueryResult`.
         """
         self._check_fitted()
-        values = self.measure.values_to_query(self._dataset, query)
+        values = self._all_values(query)
         near = np.flatnonzero(self.measure.within_mask(values, self.radius))
         if exclude_index is not None:
             near = near[near != exclude_index]
@@ -68,6 +78,7 @@ class ExactUniformSampler(NeighborSampler):
             distance_evaluations=len(self._dataset),
             buckets_probed=0,
             rounds=1,
+            kernel_calls=1,
         )
         if near.size == 0:
             return QueryResult(index=None, value=None, stats=stats)

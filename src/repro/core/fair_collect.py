@@ -31,17 +31,21 @@ class CollectAllFairSampler(LSHNeighborSampler):
         """
         self._check_fitted()
         stats = QueryStats()
-        candidates = self.tables.query_candidates(query)
+        # Hash once: the distinct candidates and the multiset size both come
+        # from the same bucket gather.
+        buckets = self.tables.query_buckets(query)
+        parts = [bucket.indices for bucket in buckets if bucket.indices.size]
+        stats.buckets_probed = self.tables.num_tables
+        stats.candidates_examined = sum(part.size for part in parts)
+        candidates = self.tables.distinct_indices(parts)
         if exclude_index is not None:
             candidates = candidates[candidates != exclude_index]
-        stats.buckets_probed = self.tables.num_tables
-        stats.candidates_examined = int(self.tables.query_candidates_multiset(query).size)
         if candidates.size == 0:
             return QueryResult(index=None, value=None, stats=stats)
-        values = np.asarray(
-            [self.measure.value(self._dataset[int(i)], query) for i in candidates], dtype=float
-        )
-        stats.distance_evaluations = int(candidates.size)
+        evaluator = self._evaluator(query)
+        values = evaluator.values(candidates)
+        stats.distance_evaluations = evaluator.fresh_evaluations
+        stats.kernel_calls = evaluator.kernel_calls
         near_mask = self.measure.within_mask(values, self.radius)
         near = candidates[near_mask]
         if near.size == 0:
@@ -57,7 +61,5 @@ class CollectAllFairSampler(LSHNeighborSampler):
         candidates = self.tables.query_candidates(query)
         if candidates.size == 0:
             return candidates
-        values = np.asarray(
-            [self.measure.value(self._dataset[int(i)], query) for i in candidates], dtype=float
-        )
+        values = self._evaluator(query).values(candidates)
         return candidates[self.measure.within_mask(values, self.radius)]

@@ -325,10 +325,35 @@ class IndependentFairSampler(LSHNeighborSampler):
         (Theorem 2).  See
         :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
         parameters and the returned :class:`~repro.core.result.QueryResult`.
+
+        The rejection loop is fully vectorized: a round's candidate segment
+        is one ``searchsorted`` slice of the rank-sorted colliding view, the
+        segment's distinct members are scored with a single batched distance
+        kernel (memoized across rounds), and the per-round randomness —
+        uniform segment choice and acceptance coin — is pre-drawn in one
+        chunk per ``k`` level (``sigma`` rounds) instead of one RNG call per
+        round.  Each round consumes exactly one segment draw and one
+        acceptance uniform, so the output distribution is the paper's.
         """
         self._check_fitted()
+        return self._sample_over_view(query, self._colliding_view(query), exclude_index)
+
+    def sample_detailed_from_candidates(
+        self, query: Point, view: tuple, exclude_index: Optional[int] = None
+    ) -> QueryResult:
+        """Fast path over a pre-gathered rank-sorted candidate view.
+
+        The Section 4 rejection loop is a function of the colliding multiset
+        (plus fresh query-time randomness), so the batch engine can hand over
+        the view it already gathered and skip this sampler's own gather/cache
+        lookup.  Identical distribution to :meth:`sample_detailed`.
+        """
+        return self._sample_over_view(query, view, exclude_index)
+
+    def _sample_over_view(
+        self, query: Point, view: tuple, exclude_index: Optional[int]
+    ) -> QueryResult:
         stats = QueryStats()
-        value_cache: dict = {}
         n = self.tables.num_live
 
         estimate = self.estimate_colliding_count(query)
@@ -343,37 +368,41 @@ class IndependentFairSampler(LSHNeighborSampler):
         lam = max(1.0, self.lambda_factor * self._log_n())
         sigma = max(1, int(math.ceil(self.sigma_factor * self._log_n() ** 2)))
 
-        view_ranks, view_indices = self._colliding_view(query)
-        failures = 0
+        view_ranks, view_indices = view
+        evaluator = self._evaluator(query)
+        num_tables = self.tables.num_tables
+        domain = self.tables.rank_domain
+        within_mask = self.measure.within_mask
+        radius = self.radius
         while k >= 1 and stats.rounds < self.max_rounds:
-            stats.rounds += 1
-            segment = int(self._query_rng.integers(0, k))
-            lo, hi = self._segment_bounds(segment, k)
-            left = int(np.searchsorted(view_ranks, lo, side="left"))
-            right = int(np.searchsorted(view_ranks, hi, side="left"))
-            candidates = np.unique(view_indices[left:right])
-            stats.buckets_probed += self.tables.num_tables
-            stats.candidates_examined += int(candidates.size)
+            # One chunk per k level: k halves after exactly sigma failed
+            # rounds, so the segment choices and acceptance coins for the
+            # whole level can be drawn in two array calls.
+            chunk = min(sigma, self.max_rounds - stats.rounds)
+            segments = self._query_rng.integers(0, k, size=chunk)
+            acceptance = self._query_rng.random(chunk)
+            for round_index in range(chunk):
+                stats.rounds += 1
+                lo, hi = self._segment_bounds(int(segments[round_index]), k)
+                left = int(np.searchsorted(view_ranks, lo, side="left"))
+                right = int(np.searchsorted(view_ranks, hi, side="left"))
+                candidates = np.unique(view_indices[left:right])
+                stats.buckets_probed += num_tables
+                stats.candidates_examined += int(candidates.size)
+                if exclude_index is not None:
+                    candidates = candidates[candidates != exclude_index]
 
-            near: List[int] = []
-            for index in candidates:
-                index = int(index)
-                if index == exclude_index:
-                    continue
-                already_evaluated = index in value_cache
-                value = self._value(index, query, value_cache)
-                if not already_evaluated:
-                    stats.distance_evaluations += 1
-                if self.measure.within(value, self.radius):
-                    near.append(index)
+                if candidates.size:
+                    near = candidates[within_mask(evaluator.values(candidates), radius)]
+                else:
+                    near = candidates
 
-            accept_probability = min(1.0, len(near) / lam)
-            if near and self._query_rng.random() < accept_probability:
-                chosen = int(near[int(self._query_rng.integers(0, len(near)))])
-                return QueryResult(index=chosen, value=value_cache[chosen], stats=stats)
-
-            failures += 1
-            if failures >= sigma:
-                failures = 0
-                k //= 2
+                if near.size and acceptance[round_index] < min(1.0, near.size / lam):
+                    chosen = int(near[int(self._query_rng.integers(0, near.size))])
+                    stats.distance_evaluations = evaluator.fresh_evaluations
+                    stats.kernel_calls = evaluator.kernel_calls
+                    return QueryResult(index=chosen, value=evaluator.value(chosen), stats=stats)
+            k //= 2
+        stats.distance_evaluations = evaluator.fresh_evaluations
+        stats.kernel_calls = evaluator.kernel_calls
         return QueryResult(index=None, value=None, stats=stats)

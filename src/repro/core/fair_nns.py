@@ -58,73 +58,76 @@ class PermutationFairSampler(LSHNeighborSampler):
             seed=seed,
         )
 
+    #: First evaluation chunk of the rank-ordered scan; subsequent chunks
+    #: grow geometrically so a query with a distant first near point costs
+    #: O(log) kernel calls instead of one per candidate.  Kept small: on
+    #: serving workloads the first near point usually sits within the first
+    #: few candidates, and a wide first chunk would overshoot on every query.
+    _SCAN_CHUNK = 8
+
     # ------------------------------------------------------------------
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
         """Return the minimum-rank r-near colliding point (Section 3 query).
 
-        Scans the ``L`` colliding buckets in rank order and returns the near
-        point with the smallest rank; because the rank permutation is
-        uniform, the answer is a uniform draw from the colliding near points
-        (deterministic given the construction randomness — repeated queries
-        return the same neighbor).  See
+        The answer is a function of the colliding multiset alone, so the
+        query gathers the rank-sorted view of all colliding buckets once and
+        scans it with batched distance kernels (see
+        :meth:`sample_detailed_from_candidates`); because the rank
+        permutation is uniform, the answer is a uniform draw from the
+        colliding near points (deterministic given the construction
+        randomness — repeated queries return the same neighbor).  See
         :meth:`~repro.core.base.NeighborSampler.sample_detailed` for the
         parameters and the returned :class:`~repro.core.result.QueryResult`.
         """
         self._check_fitted()
-        stats = QueryStats()
-        value_cache: dict = {}
-        best_rank = np.inf
-        best_index: Optional[int] = None
-        best_value: Optional[float] = None
-
-        for bucket in self.tables.query_buckets(query):
-            stats.buckets_probed += 1
-            for position, index in enumerate(bucket.indices):
-                index = int(index)
-                rank = int(bucket.ranks[position])
-                if rank >= best_rank:
-                    # Bucket is sorted by rank: nothing later can improve.
-                    break
-                if index == exclude_index:
-                    continue
-                stats.candidates_examined += 1
-                already_evaluated = index in value_cache
-                value = self._value(index, query, value_cache)
-                if not already_evaluated:
-                    stats.distance_evaluations += 1
-                if self.measure.within(value, self.radius):
-                    best_rank = rank
-                    best_index = index
-                    best_value = value
-                    break  # first near point in this bucket has the bucket's lowest near rank
-        return QueryResult(index=best_index, value=best_value, stats=stats)
+        return self.sample_detailed_from_candidates(
+            query, self.tables.colliding_view(query), exclude_index=exclude_index
+        )
 
     # ------------------------------------------------------------------
     def sample_detailed_from_candidates(
         self, query: Point, view: tuple, exclude_index: Optional[int] = None
     ) -> QueryResult:
-        """Fast path over a pre-gathered rank-sorted candidate view.
+        """Vectorized scan of a pre-gathered rank-sorted candidate view.
 
         The Section 3 answer is "the r-near colliding point of smallest
-        rank", which is a function of the colliding multiset alone: walking
-        the rank-sorted view and returning the first near point is exactly
-        equivalent to the per-bucket scan of :meth:`sample_detailed`, without
-        the Python loop over ``L`` buckets.  Duplicate entries (one per
-        colliding table) cost one cache lookup each.
+        rank": deduplicate the view preserving rank order, then score
+        geometrically growing chunks through one distance kernel each until
+        the first near point.  ``candidates_examined`` counts the distinct
+        candidates up to and including the returned one;
+        ``distance_evaluations`` counts the pairs actually scored (the final
+        chunk may overshoot the hit).
         """
-        ranks, indices = view
+        _, indices = view
         stats = QueryStats(buckets_probed=self.tables.num_tables)
-        value_cache: dict = {}
-        for index in indices.tolist():
-            if index == exclude_index:
-                continue
-            if index in value_cache:
-                continue  # already evaluated (and found far) at a lower rank
-            stats.candidates_examined += 1
-            value = self._value(index, query, value_cache)
-            stats.distance_evaluations += 1
-            if self.measure.within(value, self.radius):
-                return QueryResult(index=index, value=value, stats=stats)
+        evaluator = self._evaluator(query)
+        # Dedupe keeping each point's first (lowest-rank) occurrence, then
+        # restore rank order among the survivors.
+        unique, first_seen = np.unique(indices, return_index=True)
+        candidates = unique[np.argsort(first_seen, kind="stable")]
+        if exclude_index is not None:
+            candidates = candidates[candidates != exclude_index]
+
+        start = 0
+        chunk = self._SCAN_CHUNK
+        while start < candidates.size:
+            batch = candidates[start : start + chunk]
+            values = evaluator.values(batch)
+            near_mask = self.measure.within_mask(values, self.radius)
+            hits = np.flatnonzero(near_mask)
+            if hits.size:
+                position = int(hits[0])
+                stats.candidates_examined += position + 1
+                stats.distance_evaluations = evaluator.fresh_evaluations
+                stats.kernel_calls = evaluator.kernel_calls
+                return QueryResult(
+                    index=int(batch[position]), value=float(values[position]), stats=stats
+                )
+            stats.candidates_examined += int(batch.size)
+            start += chunk
+            chunk *= 4
+        stats.distance_evaluations = evaluator.fresh_evaluations
+        stats.kernel_calls = evaluator.kernel_calls
         return QueryResult(index=None, value=None, stats=stats)
 
     def sample_k(self, query: Point, k: int, replacement: bool = True) -> List[int]:
@@ -145,24 +148,30 @@ class PermutationFairSampler(LSHNeighborSampler):
         return [index for index, _ in self._k_lowest_rank_neighbors(query, k)]
 
     def _k_lowest_rank_neighbors(self, query: Point, k: int) -> List[tuple]:
-        """The ``k`` near colliding points with smallest ranks as ``(index, rank)``."""
-        value_cache: dict = {}
-        found: dict = {}
-        for bucket in self.tables.query_buckets(query):
-            near_in_bucket = 0
-            for position, index in enumerate(bucket.indices):
-                index = int(index)
-                rank = int(bucket.ranks[position])
-                if index in found:
-                    near_in_bucket += 1
-                    if near_in_bucket >= k:
-                        break
-                    continue
-                value = self._value(index, query, value_cache)
-                if self.measure.within(value, self.radius):
-                    found[index] = rank
-                    near_in_bucket += 1
-                    if near_in_bucket >= k:
-                        break
-        ordered = sorted(found.items(), key=lambda item: item[1])
-        return ordered[:k]
+        """The ``k`` near colliding points with smallest ranks as ``(index, rank)``.
+
+        Same chunked kernel scan as the single-draw query, continued until
+        ``k`` near points have been found (or the view is exhausted).
+        """
+        ranks, indices = self.tables.colliding_view(query)
+        evaluator = self._evaluator(query)
+        unique, first_seen = np.unique(indices, return_index=True)
+        order = np.argsort(first_seen, kind="stable")
+        candidates = unique[order]
+        candidate_ranks = ranks[first_seen[order]]
+
+        found: List[tuple] = []
+        start = 0
+        chunk = max(self._SCAN_CHUNK, 2 * k)
+        while start < candidates.size and len(found) < k:
+            batch = slice(start, start + chunk)
+            near_mask = self.measure.within_mask(
+                evaluator.values(candidates[batch]), self.radius
+            )
+            found.extend(
+                (int(index), int(rank))
+                for index, rank in zip(candidates[batch][near_mask], candidate_ranks[batch][near_mask])
+            )
+            start += chunk
+            chunk *= 4
+        return found[:k]

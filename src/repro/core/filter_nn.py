@@ -215,20 +215,36 @@ class GaussianFilterIndex(NeighborSampler):
         return keys
 
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
-        """Standard (alpha, beta)-NN query: first point with inner product >= beta."""
+        """Standard (alpha, beta)-NN query: first point with inner product >= beta.
+
+        Each probed bucket is scored with one batched inner-product kernel
+        call (memoized across buckets); the scan stops at the first member
+        reaching ``beta``, exactly as the member-by-member loop did.
+        """
         self._check_fitted()
         query = np.asarray(query, dtype=float)
         stats = QueryStats()
+        evaluator = self._evaluator(query)
         for key in self.candidate_buckets(query):
             stats.buckets_probed += 1
-            for index in self._buckets[key]:
-                if index == exclude_index:
-                    continue
-                stats.candidates_examined += 1
-                stats.distance_evaluations += 1
-                value = float(self._dataset[index] @ query)
-                if value >= self.beta:
-                    return QueryResult(index=index, value=value, stats=stats)
+            members = np.asarray(self._buckets[key], dtype=np.intp)
+            if exclude_index is not None:
+                members = members[members != exclude_index]
+            if members.size == 0:
+                continue
+            values = evaluator.values(members)
+            hits = np.flatnonzero(values >= self.beta)
+            if hits.size:
+                position = int(hits[0])
+                stats.candidates_examined += position + 1
+                stats.distance_evaluations = evaluator.fresh_evaluations
+                stats.kernel_calls = evaluator.kernel_calls
+                return QueryResult(
+                    index=int(members[position]), value=float(values[position]), stats=stats
+                )
+            stats.candidates_examined += int(members.size)
+        stats.distance_evaluations = evaluator.fresh_evaluations
+        stats.kernel_calls = evaluator.kernel_calls
         return QueryResult(index=None, value=None, stats=stats)
 
     def search(self, query: Point) -> Optional[int]:

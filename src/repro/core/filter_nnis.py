@@ -134,11 +134,11 @@ class FilterFairSampler(NeighborSampler):
 
     def _occurrence_counts(self, gathered: List[Tuple[int, List[int]]]) -> Dict[int, int]:
         """Map point index -> number of gathered buckets containing it (``c_p``)."""
-        counts: Dict[int, int] = {}
-        for _, members in gathered:
-            for index in members:
-                counts[index] = counts.get(index, 0) + 1
-        return counts
+        if not gathered:
+            return {}
+        stacked = np.concatenate([np.asarray(members, dtype=np.intp) for _, members in gathered])
+        unique, counts = np.unique(stacked, return_counts=True)
+        return {int(index): int(count) for index, count in zip(unique, counts)}
 
     # ------------------------------------------------------------------
     def sample_detailed(self, query: Point, exclude_index: Optional[int] = None) -> QueryResult:
@@ -162,16 +162,19 @@ class FilterFairSampler(NeighborSampler):
         occurrences = self._occurrence_counts(gathered)
 
         # Existence check: is there any near point in the gathered buckets?
-        value_cache: Dict[int, float] = {}
-        has_near = False
-        for index in occurrences:
-            value = float(self._dataset[index] @ query)
-            value_cache[index] = value
-            stats.distance_evaluations += 1
-            if value >= self.alpha and index != exclude_index:
-                has_near = True
-        if not has_near:
+        # All distinct gathered points are scored with one batched kernel
+        # call; the rejection loop below reads the same memo.
+        evaluator = self._evaluator(query)
+        distinct = np.fromiter(occurrences.keys(), dtype=np.intp, count=len(occurrences))
+        values = evaluator.values(distinct)
+        stats.distance_evaluations = evaluator.fresh_evaluations
+        stats.kernel_calls = evaluator.kernel_calls
+        near_mask = values >= self.alpha
+        if exclude_index is not None:
+            near_mask &= distinct != exclude_index
+        if not near_mask.any():
             return QueryResult(index=None, value=None, stats=stats)
+        value_cache: Dict[int, float] = dict(zip(distinct.tolist(), values.tolist()))
 
         # Working copies that far-point removals may shrink.
         buckets = [list(members) for _, members in gathered]

@@ -11,6 +11,8 @@ is extreme.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.base import LSHNeighborSampler
 from repro.core.result import QueryResult, QueryStats
 from repro.types import Point
@@ -54,7 +56,7 @@ class StandardLSHSampler(LSHNeighborSampler):
         """
         self._check_fitted()
         stats = QueryStats()
-        value_cache: dict = {}
+        evaluator = self._evaluator(query)
         far_limit = (
             None
             if self._far_point_limit_factor is None
@@ -69,18 +71,36 @@ class StandardLSHSampler(LSHNeighborSampler):
         for table_index in order:
             bucket = buckets[int(table_index)]
             stats.buckets_probed += 1
-            for index in bucket.indices:
-                index = int(index)
-                if index == exclude_index:
-                    continue
-                stats.candidates_examined += 1
-                already_evaluated = index in value_cache
-                value = self._value(index, query, value_cache)
-                if not already_evaluated:
-                    stats.distance_evaluations += 1
-                if self.measure.within(value, self.radius):
-                    return QueryResult(index=index, value=value, stats=stats)
-                far_seen += 1
-                if far_limit is not None and far_seen > far_limit:
-                    return QueryResult(index=None, value=None, stats=stats)
+            members = bucket.indices
+            if exclude_index is not None:
+                members = members[members != exclude_index]
+            if members.size == 0:
+                continue
+            # Score the whole bucket with one (memoized) kernel call, then
+            # replay the classical scan-order semantics on the mask: stop at
+            # the first near member, or at the far member that pushes
+            # far_seen past the limit, whichever the scan reaches first.
+            near_mask = self.measure.within_mask(evaluator.values(members), self.radius)
+            near_positions = np.flatnonzero(near_mask)
+            first_near = int(near_positions[0]) if near_positions.size else None
+            stop_position = None
+            if far_limit is not None:
+                cumulative_far = np.cumsum(~near_mask)
+                over = np.flatnonzero(far_seen + cumulative_far > far_limit)
+                stop_position = int(over[0]) if over.size else None
+            if first_near is not None and (stop_position is None or first_near < stop_position):
+                stats.candidates_examined += first_near + 1
+                stats.distance_evaluations = evaluator.fresh_evaluations
+                stats.kernel_calls = evaluator.kernel_calls
+                index = int(members[first_near])
+                return QueryResult(index=index, value=evaluator.value(index), stats=stats)
+            if stop_position is not None:
+                stats.candidates_examined += stop_position + 1
+                stats.distance_evaluations = evaluator.fresh_evaluations
+                stats.kernel_calls = evaluator.kernel_calls
+                return QueryResult(index=None, value=None, stats=stats)
+            stats.candidates_examined += int(members.size)
+            far_seen += int(members.size)  # no near member: the whole bucket was far
+        stats.distance_evaluations = evaluator.fresh_evaluations
+        stats.kernel_calls = evaluator.kernel_calls
         return QueryResult(index=None, value=None, stats=stats)

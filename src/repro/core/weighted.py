@@ -101,6 +101,7 @@ class WeightedFairSampler(NeighborSampler):
             stats.candidates_examined += result.stats.candidates_examined
             stats.distance_evaluations += result.stats.distance_evaluations
             stats.buckets_probed += result.stats.buckets_probed
+            stats.kernel_calls += result.stats.kernel_calls
             if result.index is None:
                 return QueryResult(index=None, value=None, stats=stats)
             value = (

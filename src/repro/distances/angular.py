@@ -9,10 +9,12 @@ from repro.exceptions import DimensionMismatchError
 
 
 def _cosine(a: np.ndarray, b: np.ndarray) -> float:
-    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    # einsum recipes keep the scalar path bitwise-aligned with the batch
+    # kernels (BLAS np.dot / np.linalg.norm accumulate in a different order).
+    denom = float(np.sqrt(np.einsum("i,i->", a, a))) * float(np.sqrt(np.einsum("i,i->", b, b)))
     if denom == 0.0:
         return 0.0
-    return float(np.clip(np.dot(a, b) / denom, -1.0, 1.0))
+    return float(np.clip(np.einsum("i,i->", a, b) / denom, -1.0, 1.0))
 
 
 class CosineSimilarity(Measure):
@@ -37,11 +39,30 @@ class CosineSimilarity(Measure):
             raise DimensionMismatchError(
                 f"incompatible shapes {data.shape} and {query.shape} for cosine similarity"
             )
-        norms = np.linalg.norm(data, axis=1) * np.linalg.norm(query)
-        dots = data @ query
-        with np.errstate(invalid="ignore", divide="ignore"):
-            values = np.where(norms == 0.0, 0.0, dots / np.where(norms == 0.0, 1.0, norms))
-        return np.clip(values, -1.0, 1.0)
+        row_norms = np.sqrt(np.einsum("ij,ij->i", data, data))
+        query_norm = float(np.sqrt(np.einsum("i,i->", query, query)))
+        dots = np.einsum("ij,j->i", data, query)
+        return _safe_cosine(dots, row_norms * query_norm)
+
+    def values_at(self, store, indices, query) -> np.ndarray:
+        if getattr(store, "kind", None) != "dense":
+            return super().values_at(store, indices, query)
+        query = np.asarray(query, dtype=float)
+        if store.dim != query.shape[0]:
+            raise DimensionMismatchError(
+                f"query dimension {query.shape[0]} does not match store dimension {store.dim}"
+            )
+        rows = store.gather(indices)
+        query_norm = float(np.sqrt(np.einsum("i,i->", query, query)))
+        dots = np.einsum("ij,j->i", rows, query)
+        return _safe_cosine(dots, store.row_norms[indices] * query_norm)
+
+
+def _safe_cosine(dots: np.ndarray, denoms: np.ndarray) -> np.ndarray:
+    """Clipped cosine with the scalar convention that a zero norm means 0.0."""
+    with np.errstate(invalid="ignore", divide="ignore"):
+        values = np.where(denoms == 0.0, 0.0, dots / np.where(denoms == 0.0, 1.0, denoms))
+    return np.clip(values, -1.0, 1.0)
 
 
 class AngularDistance(Measure):
@@ -59,3 +80,6 @@ class AngularDistance(Measure):
 
     def values_to_query(self, dataset, query) -> np.ndarray:
         return np.arccos(CosineSimilarity().values_to_query(dataset, query))
+
+    def values_at(self, store, indices, query) -> np.ndarray:
+        return np.arccos(CosineSimilarity().values_at(store, indices, query))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import Sequence
+from typing import Iterable
 
 import numpy as np
 
@@ -50,6 +50,27 @@ class Measure(abc.ABC):
         """
         return np.asarray([self.value(p, query) for p in _iter_points(dataset)], dtype=float)
 
+    def values_at(self, store, indices: np.ndarray, query: Point) -> np.ndarray:
+        """Batch kernel: measure values between the store rows *indices* and *query*.
+
+        *store* is a :class:`~repro.data.store.DatasetStore` whose slot ``i``
+        holds dataset point ``i``; *indices* is an integer array of slots to
+        score.  This is the hot-path entry point of the vectorized
+        candidate-evaluation pipeline: samplers score a whole candidate array
+        with one call instead of one Python-level :meth:`value` call per pair.
+
+        Subclasses override it with a columnar kernel for the store layouts
+        they understand (dispatching on ``store.kind``) and are required to
+        produce *bitwise* the same float64 values as :meth:`value` on the
+        same pair — the scalar implementations share the kernel's ``einsum``
+        recipes precisely so that the scalar fallback and the vectorized path
+        are interchangeable.  The default implementation is that fallback:
+        a loop over :meth:`value`.
+        """
+        return np.asarray(
+            [self.value(store.get_point(int(i)), query) for i in indices], dtype=np.float64
+        )
+
     # ------------------------------------------------------------------
     # Near / far predicates
     # ------------------------------------------------------------------
@@ -85,8 +106,11 @@ class Measure(abc.ABC):
         return f"{type(self).__name__}()"
 
 
-def _iter_points(dataset: Dataset) -> Sequence[Point]:
-    """Iterate the points of a dataset in index order."""
-    if isinstance(dataset, np.ndarray) and dataset.ndim == 2:
-        return list(dataset)
-    return list(dataset)
+def _iter_points(dataset: Dataset) -> Iterable[Point]:
+    """Iterate the points of a dataset in index order.
+
+    Sequences (including 2-D arrays, which iterate as row views) are yielded
+    as-is — materializing ``list(dataset)`` here would copy the whole dataset
+    on every call.
+    """
+    return dataset

@@ -21,7 +21,10 @@ class EuclideanDistance(Measure):
             raise DimensionMismatchError(
                 f"shape mismatch: {a.shape} vs {b.shape} for Euclidean distance"
             )
-        return float(np.linalg.norm(a - b))
+        # Same einsum recipe as the batch kernels, so scalar and vectorized
+        # evaluation agree bitwise (BLAS-backed np.linalg.norm does not).
+        diff = a - b
+        return float(np.sqrt(np.einsum("i,i->", diff, diff)))
 
     def values_to_query(self, dataset, query) -> np.ndarray:
         data = np.asarray(dataset, dtype=float)
@@ -35,4 +38,15 @@ class EuclideanDistance(Measure):
                 f"query dimension {query.shape[0]} does not match dataset dimension {data.shape[1]}"
             )
         diff = data - query[np.newaxis, :]
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def values_at(self, store, indices, query) -> np.ndarray:
+        if getattr(store, "kind", None) != "dense":
+            return super().values_at(store, indices, query)
+        query = np.asarray(query, dtype=float)
+        if store.dim != query.shape[0]:
+            raise DimensionMismatchError(
+                f"query dimension {query.shape[0]} does not match store dimension {store.dim}"
+            )
+        diff = store.gather(indices) - query[np.newaxis, :]
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))

@@ -35,3 +35,16 @@ class HammingDistance(Measure):
                 f"query dimension {query.shape[0]} does not match dataset dimension {data.shape[1]}"
             )
         return np.count_nonzero(data != query[np.newaxis, :], axis=1).astype(float)
+
+    def values_at(self, store, indices, query) -> np.ndarray:
+        # Counts are exact integers, so the float64 store rows compare
+        # identically to the original (integer/bool) representation.
+        if getattr(store, "kind", None) != "dense":
+            return super().values_at(store, indices, query)
+        query = np.asarray(query)
+        if store.dim != query.shape[0]:
+            raise DimensionMismatchError(
+                f"query dimension {query.shape[0]} does not match store dimension {store.dim}"
+            )
+        rows = store.gather(indices)
+        return np.count_nonzero(rows != query[np.newaxis, :], axis=1).astype(float)

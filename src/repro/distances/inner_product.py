@@ -27,7 +27,8 @@ class InnerProductSimilarity(Measure):
             raise DimensionMismatchError(
                 f"shape mismatch: {a.shape} vs {b.shape} for inner product"
             )
-        return float(np.dot(a, b))
+        # einsum keeps the scalar path bitwise-aligned with the batch kernel.
+        return float(np.einsum("i,i->", a, b))
 
     def values_to_query(self, dataset, query) -> np.ndarray:
         data = np.asarray(dataset, dtype=float)
@@ -40,7 +41,17 @@ class InnerProductSimilarity(Measure):
             raise DimensionMismatchError(
                 f"query dimension {query.shape[0]} does not match dataset dimension {data.shape[1]}"
             )
-        return data @ query
+        return np.einsum("ij,j->i", data, query)
+
+    def values_at(self, store, indices, query) -> np.ndarray:
+        if getattr(store, "kind", None) != "dense":
+            return super().values_at(store, indices, query)
+        query = np.asarray(query, dtype=float)
+        if store.dim != query.shape[0]:
+            raise DimensionMismatchError(
+                f"query dimension {query.shape[0]} does not match store dimension {store.dim}"
+            )
+        return np.einsum("ij,j->i", store.gather(indices), query)
 
 
 def normalize_rows(vectors: np.ndarray) -> np.ndarray:

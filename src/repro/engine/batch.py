@@ -308,6 +308,7 @@ class BatchQueryEngine:
                 )
             self.stats.candidates_scanned += result.stats.candidates_examined
             self.stats.distance_evaluations += result.stats.distance_evaluations
+            self.stats.distance_kernel_calls += result.stats.kernel_calls
             return QueryResponse(
                 request_index=position,
                 indices=[] if result.index is None else [int(result.index)],

@@ -57,6 +57,7 @@ from typing import Dict, Hashable, List, Optional, Set
 
 import numpy as np
 
+from repro.data.store import DatasetStore, make_store
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.lsh.family import LSHFamily
 from repro.lsh.tables import Bucket, LSHTables
@@ -219,6 +220,11 @@ class DynamicLSHTables(LSHTables):
         # an insert batch just parks the key lists it computed anyway.
         self._unresolved_deletes: list = []
         self._unresolved_inserts: list = []
+        # Shared columnar store for the vectorized candidate-evaluation
+        # pipeline: None = not built yet, False = no columnar form applies.
+        # Attached samplers score candidates against this one store, so it is
+        # kept in sync by insert_many/compact instead of rebuilt per batch.
+        self._store = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -257,6 +263,7 @@ class DynamicLSHTables(LSHTables):
         self._delta = MutationDelta.empty(self.l, start_epoch=self.mutation_epoch)
         self._unresolved_deletes = []
         self._unresolved_inserts = []
+        self._store = None  # rebuilt lazily over the fresh point container
         return self
 
     def _draw_ranks(self, count: int) -> np.ndarray:
@@ -287,6 +294,25 @@ class DynamicLSHTables(LSHTables):
     def alive(self) -> np.ndarray:
         """Boolean liveness mask over all stored slots (dead = tombstoned)."""
         return self._alive[: self._n]
+
+    @property
+    def point_store(self) -> Optional[DatasetStore]:
+        """The shared columnar store over all slots, or ``None``.
+
+        Built lazily from the live point container and then maintained in
+        place: inserts append rows, compaction releases the swept slots'
+        payload.  Attached samplers read it through
+        :meth:`~repro.core.base.NeighborSampler._active_store`, so one store
+        serves every sampler bound to these tables.  ``None`` means the data
+        has no columnar form and candidate scoring falls back to the scalar
+        loop.
+        """
+        self._check_fitted()
+        if self._store is None:
+            self._store = make_store(self._points)
+            if self._store is None:
+                self._store = False
+        return self._store or None
 
     @property
     def num_live(self) -> int:
@@ -457,6 +483,13 @@ class DynamicLSHTables(LSHTables):
                         else np.concatenate([bucket.ranks, added_ranks]),
                     )
         self._points.extend(points)
+        if self._store not in (None, False):
+            try:
+                self._store.append(points)
+            except Exception:
+                # The batch does not fit the columnar layout (e.g. a new
+                # dimensionality); scoring falls back to the scalar loop.
+                self._store = False
         self._grow_slots(new_ranks, count)
         indices = list(range(start, start + count))
         self._delta.inserted.extend(indices)
@@ -570,6 +603,8 @@ class DynamicLSHTables(LSHTables):
         # residue kept for the index's lifetime.
         for index in dead:
             self._points[index] = None
+            if self._store not in (None, False):
+                self._store.release(index)
         self._pending.clear()
         self.rebuilds_triggered += 1
 

@@ -104,7 +104,13 @@ class EngineStats:
     candidates_scanned:
         Sum of ``candidates_examined`` over all detailed queries.
     distance_evaluations:
-        Sum of exact measure evaluations over all detailed queries.
+        Sum of exact measure (pair) evaluations over all detailed queries.
+    distance_kernel_calls:
+        Sum of batched distance-kernel invocations over all detailed
+        queries.  With the vectorized candidate-evaluation pipeline this
+        grows like the number of rejection rounds / probed buckets, not like
+        ``candidates_scanned`` — the ratio is the counter the perf-guard CI
+        job watches.
     key_cache_hits:
         Query-key lookups served from the primed hash cache (each hit is an
         ``L``-table hashing pass that batching avoided).
@@ -123,6 +129,7 @@ class EngineStats:
     batches_served: int = 0
     candidates_scanned: int = 0
     distance_evaluations: int = 0
+    distance_kernel_calls: int = 0
     key_cache_hits: int = 0
     coalesced_queries: int = 0
     inserts: int = 0

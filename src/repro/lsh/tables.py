@@ -115,6 +115,25 @@ class Bucket:
         )
 
 
+def _integer_key_codes(keys: Sequence[Hashable]) -> Optional[np.ndarray]:
+    """*keys* as an integer code array (1-D scalars / 2-D tuple rows), or ``None``.
+
+    Only integer scalar keys and fixed-width tuples of integers qualify —
+    exactly the shapes the built-in hash families emit.  Anything else (mixed
+    widths, strings, objects) returns ``None`` and the caller keeps the
+    generic dict grouping.
+    """
+    if len(keys) == 0:
+        return None
+    try:
+        codes = np.asarray(keys)
+    except (ValueError, OverflowError):
+        return None
+    if codes.dtype.kind not in "iu" or codes.ndim not in (1, 2):
+        return None
+    return codes
+
+
 class LSHTables:
     """``L`` independent LSH hash tables over a dataset.
 
@@ -195,14 +214,43 @@ class LSHTables:
 
     @staticmethod
     def _build_table(keys: Sequence[Hashable], ranks: Optional[np.ndarray]) -> Dict[Hashable, Bucket]:
-        """Group per-point bucket keys into one table of rank-sorted buckets."""
-        groups: Dict[Hashable, List[int]] = {}
-        for index, key in enumerate(keys):
-            groups.setdefault(key, []).append(index)
-        table: Dict[Hashable, Bucket] = {}
-        for key, members in groups.items():
-            indices = np.asarray(members, dtype=np.intp)
-            table[key] = Bucket.from_members(indices, None if ranks is None else ranks[indices])
+        """Group per-point bucket keys into one table of rank-sorted buckets.
+
+        Integer key codes — scalars (``K = 1``) or fixed-width tuples of
+        integers (concatenated families) — are grouped with one stable
+        argsort over the whole key array instead of a Python dict insert per
+        point; members end up in ascending dataset order within each bucket
+        exactly as the dict grouping produced.  Non-integer key types fall
+        back to the dict path.
+        """
+        codes = _integer_key_codes(keys)
+        if codes is None:
+            groups: Dict[Hashable, List[int]] = {}
+            for index, key in enumerate(keys):
+                groups.setdefault(key, []).append(index)
+            table: Dict[Hashable, Bucket] = {}
+            for key, members in groups.items():
+                indices = np.asarray(members, dtype=np.intp)
+                table[key] = Bucket.from_members(indices, None if ranks is None else ranks[indices])
+            return table
+
+        if codes.ndim == 1:
+            order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[order]
+            new_group = sorted_codes[1:] != sorted_codes[:-1]
+        else:
+            order = np.lexsort(codes.T[::-1])  # row-lexicographic, stable
+            sorted_codes = codes[order]
+            new_group = np.any(sorted_codes[1:] != sorted_codes[:-1], axis=1)
+        starts = np.concatenate(([0], np.flatnonzero(new_group) + 1))
+        ends = np.concatenate((starts[1:], [codes.shape[0]]))
+        members_in_order = order.astype(np.intp)
+        table = {}
+        for start, end in zip(starts, ends):
+            members = members_in_order[start:end]
+            row = sorted_codes[start]
+            key = int(row) if codes.ndim == 1 else tuple(int(part) for part in row)
+            table[key] = Bucket.from_members(members, None if ranks is None else ranks[members])
         return table
 
     # ------------------------------------------------------------------
@@ -359,11 +407,29 @@ class LSHTables:
 
     def query_candidates(self, query: Point) -> np.ndarray:
         """Unique indices of all points colliding with *query* in any table."""
-        buckets = self.query_buckets(query)
-        if not buckets:
+        parts = [bucket.indices for bucket in self.query_buckets(query) if bucket.indices.size]
+        return self.distinct_indices(parts)
+
+    def distinct_indices(self, parts: Sequence[np.ndarray]) -> np.ndarray:
+        """Sorted distinct dataset indices across *parts* (bucket arrays).
+
+        Large multisets (relative to the slot range) are deduplicated with a
+        flag-array pass — O(n + multiset) instead of the
+        O(multiset log multiset) sort ``np.unique`` pays, which matters when
+        large-bucket queries produce multisets of tens of thousands of
+        references.  Small multisets over big indexes keep the ``np.unique``
+        path, whose cost does not scale with ``n``.  Output order
+        (ascending) is identical either way.
+        """
+        if not parts:
             return np.empty(0, dtype=np.intp)
-        stacked = np.concatenate([b.indices for b in buckets]) if buckets else np.empty(0, dtype=np.intp)
-        return np.unique(stacked)
+        total = sum(part.size for part in parts)
+        if 8 * total < self._n:
+            return np.unique(np.concatenate(parts)).astype(np.intp, copy=False)
+        seen = np.zeros(self._n, dtype=bool)
+        for part in parts:
+            seen[part] = True
+        return np.flatnonzero(seen).astype(np.intp, copy=False)
 
     def query_candidates_multiset(self, query: Point) -> np.ndarray:
         """Indices of colliding points *with* multiplicity across tables."""
@@ -413,12 +479,17 @@ class LSHTables:
 
     def collision_counts(self, query: Point) -> Dict[int, int]:
         """Map point index -> number of tables in which it collides with *query*."""
-        counts: Dict[int, int] = {}
-        for bucket in self.query_buckets(query):
-            for index in bucket.indices:
-                index = int(index)
-                counts[index] = counts.get(index, 0) + 1
-        return counts
+        parts = [bucket.indices for bucket in self.query_buckets(query) if bucket.indices.size]
+        if not parts:
+            return {}
+        stacked = np.concatenate(parts)
+        if 8 * stacked.size < self._n:
+            # Small multiset over a big index: avoid the n-length bincount.
+            unique, counts = np.unique(stacked, return_counts=True)
+            return {int(index): int(count) for index, count in zip(unique, counts)}
+        counts = np.bincount(stacked, minlength=self._n)
+        colliding = np.flatnonzero(counts)
+        return {int(index): int(counts[index]) for index in colliding}
 
     # ------------------------------------------------------------------
     def _check_fitted(self) -> None:

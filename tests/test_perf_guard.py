@@ -1,0 +1,140 @@
+"""Deterministic perf guard: counter-based regression checks for the
+vectorized candidate-evaluation pipeline.
+
+Wall-clock assertions are flaky on shared CI runners, so this file pins the
+pipeline's *work counters* instead — the quantities that made the
+vectorization a speedup in the first place:
+
+* ``kernel_calls`` must scale with rejection rounds / probed buckets, never
+  with candidates (a regression to per-candidate evaluation multiplies it by
+  the bucket size);
+* ``distance_evaluations`` must stay bounded by the number of *distinct*
+  candidates (a regression in the per-query memo re-evaluates duplicates);
+* the engine-level ``distance_kernel_calls`` aggregate must stay a small
+  fraction of ``candidates_scanned`` on a candidate-heavy workload.
+
+The workload is seeded and the counters are exact deterministic functions of
+it, so any failure here is a real behavioural regression, not noise.
+The CI ``perf-guard`` job runs exactly this file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproximateNeighborhoodSampler,
+    CollectAllFairSampler,
+    ExactUniformSampler,
+    IndependentFairSampler,
+    PermutationFairSampler,
+    StandardLSHSampler,
+)
+from repro.distances import JaccardSimilarity
+from repro.engine import BatchQueryEngine
+from repro.lsh import MinHashFamily
+
+
+@pytest.fixture(scope="module")
+def heavy_workload():
+    """A candidate-heavy set workload: one dense "hub" of overlapping users.
+
+    Every point shares a sizable core with the query, so with ``K = 1``
+    almost the whole dataset collides in every table — large buckets, large
+    colliding views, few true near neighbors.  This is the regime where the
+    candidate-scoring term of the paper's query bound dominates.
+    """
+    rng = np.random.default_rng(42)
+    core = set(range(10))
+    dataset = [
+        frozenset(core | {int(x) for x in rng.choice(range(10, 400), size=12, replace=False)})
+        for _ in range(300)
+    ]
+    query = frozenset(core | {500, 501, 502})
+    return {"dataset": dataset, "query": query, "n": len(dataset)}
+
+
+def _lsh(sampler_cls, seed=7, **extra):
+    return sampler_cls(
+        MinHashFamily(),
+        radius=0.45,
+        far_radius=0.2,
+        num_hashes=1,
+        num_tables=15,
+        seed=seed,
+        **extra,
+    )
+
+
+class TestKernelCallScaling:
+    def test_collect_all_is_one_kernel_call(self, heavy_workload):
+        sampler = _lsh(CollectAllFairSampler).fit(heavy_workload["dataset"])
+        result = sampler.sample_detailed(heavy_workload["query"])
+        # The whole (large) candidate set is scored in a single batched call.
+        assert result.stats.candidates_examined >= 1000  # workload is candidate-heavy
+        assert result.stats.kernel_calls == 1
+        assert result.stats.distance_evaluations <= heavy_workload["n"]
+
+    def test_approximate_is_one_kernel_call(self, heavy_workload):
+        sampler = _lsh(ApproximateNeighborhoodSampler).fit(heavy_workload["dataset"])
+        result = sampler.sample_detailed(heavy_workload["query"])
+        assert result.stats.kernel_calls == 1
+        assert result.stats.distance_evaluations <= heavy_workload["n"]
+
+    def test_exact_is_one_kernel_call(self, heavy_workload):
+        sampler = ExactUniformSampler(JaccardSimilarity(), radius=0.45, seed=1).fit(
+            heavy_workload["dataset"]
+        )
+        result = sampler.sample_detailed(heavy_workload["query"])
+        assert result.stats.kernel_calls == 1
+        assert result.stats.distance_evaluations == heavy_workload["n"]
+
+    def test_independent_sampler_one_kernel_call_per_round(self, heavy_workload):
+        sampler = _lsh(IndependentFairSampler).fit(heavy_workload["dataset"])
+        result = sampler.sample_detailed(heavy_workload["query"])
+        stats = result.stats
+        assert stats.rounds >= 1
+        # At most one batched evaluation per rejection round (rounds whose
+        # segment candidates were all memoized dispatch none).
+        assert stats.kernel_calls <= stats.rounds
+        # The memo caps pair evaluations at the number of distinct colliding
+        # points, however many rounds re-examine them.
+        assert stats.distance_evaluations <= heavy_workload["n"]
+
+    def test_permutation_sampler_logarithmic_kernel_calls(self, heavy_workload):
+        sampler = _lsh(PermutationFairSampler).fit(heavy_workload["dataset"])
+        result = sampler.sample_detailed(heavy_workload["query"])
+        # Geometrically growing chunks: scanning even the whole 300-point
+        # dedup'd view costs at most ceil(log_4(n / 32)) + 1 kernel calls.
+        assert result.stats.kernel_calls <= 4
+        assert result.stats.distance_evaluations <= heavy_workload["n"]
+
+    def test_standard_lsh_one_kernel_call_per_bucket(self, heavy_workload):
+        sampler = _lsh(StandardLSHSampler).fit(heavy_workload["dataset"])
+        result = sampler.sample_detailed(heavy_workload["query"])
+        assert result.stats.kernel_calls <= result.stats.buckets_probed
+        assert result.stats.distance_evaluations <= heavy_workload["n"]
+
+
+class TestEngineAggregates:
+    def test_kernel_calls_stay_a_small_fraction_of_candidates(self, heavy_workload):
+        sampler = _lsh(IndependentFairSampler, seed=11)
+        engine = BatchQueryEngine.build(sampler, heavy_workload["dataset"], seed=11)
+        queries = [heavy_workload["query"]] + heavy_workload["dataset"][:30]
+        engine.run(queries)
+        stats = engine.stats
+        assert stats.candidates_scanned > 0
+        assert stats.distance_kernel_calls > 0
+        # Amortized: each batched kernel call must cover several candidates.
+        # A regression to per-candidate evaluation pushes this ratio to ~1.
+        assert stats.distance_kernel_calls * 3 <= stats.candidates_scanned
+        # Memoization: pair evaluations never exceed candidates scanned.
+        assert stats.distance_evaluations <= stats.candidates_scanned
+
+    def test_counters_are_deterministic(self, heavy_workload):
+        def serve():
+            sampler = _lsh(IndependentFairSampler, seed=13)
+            engine = BatchQueryEngine.build(sampler, heavy_workload["dataset"], seed=13)
+            engine.run([heavy_workload["query"]] * 5 + heavy_workload["dataset"][:10])
+            return engine.stats.as_dict()
+
+        assert serve() == serve()
