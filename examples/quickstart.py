@@ -1,13 +1,18 @@
-"""Quickstart: fair near-neighbor sampling on set data.
+"""Quickstart: fair near-neighbor sampling on set data, declaratively.
 
-Builds the Section 3 (rank permutation) and Section 4 (independent sampling)
-data structures over a small synthetic Last.FM-like dataset, compares their
-output distribution with standard LSH on a single query, and prints a small
-fairness report.
+Describes the Section 3 (rank permutation) and Section 4 (independent
+sampling) data structures — plus the biased standard-LSH baseline — as one
+:class:`~repro.spec.EngineSpec`, builds them all through the
+:class:`~repro.api.FairNN` facade over a small synthetic Last.FM-like
+dataset, compares their output distribution on a single query, and prints a
+small fairness report.
+
+Everything here is a config value: swapping a sampler, the LSH family or a
+radius means editing the spec, not the code.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
@@ -15,56 +20,69 @@ from __future__ import annotations
 from collections import Counter
 
 from repro import (
-    ExactUniformSampler,
-    IndependentFairSampler,
-    JaccardSimilarity,
-    MinHashFamily,
-    PermutationFairSampler,
-    StandardLSHSampler,
+    EngineSpec,
+    FairNN,
+    LSHSpec,
+    SamplerSpec,
     total_variation_from_uniform,
 )
 from repro.data import generate_lastfm_like, select_interesting_queries
+
+RADIUS = 0.2  # two users are "near" when their Jaccard similarity is >= 0.2
 
 
 def main() -> None:
     # 1. Data: synthetic users, each a set of item ids (Jaccard similarity).
     dataset = generate_lastfm_like(num_users=300, seed=1)
-    measure = JaccardSimilarity()
-    radius = 0.2  # two users are "near" when their Jaccard similarity is >= 0.2
 
-    # 2. Pick an interesting query: a user with a dense neighborhood.
+    # 2. Declare the whole setup: three samplers by name over one shared
+    #    MinHash table set.  `python -c "print(spec.to_json(indent=2))"` is
+    #    the deployable artifact form of this block.
+    lsh = LSHSpec("minhash")
+    params = {"radius": RADIUS, "far_radius": 0.1}
+    spec = EngineSpec(
+        samplers={
+            "fair_nns": SamplerSpec("permutation", params, lsh=lsh, seed=2),
+            "fair_nnis": SamplerSpec("independent", params, lsh=lsh, seed=2),
+            "standard": SamplerSpec("standard_lsh", params, lsh=lsh, seed=2),
+        },
+        primary="fair_nns",
+        dynamic=False,
+    )
+    nn = FairNN.from_spec(spec)
+
+    # 3. Pick an interesting query: a user with a dense neighborhood.
     query_index = select_interesting_queries(
-        dataset, measure, num_queries=1, min_neighbors=10, threshold=radius, seed=1
+        dataset, nn.spec.primary_spec.lsh.build().measure,
+        num_queries=1, min_neighbors=10, threshold=RADIUS, seed=1,
     )[0]
     query = dataset[query_index]
 
-    # Ground truth for reference.
-    exact = ExactUniformSampler(measure, radius, seed=0).fit(dataset)
-    neighborhood = exact.neighborhood(query)
-    print(f"query user {query_index} has {neighborhood.size} near neighbors at r={radius}")
-
-    # 3. Build the samplers.  The LSH family is a black box: MinHash here.
-    family = MinHashFamily()
-    standard = StandardLSHSampler(family, radius=radius, far_radius=0.1, seed=2).fit(dataset)
-    fair_nns = PermutationFairSampler(family, radius=radius, far_radius=0.1, seed=2).fit(dataset)
-    fair_nnis = IndependentFairSampler(family, radius=radius, far_radius=0.1, seed=2).fit(dataset)
+    # 4. One fit builds every named sampler (LSH-backed ones share tables).
+    nn.fit(dataset)
+    neighborhood = nn.neighborhood(query)
+    print(f"query user {query_index} has {neighborhood.size} near neighbors at r={RADIUS}")
+    fair_sampler = nn.samplers["fair_nns"]
     print(
-        f"LSH parameters chosen automatically: K={standard.params.k}, L={standard.params.l} "
-        f"(recall {standard.params.recall:.2f})"
+        f"LSH parameters chosen automatically: K={fair_sampler.params.k}, "
+        f"L={fair_sampler.params.l} (recall {fair_sampler.params.recall:.2f})"
     )
 
-    # 4. Single queries.
-    print("one fair sample (Section 3):", fair_nns.sample(query))
-    print("one independent fair sample (Section 4):", fair_nnis.sample(query))
-    print("five fair samples without replacement:", fair_nns.sample_k(query, 5, replacement=False))
+    # 5. Single queries, addressed by sampler name.
+    print("one fair sample (Section 3):", nn.sample(query))
+    print("one independent fair sample (Section 4):", nn.sample(query, sampler="fair_nnis"))
+    print(
+        "five fair samples without replacement:",
+        nn.sample_k(query, 5, replacement=False),
+    )
 
-    # 5. Repeat the query many times and compare output distributions.
+    # 6. Repeat the query many times and compare output distributions.
     repetitions = 400
     report = {}
-    for name, sampler in (("standard LSH", standard), ("fair r-NNIS", fair_nnis)):
+    for name in ("standard", "fair_nnis"):
         counts = Counter()
         for _ in range(repetitions):
-            index = sampler.sample(query)
+            index = nn.sample(query, sampler=name)
             if index is not None:
                 counts[index] += 1
         aligned = [counts.get(int(i), 0) for i in neighborhood]

@@ -13,6 +13,15 @@ Quickstart
 >>> sampler = PermutationFairSampler(MinHashFamily(), radius=0.4, seed=0).fit(sets)
 >>> sampler.sample(frozenset({1, 2, 3, 4})) in (0, 1)
 True
+
+Or declaratively, through the spec + registry + facade layer (the same
+construction, as config values — see ``docs/api.md``):
+
+>>> from repro import FairNN, LSHSpec, SamplerSpec
+>>> spec = SamplerSpec("permutation", {"radius": 0.4}, lsh=LSHSpec("minhash"), seed=0)
+>>> nn = FairNN.from_spec(spec).fit(sets)
+>>> nn.sample(frozenset({1, 2, 3, 4})) in (0, 1)
+True
 """
 
 from repro.core import (
@@ -71,8 +80,24 @@ from repro.exceptions import (
     NotFittedError,
     ReproError,
 )
+from repro.registry import (
+    DISTANCES,
+    LSH_FAMILIES,
+    SAMPLERS,
+    distance_names,
+    get_distance,
+    get_lsh_family,
+    get_sampler,
+    lsh_family_names,
+    register_distance,
+    register_lsh_family,
+    register_sampler,
+    sampler_names,
+)
+from repro.spec import DistanceSpec, EngineSpec, LSHSpec, SamplerSpec, spec_from_dict
+from repro.api import FairNN
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -129,4 +154,25 @@ __all__ = [
     "NotFittedError",
     "EmptyDatasetError",
     "InvalidParameterError",
+    # registries (repro.registry)
+    "SAMPLERS",
+    "DISTANCES",
+    "LSH_FAMILIES",
+    "register_sampler",
+    "register_distance",
+    "register_lsh_family",
+    "get_sampler",
+    "get_distance",
+    "get_lsh_family",
+    "sampler_names",
+    "distance_names",
+    "lsh_family_names",
+    # declarative specs (repro.spec)
+    "DistanceSpec",
+    "LSHSpec",
+    "SamplerSpec",
+    "EngineSpec",
+    "spec_from_dict",
+    # facade (repro.api)
+    "FairNN",
 ]

@@ -1,0 +1,516 @@
+"""``FairNN`` — one facade over samplers, tables, engines and snapshots.
+
+Everything the library can do is reachable through four uncoordinated
+construction paths (direct sampler constructors,
+:meth:`~repro.engine.batch.BatchQueryEngine.build`,
+:func:`~repro.engine.snapshot.save_engine` /
+:func:`~repro.engine.snapshot.load_engine`, and the experiment configs).
+:class:`FairNN` puts a single declarative entry point in front of them: a
+facade built from an :class:`~repro.spec.EngineSpec` (or a bare
+:class:`~repro.spec.SamplerSpec`, or their dict/JSON forms) that fits,
+serves, mutates, queries and snapshots without the caller naming a single
+class.
+
+Static use::
+
+    nn = FairNN.from_spec(spec).fit(dataset)
+    nn.sample(query)                  # one uniform near neighbor
+    nn.neighborhood(query)            # exact ground-truth ball
+
+Serving use::
+
+    nn = FairNN.from_spec(spec).serve(dataset)    # dynamic tables + engines
+    nn.run(batch_of_requests)                     # batched execution
+    nn.insert_many(new_points); nn.delete(3)      # online churn, no refit
+    nn.save("snapshots/today")                    # spec rides along (format v3)
+    clone = FairNN.load("snapshots/today")        # byte-identical primary
+
+Multiple samplers can be served **by name over one shared table set** — the
+spec maps names to :class:`~repro.spec.SamplerSpec` entries, all LSH-backed
+samplers attach to tables sized by the primary's parameter rule, and every
+query method takes ``sampler="name"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import LSHNeighborSampler, NeighborSampler
+from repro.engine.batch import BatchQueryEngine, build_tables
+from repro.engine.dynamic import DynamicLSHTables
+from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
+from repro.engine.snapshot import load_engine, save_engine
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.lsh.tables import LSHTables
+from repro.spec import EngineSpec, SamplerSpec, spec_from_dict
+from repro.types import Dataset, Point
+
+__all__ = ["FairNN"]
+
+SpecLike = Union[EngineSpec, SamplerSpec, Mapping, str]
+
+
+class FairNN:
+    """Declarative facade over the whole fair near-neighbor stack.
+
+    Construct with :meth:`from_spec` (accepting an
+    :class:`~repro.spec.EngineSpec`, a single
+    :class:`~repro.spec.SamplerSpec`, or their dict/JSON forms), then either
+    :meth:`fit` for static use or :meth:`serve` for a mutable serving setup.
+    All query methods accept ``sampler=<name>`` to address one of the named
+    samplers; the default is the spec's primary.
+    """
+
+    def __init__(self, spec: EngineSpec):
+        if not isinstance(spec, EngineSpec):
+            raise InvalidParameterError(
+                f"FairNN requires an EngineSpec; use FairNN.from_spec for {type(spec).__name__}"
+            )
+        self._spec = spec
+        self._samplers: Dict[str, NeighborSampler] = {}
+        self._engines: Dict[str, BatchQueryEngine] = {}
+        self._tables: Optional[LSHTables] = None
+        self._dataset: Optional[Dataset] = None
+        self._serving = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: SpecLike, name: str = "default") -> "FairNN":
+        """Build a facade from any spec form.
+
+        *spec* may be an :class:`~repro.spec.EngineSpec`, a
+        :class:`~repro.spec.SamplerSpec` (wrapped as a one-sampler engine
+        under *name*), a plain dict in either ``to_dict`` schema, or a JSON
+        string of one of those dicts.
+        """
+        if isinstance(spec, str):
+            spec = spec_from_dict(json.loads(spec))
+        elif isinstance(spec, Mapping):
+            spec = spec_from_dict(spec)
+        if isinstance(spec, SamplerSpec):
+            spec = EngineSpec(samplers={name: spec}, primary=name)
+        if not isinstance(spec, EngineSpec):
+            raise InvalidParameterError(
+                f"cannot build a FairNN from a {type(spec).__name__}; "
+                "expected an EngineSpec or SamplerSpec (or their dict/JSON forms)"
+            )
+        return cls(spec)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> EngineSpec:
+        """The declarative description this facade was built from."""
+        return self._spec
+
+    @property
+    def primary(self) -> str:
+        """Name of the default sampler."""
+        return self._spec.primary
+
+    @property
+    def sampler_names(self) -> List[str]:
+        """The named samplers, in spec order."""
+        return list(self._spec.samplers)
+
+    @property
+    def samplers(self) -> Dict[str, NeighborSampler]:
+        """The built sampler objects by name (empty before fit/serve)."""
+        return dict(self._samplers)
+
+    @property
+    def tables(self) -> Optional[LSHTables]:
+        """The shared table layer, when one exists."""
+        return self._tables
+
+    @property
+    def is_serving(self) -> bool:
+        """Whether :meth:`serve` promoted this facade to a serving setup."""
+        return self._serving
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the shared tables accept online inserts and deletes."""
+        return isinstance(self._tables, DynamicLSHTables)
+
+    @property
+    def num_live_points(self) -> int:
+        """Live (non-tombstoned) indexed points."""
+        if isinstance(self._tables, DynamicLSHTables):
+            return self._tables.num_live
+        self._check_built()
+        return self._samplers[self.primary].num_points
+
+    def engine(self, sampler: Optional[str] = None) -> BatchQueryEngine:
+        """The :class:`~repro.engine.batch.BatchQueryEngine` of one sampler."""
+        self._check_built()
+        return self._engines[self._resolve_name(sampler)]
+
+    def stats(self) -> Dict[str, EngineStats]:
+        """Per-sampler serving statistics, keyed by sampler name."""
+        return {name: engine.stats for name, engine in self._engines.items()}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset) -> "FairNN":
+        """Build every named sampler over *dataset* (static tables).
+
+        With exactly one LSH-backed sampler this is byte-identical to the
+        hand-written ``spec.build().fit(dataset)``; with several, one static
+        table set is built from the primary's parameter rule (with ranks if
+        any attached sampler needs them) and shared by all of them.
+        """
+        self._build_samplers()
+        lsh_named = self._lsh_samplers()
+        if len(lsh_named) == 1:
+            # The single-sampler path stays bitwise-aligned with a direct fit.
+            next(iter(lsh_named.values())).fit(dataset)
+            self._tables = next(iter(lsh_named.values())).tables
+        elif lsh_named:
+            self._fit_shared(dataset, dynamic=False)
+        for name, sampler in self._samplers.items():
+            if name not in lsh_named:
+                sampler.fit(dataset)
+        self._dataset = dataset
+        self._serving = False
+        self._make_engines()
+        return self
+
+    def serve(self, dataset: Optional[Dataset] = None) -> "FairNN":
+        """Promote to a serving setup over shared (by default dynamic) tables.
+
+        Builds the table layer the spec describes
+        (:class:`~repro.engine.dynamic.DynamicLSHTables` unless the spec says
+        ``dynamic=False``), attaches every LSH-backed sampler to it, fits the
+        rest, and wraps each sampler in a
+        :class:`~repro.engine.batch.BatchQueryEngine` sharing those tables.
+        For one LSH sampler this matches
+        :meth:`BatchQueryEngine.build(sampler, dataset)
+        <repro.engine.batch.BatchQueryEngine.build>` byte-for-byte.  Call it
+        directly on a fresh facade for reproducible artifacts; calling it
+        after :meth:`fit` re-indexes (the construction RNG streams have
+        advanced).
+        """
+        if dataset is None:
+            dataset = self._dataset
+        if dataset is None:
+            raise NotFittedError("serve() needs a dataset (pass one or call fit first)")
+        self._build_samplers()
+        lsh_named = self._lsh_samplers()
+        if lsh_named:
+            self._fit_shared(dataset, dynamic=self._spec.dynamic)
+        for name, sampler in self._samplers.items():
+            if name not in lsh_named:
+                sampler.fit(dataset)
+        self._dataset = dataset
+        self._serving = True
+        self._make_engines()
+        return self
+
+    def add_sampler(self, name: str, spec: SamplerSpec) -> "FairNN":
+        """Attach one more named sampler, sharing the existing table set.
+
+        Before :meth:`fit`/:meth:`serve` this only extends the spec.  After,
+        the sampler is built immediately: LSH-backed ones attach to the
+        shared tables (their family spec must match the primary's), others
+        fit on the current dataset.
+        """
+        if name in self._spec.samplers:
+            raise InvalidParameterError(f"sampler name {name!r} is already in use")
+        samplers = dict(self._spec.samplers)
+        samplers[name] = spec
+        self._spec = EngineSpec(
+            samplers=samplers,
+            primary=self._spec.primary,
+            dynamic=self._spec.dynamic,
+            max_tombstone_fraction=self._spec.max_tombstone_fraction,
+            batch_hashing=self._spec.batch_hashing,
+            coalesce_duplicates=self._spec.coalesce_duplicates,
+        )
+        if not self._samplers:
+            return self
+        self._check_family_compatible({name: spec})
+        sampler = spec.build()
+        if isinstance(sampler, LSHNeighborSampler) and self._tables is not None:
+            dataset = (
+                self._tables.dataset
+                if isinstance(self._tables, DynamicLSHTables)
+                else self._samplers[self.primary].dataset
+            )
+            sampler.attach(self._tables, dataset)
+        else:
+            if self._dataset is None:
+                raise NotFittedError("cannot fit the new sampler: no dataset bound yet")
+            sampler.fit(self._dataset)
+            if isinstance(sampler, LSHNeighborSampler):
+                # First LSH sampler on an otherwise non-LSH facade: its
+                # tables become the shared set later additions attach to.
+                self._tables = sampler.tables
+        self._samplers[name] = sampler
+        self._engines[name] = self._new_engine(name, sampler)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        requests: Sequence[Union[QueryRequest, Point]],
+        sampler: Optional[str] = None,
+    ) -> List[QueryResponse]:
+        """Answer a batch of requests through one named sampler's engine.
+
+        Responses carry the sampler's name, so multiplexed callers can route
+        answers without tracking which engine they asked.
+        """
+        return self.engine(sampler).run(requests)
+
+    def sample(
+        self,
+        query: Point,
+        sampler: Optional[str] = None,
+        exclude_index: Optional[int] = None,
+    ) -> Optional[int]:
+        """One sampled r-near neighbor of *query* (or ``None``).
+
+        Routed through the engine, so pending index mutations are flushed to
+        the sampler first and serving statistics are maintained.
+        """
+        request = QueryRequest(query=query, exclude_index=exclude_index)
+        return self.run([request], sampler=sampler)[0].index
+
+    def sample_k(
+        self,
+        query: Point,
+        k: int,
+        replacement: bool = True,
+        sampler: Optional[str] = None,
+    ) -> List[int]:
+        """Sample *k* near neighbors of *query* (see
+        :meth:`~repro.core.base.NeighborSampler.sample_k`)."""
+        request = QueryRequest(query=query, k=k, replacement=replacement)
+        return self.run([request], sampler=sampler)[0].indices
+
+    def neighborhood(self, query: Point, sampler: Optional[str] = None) -> np.ndarray:
+        """Exact ground-truth neighborhood ``B_S(q, r)`` of *query*.
+
+        Computed by a direct scan with the named sampler's measure and
+        radius over the **live** dataset (tombstoned points are excluded),
+        independent of any index — this is the reference the fair samplers'
+        uniformity is measured against.
+        """
+        self._check_built()
+        target = self._samplers[self._resolve_name(sampler)]
+        dataset = target.dataset
+        values = target.measure.values_to_query(dataset, query)
+        mask = target.measure.within_mask(values, target.radius)
+        if isinstance(self._tables, DynamicLSHTables):
+            mask &= self._tables.alive[: len(mask)]
+        return np.flatnonzero(mask)
+
+    # ------------------------------------------------------------------
+    # Index mutation (serving, dynamic tables)
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> int:
+        """Index one new point online; returns its dataset index."""
+        return self.insert_many([point])[0]
+
+    def insert_many(self, points: Dataset) -> List[int]:
+        """Bulk-index new points online.
+
+        The mutation is applied to the shared tables once and every named
+        sampler's engine is notified, so all of them re-synchronize (lazily,
+        on their next batch).  Only LSH-backed samplers can track index
+        mutations, so a facade that also serves e.g. the exact baseline
+        rejects mutation outright rather than letting that sampler silently
+        answer from a stale dataset.
+        """
+        tables = self._require_dynamic()
+        indices = tables.insert_many(points)
+        for engine in self._engines.values():
+            engine.note_external_mutation(inserts=len(indices))
+        return indices
+
+    def delete(self, index: int) -> None:
+        """Remove one point online (tombstone + amortized compaction).
+
+        Subject to the same LSH-only restriction as :meth:`insert_many`.
+        """
+        tables = self._require_dynamic()
+        tables.delete(index)
+        for engine in self._engines.values():
+            engine.note_external_mutation(deletes=1)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def save(self, directory) -> None:
+        """Snapshot the primary sampler's engine (format v3, spec included).
+
+        The persisted manifest carries the full :class:`~repro.spec.EngineSpec`,
+        so :meth:`load` can rebuild the whole facade — secondary samplers are
+        reconstructed from their specs and re-attached (their query RNG
+        streams restart; the primary is restored bit-identically).
+        """
+        self._check_built()
+        save_engine(self.engine(self.primary), directory)
+
+    @classmethod
+    def load(cls, directory) -> "FairNN":
+        """Rebuild a facade from a snapshot written by :meth:`save`.
+
+        Also accepts any :func:`~repro.engine.snapshot.save_engine` snapshot
+        whose manifest carries a spec (format v3); for spec-less (v2 and
+        older) snapshots use :func:`~repro.engine.snapshot.load_engine`.
+        """
+        engine = load_engine(directory)
+        spec = engine.spec
+        if isinstance(spec, SamplerSpec):
+            name = engine.sampler_name or "default"
+            spec = EngineSpec(
+                samplers={name: spec},
+                primary=name,
+                dynamic=engine.is_dynamic,
+                batch_hashing=engine.batch_hashing,
+                coalesce_duplicates=engine.coalesce_duplicates,
+            )
+        if not isinstance(spec, EngineSpec):
+            raise InvalidParameterError(
+                "snapshot carries no spec (pre-v3 format); load it with repro.engine.load_engine"
+            )
+        facade = cls(spec)
+        primary = spec.primary
+        primary_sampler = engine.sampler
+        facade._samplers[primary] = primary_sampler
+        facade._engines[primary] = engine
+        facade._tables = getattr(primary_sampler, "tables", None)
+        facade._dataset = primary_sampler.dataset
+        facade._serving = True
+        for name, sampler_spec in spec.samplers.items():
+            if name == primary:
+                continue
+            sampler = sampler_spec.build()
+            if isinstance(sampler, LSHNeighborSampler) and facade._tables is not None:
+                sampler.attach(facade._tables, facade._dataset)
+            else:
+                sampler.fit(facade._dataset)
+            facade._samplers[name] = sampler
+            facade._engines[name] = facade._new_engine(name, sampler)
+        return facade
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_built(self) -> None:
+        if not self._engines:
+            raise NotFittedError("FairNN must be fitted (fit) or promoted (serve) before use")
+
+    def _resolve_name(self, sampler: Optional[str]) -> str:
+        name = self.primary if sampler is None else sampler
+        if name not in self._spec.samplers:
+            raise InvalidParameterError(
+                f"unknown sampler name {name!r}; available: {sorted(self._spec.samplers)}"
+            )
+        return name
+
+    def _build_samplers(self) -> None:
+        """(Re)build every sampler object from its spec."""
+        self._check_family_compatible(self._spec.samplers)
+        self._samplers = {name: spec.build() for name, spec in self._spec.samplers.items()}
+        self._engines = {}
+        self._tables = None
+
+    def _lsh_samplers(self) -> Dict[str, LSHNeighborSampler]:
+        return {
+            name: sampler
+            for name, sampler in self._samplers.items()
+            if isinstance(sampler, LSHNeighborSampler)
+        }
+
+    def _table_owner(self, lsh_named: Dict[str, LSHNeighborSampler]) -> LSHNeighborSampler:
+        """The sampler whose parameter rule sizes the shared tables."""
+        if self.primary in lsh_named:
+            return lsh_named[self.primary]
+        return next(iter(lsh_named.values()))
+
+    def _check_family_compatible(self, specs: Mapping[str, SamplerSpec]) -> None:
+        """All LSH-backed sampler specs must name the same family config."""
+        reference = None
+        for name, spec in {**dict(self._spec.samplers), **dict(specs)}.items():
+            if spec.lsh is None:
+                continue
+            if reference is None:
+                reference = (name, spec.lsh)
+            elif spec.lsh != reference[1]:
+                raise InvalidParameterError(
+                    f"samplers {reference[0]!r} and {name!r} name different LSH families "
+                    f"({reference[1]} vs {spec.lsh}); one shared table set needs one family"
+                )
+
+    def _fit_shared(self, dataset: Dataset, dynamic: bool) -> None:
+        """Build one table set from the owner's parameters; attach all LSH samplers.
+
+        Delegates to :func:`~repro.engine.batch.build_tables` — the same
+        recipe :meth:`BatchQueryEngine.build
+        <repro.engine.batch.BatchQueryEngine.build>` uses, so the
+        single-sampler dynamic case stays byte-compatible with it.  The only
+        extension is that the tables store ranks when *any* attached sampler
+        needs them, not just the owner.
+        """
+        lsh_named = self._lsh_samplers()
+        owner = self._table_owner(lsh_named)
+        tables, bound_dataset = build_tables(
+            owner,
+            dataset,
+            dynamic=dynamic,
+            max_tombstone_fraction=self._spec.max_tombstone_fraction,
+            use_ranks=any(sampler._use_ranks for sampler in lsh_named.values()),
+        )
+        for sampler in lsh_named.values():
+            sampler.attach(tables, bound_dataset)
+        self._tables = tables
+
+    def _new_engine(self, name: str, sampler: NeighborSampler) -> BatchQueryEngine:
+        return BatchQueryEngine(
+            sampler,
+            batch_hashing=self._spec.batch_hashing,
+            coalesce_duplicates=self._spec.coalesce_duplicates,
+            sampler_name=name,
+            spec=self._spec if name == self.primary else self._spec.samplers[name],
+        )
+
+    def _make_engines(self) -> None:
+        self._engines = {
+            name: self._new_engine(name, sampler) for name, sampler in self._samplers.items()
+        }
+
+    def _require_dynamic(self) -> DynamicLSHTables:
+        self._check_built()
+        if not isinstance(self._tables, DynamicLSHTables):
+            raise InvalidParameterError(
+                "index mutation needs serve() over dynamic tables "
+                "(EngineSpec.dynamic=True); this facade is static"
+            )
+        stale = [
+            name
+            for name, sampler in self._samplers.items()
+            if not isinstance(sampler, LSHNeighborSampler)
+        ]
+        if stale:
+            raise InvalidParameterError(
+                f"samplers {stale} are not LSH-backed and cannot track index "
+                "mutations; serve them from a separate static facade or drop "
+                "them from this spec before mutating"
+            )
+        return self._tables
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "serving" if self._serving else ("fitted" if self._engines else "unfitted")
+        return f"FairNN(primary={self.primary!r}, samplers={self.sampler_names}, {state})"

@@ -18,8 +18,10 @@ import numpy as np
 from repro.core.base import LSHNeighborSampler
 from repro.core.result import QueryResult, QueryStats
 from repro.types import Point
+from repro.registry import register_sampler
 
 
+@register_sampler("approximate", inputs="family")
 class ApproximateNeighborhoodSampler(LSHNeighborSampler):
     """Uniform sampling over the colliding points within the relaxed radius.
 

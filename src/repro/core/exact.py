@@ -18,8 +18,10 @@ from repro.distances.base import Measure
 from repro.exceptions import InvalidParameterError
 from repro.rng import SeedLike, ensure_rng
 from repro.types import Dataset, Point
+from repro.registry import register_sampler
 
 
+@register_sampler("exact", inputs="measure")
 class ExactUniformSampler(NeighborSampler):
     """Uniform sampling from the exact neighborhood by exhaustive search.
 

@@ -15,8 +15,10 @@ import numpy as np
 from repro.core.base import LSHNeighborSampler
 from repro.core.result import QueryResult, QueryStats
 from repro.types import Point
+from repro.registry import register_sampler
 
 
+@register_sampler("collect_all", inputs="family")
 class CollectAllFairSampler(LSHNeighborSampler):
     """Collect every colliding r-near point, dedupe, sample uniformly."""
 

@@ -44,8 +44,10 @@ from repro.lsh.tables import point_digest
 from repro.rng import SeedLike
 from repro.sketches.kmv import BottomTSketch, DistinctCountSketcher
 from repro.types import Point
+from repro.registry import register_sampler
 
 
+@register_sampler("independent", inputs="family")
 class IndependentFairSampler(LSHNeighborSampler):
     """The Section 4 r-NNIS data structure.
 

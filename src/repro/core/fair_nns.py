@@ -26,8 +26,10 @@ from repro.exceptions import InvalidParameterError
 from repro.lsh.family import LSHFamily
 from repro.rng import SeedLike
 from repro.types import Point
+from repro.registry import register_sampler
 
 
+@register_sampler("permutation", inputs="family")
 class PermutationFairSampler(LSHNeighborSampler):
     """Fair r-near-neighbor sampling via a random rank permutation."""
 

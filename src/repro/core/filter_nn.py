@@ -30,6 +30,7 @@ from repro.distances.inner_product import InnerProductSimilarity
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.rng import SeedLike, ensure_rng
 from repro.types import Dataset, Point
+from repro.registry import register_sampler
 
 BucketKey = Tuple[int, ...]
 
@@ -60,6 +61,7 @@ def default_filters_per_block(n: int, alpha: float, beta: float) -> int:
     return max(2, int(round(m ** (1.0 / t))))
 
 
+@register_sampler("gaussian_filter", inputs="self")
 class GaussianFilterIndex(NeighborSampler):
     """Single filter structure solving the (alpha, beta)-NN problem.
 

@@ -34,8 +34,10 @@ from repro.distances.inner_product import InnerProductSimilarity
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.types import Dataset, Point
+from repro.registry import register_sampler
 
 
+@register_sampler("filter", inputs="self")
 class FilterFairSampler(NeighborSampler):
     """Independent uniform sampling from ``B_S(q, alpha)`` in nearly-linear space.
 

@@ -27,6 +27,7 @@ from repro.core.result import QueryResult, QueryStats
 from repro.lsh.family import LSHFamily
 from repro.rng import SeedLike
 from repro.types import Dataset, Point
+from repro.registry import register_sampler
 
 
 class _DynamicBucket:
@@ -59,6 +60,7 @@ class _DynamicBucket:
         return len(self.indices)
 
 
+@register_sampler("rank_perturbation", inputs="family")
 class RankPerturbationSampler(LSHNeighborSampler):
     """Section 3 sampler + Appendix A rank perturbation after every query."""
 

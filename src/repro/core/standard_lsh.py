@@ -16,8 +16,10 @@ import numpy as np
 from repro.core.base import LSHNeighborSampler
 from repro.core.result import QueryResult, QueryStats
 from repro.types import Point
+from repro.registry import register_sampler
 
 
+@register_sampler("standard_lsh", inputs="family")
 class StandardLSHSampler(LSHNeighborSampler):
     """First-found r-near neighbor over the ``L`` LSH tables.
 

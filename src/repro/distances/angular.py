@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.distances.base import Measure, MeasureKind
 from repro.exceptions import DimensionMismatchError
+from repro.registry import register_distance
 
 
 def _cosine(a: np.ndarray, b: np.ndarray) -> float:
@@ -17,6 +18,7 @@ def _cosine(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.clip(np.einsum("i,i->", a, b) / denom, -1.0, 1.0))
 
 
+@register_distance("cosine")
 class CosineSimilarity(Measure):
     """Cosine of the angle between two vectors (a similarity in [-1, 1])."""
 
@@ -65,6 +67,7 @@ def _safe_cosine(dots: np.ndarray, denoms: np.ndarray) -> np.ndarray:
     return np.clip(values, -1.0, 1.0)
 
 
+@register_distance("angular")
 class AngularDistance(Measure):
     """Angle between two vectors in radians (a distance in [0, pi]).
 

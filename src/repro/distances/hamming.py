@@ -6,8 +6,10 @@ import numpy as np
 
 from repro.distances.base import Measure, MeasureKind
 from repro.exceptions import DimensionMismatchError
+from repro.registry import register_distance
 
 
+@register_distance("hamming")
 class HammingDistance(Measure):
     """Number of coordinates in which two binary vectors differ."""
 

@@ -12,8 +12,10 @@ import numpy as np
 
 from repro.distances.base import Measure, MeasureKind
 from repro.exceptions import DimensionMismatchError
+from repro.registry import register_distance
 
 
+@register_distance("inner_product")
 class InnerProductSimilarity(Measure):
     """Dot-product similarity ``<a, b>`` between dense vectors."""
 

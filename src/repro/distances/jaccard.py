@@ -13,8 +13,10 @@ import numpy as np
 from repro.distances.base import Measure, MeasureKind
 from repro.exceptions import UnsupportedDataTypeError
 from repro.types import as_set_point
+from repro.registry import register_distance
 
 
+@register_distance("jaccard")
 class JaccardSimilarity(Measure):
     """Jaccard similarity ``|a ∩ b| / |a ∪ b|`` between two sets."""
 

@@ -38,8 +38,56 @@ from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.lsh.family import LSHFamily
 from repro.lsh.tables import LSHTables, point_digest
+from repro.registry import SAMPLERS
 from repro.rng import SeedLike
 from repro.types import Dataset, Point
+
+
+def build_tables(
+    owner: LSHNeighborSampler,
+    dataset: Dataset,
+    dynamic: bool = True,
+    max_tombstone_fraction: float = 0.25,
+    use_ranks: Optional[bool] = None,
+    seed: SeedLike = None,
+):
+    """Build a table layer for *owner* exactly as its offline ``fit`` would.
+
+    This is the one table-construction recipe shared by
+    :meth:`BatchQueryEngine.build` and the :class:`~repro.api.FairNN`
+    facade: ``(K, L)`` resolve through the owner's parameter machinery, the
+    hash functions default to the owner's own table stream (so
+    ``build(seed=s)`` and an offline ``fit(seed=s)`` draw identical
+    functions), and for static tables the rank permutation comes from the
+    owner's permutation stream.  ``use_ranks`` defaults to the owner's need;
+    pass an explicit value when other rank-requiring samplers will share the
+    tables.  Returns ``(tables, bound_dataset)`` where *bound_dataset* is
+    what attached samplers must be given (the tables' own live container for
+    dynamic tables).
+    """
+    n = len(dataset)
+    if n == 0:
+        raise InvalidParameterError("cannot build tables over an empty dataset")
+    params = owner._resolve_parameters(n)
+    family: LSHFamily = owner.family
+    concatenated = family.concatenate(params.k) if params.k > 1 else family
+    tables_seed = seed if seed is not None else owner._tables_rng
+    if use_ranks is None:
+        use_ranks = owner._use_ranks
+    if dynamic:
+        tables = DynamicLSHTables(
+            concatenated,
+            params.l,
+            seed=tables_seed,
+            use_ranks=use_ranks,
+            max_tombstone_fraction=max_tombstone_fraction,
+        )
+        tables.fit(dataset)
+        return tables, tables.dataset
+    ranks = owner._perm_rng.permutation(n) if use_ranks else None
+    tables = LSHTables(concatenated, params.l, seed=tables_seed)
+    tables.fit(dataset, ranks=ranks)
+    return tables, list(dataset)
 
 
 class BatchQueryEngine:
@@ -57,6 +105,15 @@ class BatchQueryEngine:
     coalesce_duplicates:
         Set False to answer every request independently even when the sampler
         is query-deterministic (duplicates are then re-executed).
+    sampler_name:
+        Serving name stamped on every :class:`QueryResponse`; defaults to the
+        sampler's registry key (falling back to its class name).
+    spec:
+        Optional originating :class:`~repro.spec.SamplerSpec` or
+        :class:`~repro.spec.EngineSpec`.  Purely declarative — the engine
+        never reads it — but :func:`~repro.engine.snapshot.save_engine`
+        persists it in the snapshot manifest (format v3) so artifacts stay
+        self-describing.
     """
 
     def __init__(
@@ -64,12 +121,20 @@ class BatchQueryEngine:
         sampler: NeighborSampler,
         batch_hashing: bool = True,
         coalesce_duplicates: bool = True,
+        sampler_name: Optional[str] = None,
+        spec=None,
     ):
         if not getattr(sampler, "_fitted", False):
             raise NotFittedError("BatchQueryEngine requires a fitted (or attached) sampler")
         self.sampler = sampler
         self.batch_hashing = bool(batch_hashing)
         self.coalesce_duplicates = bool(coalesce_duplicates)
+        self.sampler_name = (
+            sampler_name
+            if sampler_name is not None
+            else SAMPLERS.name_of(type(sampler)) or type(sampler).__name__
+        )
+        self.spec = spec
         self.stats = EngineStats()
         self._tables_dirty = False
 
@@ -93,34 +158,14 @@ class BatchQueryEngine:
         ``dynamic=False``) and the sampler is attached to them, so the
         resulting engine supports online inserts and deletes.
         """
-        n = len(dataset)
-        if n == 0:
-            raise InvalidParameterError("cannot build an engine over an empty dataset")
-        # Reaching into the sampler's parameter machinery keeps the engine's
-        # (K, L) byte-for-byte consistent with the offline fit path.
-        params = sampler._resolve_parameters(n)
-        family: LSHFamily = sampler.family
-        concatenated = family.concatenate(params.k) if params.k > 1 else family
-        # Default to the sampler's own table stream so that build(seed=s) and
-        # an offline fit(seed=s) draw identical hash functions.
-        tables_seed = seed if seed is not None else sampler._tables_rng
-        if dynamic:
-            tables = DynamicLSHTables(
-                concatenated,
-                params.l,
-                seed=tables_seed,
-                use_ranks=sampler._use_ranks,
-                max_tombstone_fraction=max_tombstone_fraction,
-            )
-            tables.fit(dataset)
-            sampler.attach(tables, tables.dataset)
-        else:
-            ranks = None
-            if sampler._use_ranks:
-                ranks = sampler._perm_rng.permutation(n)
-            tables = LSHTables(concatenated, params.l, seed=tables_seed)
-            tables.fit(dataset, ranks=ranks)
-            sampler.attach(tables, list(dataset))
+        tables, bound_dataset = build_tables(
+            sampler,
+            dataset,
+            dynamic=dynamic,
+            max_tombstone_fraction=max_tombstone_fraction,
+            seed=seed,
+        )
+        sampler.attach(tables, bound_dataset)
         return cls(sampler)
 
     # ------------------------------------------------------------------
@@ -174,6 +219,19 @@ class BatchQueryEngine:
         tables.delete(index)
         self.stats.deletes += 1
         self._tables_dirty = True
+
+    def note_external_mutation(self, inserts: int = 0, deletes: int = 0) -> None:
+        """Record index mutations applied directly to the shared table layer.
+
+        When several engines serve different samplers over one table set
+        (the :class:`~repro.api.FairNN` facade), the mutation is applied to
+        the tables once and every engine is told about it here, so each one
+        re-synchronizes its own sampler lazily on its next batch.
+        """
+        self.stats.inserts += int(inserts)
+        self.stats.deletes += int(deletes)
+        if inserts or deletes:
+            self._tables_dirty = True
 
     def _sync(self) -> None:
         """Propagate pending index mutations to the sampler (lazily, per batch).
@@ -244,6 +302,7 @@ class BatchQueryEngine:
                         # coalesced responses would let a caller's edit to
                         # one response corrupt the counters of the others.
                         stats=replace(answer.stats),
+                        sampler=answer.sampler,
                     )
                 )
         return responses
@@ -314,6 +373,11 @@ class BatchQueryEngine:
                 indices=[] if result.index is None else [int(result.index)],
                 value=result.value,
                 stats=result.stats,
+                sampler=self.sampler_name,
             )
         indices = self.sampler.sample_k(request.query, request.k, replacement=request.replacement)
-        return QueryResponse(request_index=position, indices=[int(i) for i in indices])
+        return QueryResponse(
+            request_index=position,
+            indices=[int(i) for i in indices],
+            sampler=self.sampler_name,
+        )

@@ -73,12 +73,19 @@ class QueryResponse:
     stats:
         Work counters for the query (``k=1`` requests only; multi-draw
         requests aggregate inside the sampler and report empty counters).
+    sampler:
+        Serving name of the sampler that answered (the engine's
+        ``sampler_name`` — the registry key of the sampler class unless the
+        engine was given an explicit name, e.g. by the
+        :class:`~repro.api.FairNN` facade).  Lets multiplexed callers route
+        answers without tracking which engine they asked.
     """
 
     request_index: int
     indices: List[int] = field(default_factory=list)
     value: Optional[float] = None
     stats: QueryStats = field(default_factory=QueryStats)
+    sampler: Optional[str] = None
 
     @property
     def found(self) -> bool:

@@ -5,8 +5,9 @@ build them offline and ship the artifact to servers.  A snapshot directory
 holds three files:
 
 ``manifest.json``
-    Human-readable metadata: format version, class names, table shape,
-    liveness counters and the engine's serving statistics.
+    Human-readable metadata: format version, class names, the serving name
+    and originating declarative spec (format v3 — see :mod:`repro.spec`),
+    table shape, liveness counters and the engine's serving statistics.
 ``arrays.npz``
     The numeric bulk — per-table bucket member/rank arrays (flattened with
     bucket offsets), the global rank array and the liveness mask.
@@ -39,15 +40,22 @@ from repro.engine.dynamic import DynamicLSHTables, MutationDelta
 from repro.engine.requests import EngineStats
 from repro.exceptions import InvalidParameterError
 from repro.lsh.tables import Bucket, LSHTables
+from repro.spec import EngineSpec, SamplerSpec
 
 #: Version 2 added the pending :class:`~repro.engine.dynamic.MutationDelta`
 #: to ``objects.pkl`` so a restored engine keeps maintaining derived sampler
-#: state incrementally across the save/load boundary.
-FORMAT_VERSION = 2
+#: state incrementally across the save/load boundary.  Version 3 added the
+#: engine's serving name (``sampler_name``) and its originating declarative
+#: spec (``spec`` / ``spec_kind``) to the manifest, making snapshots
+#: self-describing: a loaded artifact knows which
+#: :class:`~repro.spec.SamplerSpec`/:class:`~repro.spec.EngineSpec` built it.
+FORMAT_VERSION = 3
 
 #: Older formats ``load_engine`` still reads.  Version 1 merely lacks the
-#: pending delta; the loader substitutes an empty one.
-COMPATIBLE_VERSIONS = (1, FORMAT_VERSION)
+#: pending delta (the loader substitutes an empty one); version 2 lacks the
+#: spec and serving name (the loader leaves the spec ``None`` and derives the
+#: name from the sampler class).
+COMPATIBLE_VERSIONS = (1, 2, FORMAT_VERSION)
 
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"
@@ -117,9 +125,18 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
         "pending_delta": tables.peek_delta() if dynamic else None,
     }
 
+    spec = getattr(engine, "spec", None)
+    if spec is not None and not isinstance(spec, (SamplerSpec, EngineSpec)):
+        raise InvalidParameterError(
+            f"engine.spec must be a SamplerSpec or EngineSpec, got {type(spec).__name__}"
+        )
+
     manifest = {
         "format_version": FORMAT_VERSION,
         "sampler_class": type(sampler).__name__,
+        "sampler_name": engine.sampler_name,
+        "spec": None if spec is None else spec.to_dict(),
+        "spec_kind": None if spec is None else ("engine" if isinstance(spec, EngineSpec) else "sampler"),
         "tables_class": type(tables).__name__,
         "dynamic": dynamic,
         "num_tables": tables.num_tables,
@@ -214,10 +231,21 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
     # delta persisted above round-trips and is applied on the next sync.
     sampler._synced_epoch = tables.mutation_epoch
 
+    # Format v3 manifests are self-describing; v2 and older lack the spec and
+    # serving name, so the spec stays None and the name is derived from the
+    # sampler class.
+    spec_data = manifest.get("spec")
+    spec = None
+    if spec_data is not None:
+        spec_cls = EngineSpec if manifest.get("spec_kind") == "engine" else SamplerSpec
+        spec = spec_cls.from_dict(spec_data)
+
     engine = BatchQueryEngine(
         sampler,
         batch_hashing=bool(manifest["batch_hashing"]),
         coalesce_duplicates=bool(manifest["coalesce_duplicates"]),
+        sampler_name=manifest.get("sampler_name"),
+        spec=spec,
     )
     engine.stats = EngineStats.from_dict(manifest["stats"])
     return engine

@@ -4,14 +4,58 @@ The defaults follow the paper's setup but with smaller repetition counts and
 dataset sizes so that the full suite runs on a laptop in minutes; every knob
 the paper fixes (radii, the Q2 instance, the c grid of Q3) is exposed so the
 full-scale run is a matter of passing larger numbers.
+
+The configs are *declarative consumers* of the spec layer: instead of
+hard-coding sampler classes, each config emits
+:class:`~repro.spec.SamplerSpec` / :class:`~repro.spec.LSHSpec` /
+:class:`~repro.spec.DistanceSpec` values that the experiment runners build
+through the registries.  Swapping the LSH family or a sampler for a whole
+experiment is a config value, not new wiring code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import InvalidParameterError
+from repro.spec import DistanceSpec, LSHSpec, SamplerSpec
+
+#: Dataset generators the experiments know how to load.
+KNOWN_DATASETS = ("lastfm", "movielens")
+
+
+# ----------------------------------------------------------------------
+# Shared validation helpers (used by all three configs)
+# ----------------------------------------------------------------------
+def _check_dataset(dataset: str) -> None:
+    """The dataset name must be one of the known generators."""
+    if dataset not in KNOWN_DATASETS:
+        raise InvalidParameterError(
+            f"unknown dataset {dataset!r}; known: {', '.join(KNOWN_DATASETS)}"
+        )
+
+
+def _check_similarities(**named: float) -> None:
+    """Each named value must be a Jaccard similarity threshold in (0, 1)."""
+    for name, value in named.items():
+        if not 0.0 < float(value) < 1.0:
+            raise InvalidParameterError(
+                f"{name} must be a Jaccard similarity in (0, 1), got {value}"
+            )
+
+
+def _check_counts(**named: int) -> None:
+    """Each named value must be a repetition/query count >= 1."""
+    bad = [name for name, value in named.items() if value < 1]
+    if bad:
+        raise InvalidParameterError(f"{' and '.join(bad)} must be >= 1")
+
+
+def _check_seed(seed) -> None:
+    """Experiment seeds must be plain ints (they are offset per trial)."""
+    if not isinstance(seed, int):
+        raise InvalidParameterError(f"seed must be an int, got {seed!r}")
 
 
 @dataclass
@@ -38,12 +82,52 @@ class Q1Config:
     seed: int = 42
 
     def validate(self) -> None:
-        if self.dataset not in ("lastfm", "movielens"):
-            raise InvalidParameterError(f"unknown dataset {self.dataset!r}")
-        if not 0.0 < self.radius < 1.0:
-            raise InvalidParameterError("radius must be a Jaccard similarity in (0, 1)")
-        if self.repetitions < 1 or self.num_queries < 1:
-            raise InvalidParameterError("repetitions and num_queries must be >= 1")
+        _check_dataset(self.dataset)
+        _check_similarities(radius=self.radius)
+        _check_counts(repetitions=self.repetitions, num_queries=self.num_queries)
+        _check_seed(self.seed)
+
+    # ------------------------------------------------------------------
+    def distance_spec(self) -> DistanceSpec:
+        """The audit measure (Jaccard similarity)."""
+        return DistanceSpec("jaccard")
+
+    def lsh_spec(self) -> LSHSpec:
+        """The paper's Section 6 family: 1-bit minwise hashing."""
+        return LSHSpec("onebit_minhash")
+
+    def sampler_specs(self, num_hashes: int, num_tables: int) -> Dict[str, SamplerSpec]:
+        """The audited samplers as specs, keyed by report name.
+
+        ``(K, L)`` come from the parameter rule (it needs ``n``, so the
+        runner resolves them first and passes them in); all three samplers
+        share them so the audit compares query procedures, not parameters.
+        """
+        base = {
+            "radius": self.radius,
+            "far_radius": self.far_similarity,
+            "num_hashes": int(num_hashes),
+            "num_tables": int(num_tables),
+        }
+        return {
+            # The paper's standard-LSH baseline randomizes the order in which
+            # the L tables are visited per query (and notes the bias persists
+            # anyway); shuffle_tables=True reproduces that behaviour so the
+            # audit sees the full biased output distribution rather than a
+            # deterministic point.
+            "standard_lsh": SamplerSpec(
+                "standard_lsh",
+                {**base, "shuffle_tables": True},
+                lsh=self.lsh_spec(),
+                seed=self.seed,
+            ),
+            "fair_lsh_collect": SamplerSpec(
+                "collect_all", dict(base), lsh=self.lsh_spec(), seed=self.seed
+            ),
+            "fair_nnis": SamplerSpec(
+                "independent", dict(base), lsh=self.lsh_spec(), seed=self.seed
+            ),
+        }
 
 
 @dataclass
@@ -68,12 +152,48 @@ class Q2Config:
     seed: int = 7
 
     def validate(self) -> None:
-        if not 0.0 < self.relaxed < self.radius <= 1.0:
+        _check_similarities(relaxed=self.relaxed)
+        if not self.relaxed < self.radius <= 1.0:
             raise InvalidParameterError("need 0 < relaxed < radius <= 1")
-        if self.repetitions < 1 or self.trials < 1:
-            raise InvalidParameterError("repetitions and trials must be >= 1")
+        _check_counts(repetitions=self.repetitions, trials=self.trials)
+        _check_seed(self.seed)
         if not 14 <= self.min_subset_size <= 17:
             raise InvalidParameterError("min_subset_size must be in [14, 17] for the Section 6.2 instance")
+
+    # ------------------------------------------------------------------
+    def distance_spec(self) -> DistanceSpec:
+        """The instance measure (Jaccard similarity)."""
+        return DistanceSpec("jaccard")
+
+    def lsh_spec(self) -> LSHSpec:
+        """Full MinHash buckets (rather than the 1-bit reduction).
+
+        A bucket match then means all of the query's minimum elements fall
+        inside the candidate set, which makes "X collides" and "the cluster
+        collides" nearly mutually exclusive events; the 1-bit parity
+        reduction dilutes that exclusivity and with it the phenomenon the
+        figure demonstrates.
+        """
+        return LSHSpec("minhash")
+
+    def sampler_spec(self, num_hashes: int, num_tables: int, trial: int) -> SamplerSpec:
+        """The approximate-neighborhood sampler for one construction trial.
+
+        Each trial rebuilds the structure with fresh randomness (that is how
+        the paper obtains its quartile error bars), so the seed is offset by
+        the trial index.
+        """
+        return SamplerSpec(
+            "approximate",
+            {
+                "radius": self.radius,
+                "far_radius": self.relaxed,
+                "num_hashes": int(num_hashes),
+                "num_tables": int(num_tables),
+            },
+            lsh=self.lsh_spec(),
+            seed=self.seed + int(trial),
+        )
 
 
 @dataclass
@@ -90,10 +210,17 @@ class Q3Config:
     seed: int = 42
 
     def validate(self) -> None:
-        if self.dataset not in ("lastfm", "movielens"):
-            raise InvalidParameterError(f"unknown dataset {self.dataset!r}")
+        _check_dataset(self.dataset)
         if not self.radii or not self.c_values:
             raise InvalidParameterError("radii and c_values must be non-empty")
+        _check_similarities(**{f"radii[{i}]": r for i, r in enumerate(self.radii)})
+        _check_counts(num_queries=self.num_queries)
+        _check_seed(self.seed)
         for c in self.c_values:
             if not 0.0 < c <= 1.0:
                 raise InvalidParameterError("c values must be in (0, 1] for similarity thresholds")
+
+    # ------------------------------------------------------------------
+    def distance_spec(self) -> DistanceSpec:
+        """The ball-count measure (Jaccard similarity)."""
+        return DistanceSpec("jaccard")

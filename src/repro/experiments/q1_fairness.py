@@ -14,15 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.core.fair_collect import CollectAllFairSampler
-from repro.core.fair_nnis import IndependentFairSampler
-from repro.core.standard_lsh import StandardLSHSampler
 from repro.data.queries import select_interesting_queries
 from repro.data.sets import generate_lastfm_like, generate_movielens_like
-from repro.distances.jaccard import JaccardSimilarity
 from repro.experiments.config import Q1Config
 from repro.fairness.audit import AuditReport, FairnessAuditor
-from repro.lsh.minhash import OneBitMinHashFamily
 from repro.lsh.params import select_parameters
 
 
@@ -72,8 +67,11 @@ def run_q1(config: Q1Config = Q1Config()) -> Q1Result:
     """Run the Q1 experiment and return per-sampler audit reports."""
     config.validate()
     dataset = _load_dataset(config)
-    measure = JaccardSimilarity()
-    family = OneBitMinHashFamily()
+    # The measure and family are declarative config values resolved through
+    # the registries — swapping either for a whole experiment means editing
+    # the config's spec methods, not this runner.
+    measure = config.distance_spec().build()
+    family = config.lsh_spec().build()
 
     params = select_parameters(
         family,
@@ -95,35 +93,8 @@ def run_q1(config: Q1Config = Q1Config()) -> Q1Result:
     queries = [dataset[i] for i in query_indices]
 
     samplers = {
-        # The paper's standard-LSH baseline randomizes the order in which the
-        # L tables are visited per query (and notes the bias persists anyway);
-        # shuffle_tables=True reproduces that behaviour so the audit sees the
-        # full biased output distribution rather than a deterministic point.
-        "standard_lsh": StandardLSHSampler(
-            family,
-            radius=config.radius,
-            far_radius=config.far_similarity,
-            num_hashes=params.k,
-            num_tables=params.l,
-            shuffle_tables=True,
-            seed=config.seed,
-        ),
-        "fair_lsh_collect": CollectAllFairSampler(
-            family,
-            radius=config.radius,
-            far_radius=config.far_similarity,
-            num_hashes=params.k,
-            num_tables=params.l,
-            seed=config.seed,
-        ),
-        "fair_nnis": IndependentFairSampler(
-            family,
-            radius=config.radius,
-            far_radius=config.far_similarity,
-            num_hashes=params.k,
-            num_tables=params.l,
-            seed=config.seed,
-        ),
+        name: spec.build()
+        for name, spec in config.sampler_specs(params.k, params.l).items()
     }
 
     auditor = FairnessAuditor(

@@ -16,11 +16,8 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.core.approximate import ApproximateNeighborhoodSampler
 from repro.data.adversarial import AdversarialInstance, clustered_neighborhood_instance
-from repro.distances.jaccard import JaccardSimilarity
 from repro.experiments.config import Q2Config
-from repro.lsh.minhash import MinHashFamily
 from repro.lsh.params import select_parameters
 
 
@@ -65,14 +62,9 @@ def run_q2(config: Q2Config = Q2Config()) -> Q2Result:
     config.validate()
     instance: AdversarialInstance = clustered_neighborhood_instance(config.min_subset_size)
     dataset = instance.dataset
-    measure = JaccardSimilarity()
-    # Full MinHash buckets (rather than the 1-bit reduction) are used here:
-    # the clustered-neighborhood effect is driven by the fact that a bucket
-    # match means all of the query's minimum elements fall inside the
-    # candidate set, which makes "X collides" and "the cluster collides"
-    # nearly mutually exclusive events.  The 1-bit parity reduction dilutes
-    # that exclusivity and with it the phenomenon the figure demonstrates.
-    family = MinHashFamily()
+    # Declarative: Q2Config.lsh_spec() documents why full MinHash buckets
+    # (rather than the 1-bit reduction) are required for this instance.
+    family = config.lsh_spec().build()
     params = select_parameters(
         family,
         near_threshold=config.radius,
@@ -87,14 +79,7 @@ def run_q2(config: Q2Config = Q2Config()) -> Q2Result:
     cluster_set = set(instance.cluster_indices)
 
     for trial in range(config.trials):
-        sampler = ApproximateNeighborhoodSampler(
-            family,
-            radius=config.radius,
-            far_radius=config.relaxed,
-            num_hashes=params.k,
-            num_tables=params.l,
-            seed=config.seed + trial,
-        )
+        sampler = config.sampler_spec(params.k, params.l, trial).build()
         sampler.fit(dataset)
         counts = {"X": 0, "Y": 0, "Z": 0, "cluster": 0}
         successes = 0

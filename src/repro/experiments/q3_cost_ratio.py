@@ -19,7 +19,6 @@ import numpy as np
 from repro.data.queries import select_interesting_queries
 from repro.data.sets import generate_lastfm_like, generate_movielens_like
 from repro.distances.ball import cost_ratio
-from repro.distances.jaccard import JaccardSimilarity
 from repro.experiments.config import Q3Config
 
 
@@ -59,7 +58,7 @@ def run_q3(config: Q3Config = Q3Config()) -> Q3Result:
     """Run the Q3 sweep and return the per-cell ratio distributions."""
     config.validate()
     dataset = _load_dataset(config)
-    measure = JaccardSimilarity()
+    measure = config.distance_spec().build()
     query_indices = select_interesting_queries(
         dataset,
         measure,

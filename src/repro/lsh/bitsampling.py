@@ -10,6 +10,7 @@ from repro.distances.hamming import HammingDistance
 from repro.exceptions import InvalidParameterError
 from repro.lsh.family import HashFunction, LSHFamily
 from repro.types import Dataset, Point
+from repro.registry import register_lsh_family
 
 
 class BitSamplingHashFunction(HashFunction):
@@ -26,6 +27,7 @@ class BitSamplingHashFunction(HashFunction):
         return [int(v) for v in data[:, self._coordinate]]
 
 
+@register_lsh_family("bitsampling")
 class BitSamplingFamily(LSHFamily):
     """The original Indyk-Motwani family: sample one coordinate uniformly.
 

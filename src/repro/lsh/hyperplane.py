@@ -10,6 +10,7 @@ from repro.distances.angular import CosineSimilarity
 from repro.exceptions import InvalidParameterError
 from repro.lsh.family import HashFunction, LSHFamily
 from repro.types import Dataset, Point
+from repro.registry import register_lsh_family
 
 
 class HyperplaneHashFunction(HashFunction):
@@ -26,6 +27,7 @@ class HyperplaneHashFunction(HashFunction):
         return [int(v) for v in (data @ self._direction >= 0.0)]
 
 
+@register_lsh_family("hyperplane")
 class HyperplaneFamily(LSHFamily):
     """Charikar's SimHash: collision probability ``1 - theta / pi``.
 

@@ -33,6 +33,7 @@ from repro.distances.jaccard import JaccardSimilarity
 from repro.exceptions import InvalidParameterError, UnsupportedDataTypeError
 from repro.lsh.family import BatchHasher, HashFunction, LSHFamily
 from repro.types import Dataset, Point
+from repro.registry import register_lsh_family
 
 #: Bucket key reserved for the empty set (no element to take a minimum over).
 _EMPTY_SET_KEY = -1
@@ -171,6 +172,7 @@ def _batch_hasher_from(
     return _MinHashBatchHasher(np.asarray(seeds, dtype=np.uint64), one_bit=one_bit)
 
 
+@register_lsh_family("minhash")
 class MinHashFamily(LSHFamily):
     """The classical MinHash family: collision probability equals Jaccard."""
 
@@ -189,6 +191,7 @@ class MinHashFamily(LSHFamily):
         return _batch_hasher_from(functions, MinHashFunction, one_bit=False)
 
 
+@register_lsh_family("onebit_minhash")
 class OneBitMinHashFamily(LSHFamily):
     """1-bit minwise hashing: collision probability ``(1 + s) / 2``.
 

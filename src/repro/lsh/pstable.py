@@ -21,6 +21,7 @@ from repro.distances.euclidean import EuclideanDistance
 from repro.exceptions import InvalidParameterError
 from repro.lsh.family import HashFunction, LSHFamily
 from repro.types import Dataset, Point
+from repro.registry import register_lsh_family
 
 
 def _standard_normal_cdf(x: float) -> float:
@@ -45,6 +46,7 @@ class PStableHashFunction(HashFunction):
         return [int(v) for v in values]
 
 
+@register_lsh_family("pstable")
 class PStableFamily(LSHFamily):
     """Gaussian (2-stable) projection family for Euclidean distance."""
 

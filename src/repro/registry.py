@@ -1,0 +1,218 @@
+"""String-keyed registries for samplers, distance measures and LSH families.
+
+The declarative spec layer (:mod:`repro.spec`) describes a data structure as
+*names plus parameters* — ``{"sampler": "independent", "lsh": {"family":
+"onebit_minhash"}, ...}`` — and resolves those names here at build time.
+Keeping the name → class mapping in one place means a new scenario is a
+config value, not new wiring code: third-party subclasses register
+themselves with the same decorators the built-in classes use and become
+reachable from every layer (specs, the :class:`~repro.api.FairNN` facade,
+engine snapshots, the experiment configs) without touching core.
+
+Three registries exist, one per extension point:
+
+``SAMPLERS``
+    Concrete :class:`~repro.core.base.NeighborSampler` classes.  Each entry
+    records how the class is constructed via the ``inputs`` metadata key:
+    ``"family"`` (first argument is an LSH family), ``"measure"`` (first
+    argument is a distance measure) or ``"self"`` (self-contained — only
+    keyword parameters).  :class:`~repro.core.weighted.WeightedFairSampler`
+    is deliberately *not* registered: it wraps another sampler with an
+    arbitrary Python callable and therefore has no declarative description.
+``DISTANCES``
+    Concrete :class:`~repro.distances.base.Measure` classes.
+``LSH_FAMILIES``
+    Concrete base :class:`~repro.lsh.family.LSHFamily` classes
+    (:class:`~repro.lsh.family.ConcatenatedFamily` is derived — AND
+    composition is applied by the samplers, not named in specs).
+
+Usage
+-----
+Registering a custom class (the built-ins do exactly this)::
+
+    from repro.registry import register_sampler
+
+    @register_sampler("my_sampler", inputs="family")
+    class MySampler(LSHNeighborSampler):
+        ...
+
+Resolving a name::
+
+    from repro.registry import get_sampler
+    cls = get_sampler("independent")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, Type
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "Registry",
+    "SAMPLERS",
+    "DISTANCES",
+    "LSH_FAMILIES",
+    "register_sampler",
+    "register_distance",
+    "register_lsh_family",
+    "get_sampler",
+    "get_distance",
+    "get_lsh_family",
+    "sampler_names",
+    "distance_names",
+    "lsh_family_names",
+]
+
+
+class Registry:
+    """A name → class mapping with per-entry metadata.
+
+    Names are short, stable, lower-case strings — they appear in JSON specs
+    and snapshot manifests, so renaming one is a format break.  Registration
+    is idempotent for the same class and an error for a different class
+    (silent replacement would make spec resolution order-dependent).
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._classes: Dict[str, type] = {}
+        self._metadata: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, cls: type, **metadata) -> type:
+        """Register *cls* under *name*; returns *cls* (decorator-friendly)."""
+        if not isinstance(name, str) or not name:
+            raise InvalidParameterError(f"{self.kind} registry keys must be non-empty strings")
+        existing = self._classes.get(name)
+        if existing is not None and existing is not cls:
+            raise InvalidParameterError(
+                f"{self.kind} name {name!r} is already registered to "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        self._classes[name] = cls
+        self._metadata[name] = dict(metadata)
+        return cls
+
+    def decorator(self, name: str, **metadata) -> Callable[[type], type]:
+        """``@registry.decorator("name")`` — register the decorated class."""
+
+        def wrap(cls: type) -> type:
+            return self.register(name, cls, **metadata)
+
+        return wrap
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> type:
+        """The class registered under *name*; raises with the known names."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise InvalidParameterError(
+                f"unknown {self.kind} {name!r}; registered: {known}"
+            ) from None
+
+    def metadata(self, name: str) -> dict:
+        """A copy of the metadata recorded when *name* was registered."""
+        self.get(name)  # raise the standard error for unknown names
+        return dict(self._metadata[name])
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._classes))
+
+    def name_of(self, cls: type) -> Optional[str]:
+        """The name *cls* (or its nearest registered base) is registered as.
+
+        Walks the MRO so that unregistered subclasses still resolve to a
+        meaningful name — e.g. for labelling query responses.  Returns
+        ``None`` when nothing in the MRO is registered.
+        """
+        by_class = {c: n for n, c in self._classes.items()}
+        for base in getattr(cls, "__mro__", (cls,)):
+            if base in by_class:
+                return by_class[base]
+        return None
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def items(self) -> Tuple[Tuple[str, type], ...]:
+        """Sorted ``(name, class)`` pairs."""
+        return tuple((name, self._classes[name]) for name in self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self.kind!r}, {list(self.names())})"
+
+
+#: Concrete :class:`~repro.core.base.NeighborSampler` classes.
+SAMPLERS = Registry("sampler")
+
+#: Concrete :class:`~repro.distances.base.Measure` classes.
+DISTANCES = Registry("distance")
+
+#: Concrete base :class:`~repro.lsh.family.LSHFamily` classes.
+LSH_FAMILIES = Registry("LSH family")
+
+
+def register_sampler(name: str, *, inputs: str = "family") -> Callable[[type], type]:
+    """Class decorator registering a sampler under *name*.
+
+    ``inputs`` declares the constructor shape the spec layer must use:
+    ``"family"`` — ``cls(family, **params, seed=seed)``; ``"measure"`` —
+    ``cls(measure, **params, seed=seed)``; ``"self"`` — ``cls(**params,
+    seed=seed)``.
+    """
+    if inputs not in ("family", "measure", "self"):
+        raise InvalidParameterError(
+            f"sampler inputs must be 'family', 'measure' or 'self', got {inputs!r}"
+        )
+    return SAMPLERS.decorator(name, inputs=inputs)
+
+
+def register_distance(name: str) -> Callable[[type], type]:
+    """Class decorator registering a distance/similarity measure under *name*."""
+    return DISTANCES.decorator(name)
+
+
+def register_lsh_family(name: str) -> Callable[[type], type]:
+    """Class decorator registering a base LSH family under *name*."""
+    return LSH_FAMILIES.decorator(name)
+
+
+def get_sampler(name: str) -> Type:
+    """The sampler class registered under *name*."""
+    return SAMPLERS.get(name)
+
+
+def get_distance(name: str) -> Type:
+    """The measure class registered under *name*."""
+    return DISTANCES.get(name)
+
+
+def get_lsh_family(name: str) -> Type:
+    """The LSH family class registered under *name*."""
+    return LSH_FAMILIES.get(name)
+
+
+def sampler_names() -> Tuple[str, ...]:
+    """All registered sampler names, sorted."""
+    return SAMPLERS.names()
+
+
+def distance_names() -> Tuple[str, ...]:
+    """All registered distance names, sorted."""
+    return DISTANCES.names()
+
+
+def lsh_family_names() -> Tuple[str, ...]:
+    """All registered LSH family names, sorted."""
+    return LSH_FAMILIES.names()

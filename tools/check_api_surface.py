@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Verify (or regenerate) the checked-in public-API surface file.
+
+The public surface of :mod:`repro` is the union of
+
+* ``repro.__all__`` (every symbol importable from the top level), and
+* the three registries (every sampler / distance / LSH family name and the
+  class it resolves to).
+
+``docs/api_surface.txt`` is the checked-in snapshot of that surface.  CI runs
+this script with no arguments: any drift — a symbol dropped from
+``__all__``, a registration renamed or removed — fails the job, so API
+breaks are deliberate, reviewed diffs of the surface file rather than
+accidents.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/check_api_surface.py          # verify
+    PYTHONPATH=src python tools/check_api_surface.py --write  # regenerate
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SURFACE_FILE = REPO_ROOT / "docs" / "api_surface.txt"
+
+
+def render_surface() -> str:
+    """The current public surface, in the checked-in file's format."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import repro
+    from repro import registry
+
+    lines = [
+        "# Public API surface of `repro` — checked by CI.",
+        "# Regenerate after a *deliberate* API change with:",
+        "#   PYTHONPATH=src python tools/check_api_surface.py --write",
+        "",
+        "[repro.__all__]",
+    ]
+    lines += sorted(repro.__all__)
+    for title, reg in (
+        ("samplers", registry.SAMPLERS),
+        ("distances", registry.DISTANCES),
+        ("lsh_families", registry.LSH_FAMILIES),
+    ):
+        lines.append("")
+        lines.append(f"[registry.{title}]")
+        for name, cls in reg.items():
+            lines.append(f"{name} -> {cls.__module__}.{cls.__qualname__}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="rewrite docs/api_surface.txt with the current surface",
+    )
+    args = parser.parse_args(argv)
+
+    current = render_surface()
+    if args.write:
+        SURFACE_FILE.write_text(current, encoding="utf-8")
+        print(f"wrote {SURFACE_FILE.relative_to(REPO_ROOT)}")
+        return 0
+
+    recorded = SURFACE_FILE.read_text(encoding="utf-8") if SURFACE_FILE.exists() else ""
+    if current == recorded:
+        print("public API surface matches docs/api_surface.txt")
+        return 0
+    import difflib
+
+    diff = difflib.unified_diff(
+        recorded.splitlines(keepends=True),
+        current.splitlines(keepends=True),
+        fromfile="docs/api_surface.txt (checked in)",
+        tofile="current surface",
+    )
+    sys.stderr.write("".join(diff))
+    sys.stderr.write(
+        "\npublic API surface drifted from docs/api_surface.txt;\n"
+        "if the change is deliberate, regenerate with:\n"
+        "  PYTHONPATH=src python tools/check_api_surface.py --write\n"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
