@@ -70,15 +70,19 @@ from repro.engine import (
     EngineStats,
     QueryRequest,
     QueryResponse,
+    ShardedEngine,
+    ShardedLSHTables,
     load_engine,
     save_engine,
 )
 from repro.fairness import FairnessAuditor, total_variation_from_uniform
 from repro.exceptions import (
+    AlreadyDeletedError,
     EmptyDatasetError,
     InvalidParameterError,
     NotFittedError,
     ReproError,
+    SlotOutOfRangeError,
 )
 from repro.registry import (
     DISTANCES,
@@ -97,7 +101,7 @@ from repro.registry import (
 from repro.spec import DistanceSpec, EngineSpec, LSHSpec, SamplerSpec, spec_from_dict
 from repro.api import FairNN
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -141,6 +145,8 @@ __all__ = [
     # engine
     "BatchQueryEngine",
     "DynamicLSHTables",
+    "ShardedEngine",
+    "ShardedLSHTables",
     "EngineStats",
     "QueryRequest",
     "QueryResponse",
@@ -154,6 +160,8 @@ __all__ = [
     "NotFittedError",
     "EmptyDatasetError",
     "InvalidParameterError",
+    "SlotOutOfRangeError",
+    "AlreadyDeletedError",
     # registries (repro.registry)
     "SAMPLERS",
     "DISTANCES",

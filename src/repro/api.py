@@ -34,6 +34,7 @@ query method takes ``sampler="name"``.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -41,6 +42,7 @@ import numpy as np
 from repro.core.base import LSHNeighborSampler, NeighborSampler
 from repro.engine.batch import BatchQueryEngine, build_tables
 from repro.engine.dynamic import DynamicLSHTables
+from repro.engine.sharded import ShardedEngine, ShardedLSHTables
 from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
 from repro.engine.snapshot import load_engine, save_engine
 from repro.exceptions import InvalidParameterError, NotFittedError
@@ -140,6 +142,18 @@ class FairNN:
         return isinstance(self._tables, DynamicLSHTables)
 
     @property
+    def is_sharded(self) -> bool:
+        """Whether the index is partitioned across shards."""
+        return isinstance(self._tables, ShardedLSHTables)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of index partitions actually serving (1 when unsharded)."""
+        if isinstance(self._tables, ShardedLSHTables):
+            return self._tables.n_shards
+        return 1
+
+    @property
     def num_live_points(self) -> int:
         """Live (non-tombstoned) indexed points."""
         if isinstance(self._tables, DynamicLSHTables):
@@ -183,7 +197,12 @@ class FairNN:
         self._make_engines()
         return self
 
-    def serve(self, dataset: Optional[Dataset] = None) -> "FairNN":
+    def serve(
+        self,
+        dataset: Optional[Dataset] = None,
+        shards: Optional[int] = None,
+        placement: Optional[str] = None,
+    ) -> "FairNN":
         """Promote to a serving setup over shared (by default dynamic) tables.
 
         Builds the table layer the spec describes
@@ -197,11 +216,28 @@ class FairNN:
         directly on a fresh facade for reproducible artifacts; calling it
         after :meth:`fit` re-indexes (the construction RNG streams have
         advanced).
+
+        ``serve(shards=N)`` (or ``EngineSpec.n_shards``) promotes to
+        **sharded** serving: the index is partitioned across ``N``
+        :class:`~repro.engine.dynamic.DynamicLSHTables` shards
+        (:class:`~repro.engine.sharded.ShardedLSHTables`) and every engine
+        becomes a :class:`~repro.engine.sharded.ShardedEngine` executing
+        batches across the shards through a worker pool.  Mutations are
+        routed to the owning shard once and every engine is notified, and
+        responses stay byte-identical to unsharded serving for the same
+        spec + seed + dataset.  Explicit arguments are recorded back into
+        :attr:`spec` so snapshots describe the topology actually served.
         """
         if dataset is None:
             dataset = self._dataset
         if dataset is None:
             raise NotFittedError("serve() needs a dataset (pass one or call fit first)")
+        if shards is not None or placement is not None:
+            self._spec = replace(
+                self._spec,
+                n_shards=self._spec.n_shards if shards is None else int(shards),
+                placement=self._spec.placement if placement is None else placement,
+            )
         self._build_samplers()
         lsh_named = self._lsh_samplers()
         if lsh_named:
@@ -226,14 +262,7 @@ class FairNN:
             raise InvalidParameterError(f"sampler name {name!r} is already in use")
         samplers = dict(self._spec.samplers)
         samplers[name] = spec
-        self._spec = EngineSpec(
-            samplers=samplers,
-            primary=self._spec.primary,
-            dynamic=self._spec.dynamic,
-            max_tombstone_fraction=self._spec.max_tombstone_fraction,
-            batch_hashing=self._spec.batch_hashing,
-            coalesce_duplicates=self._spec.coalesce_duplicates,
-        )
+        self._spec = replace(self._spec, samplers=samplers)
         if not self._samplers:
             return self
         self._check_family_compatible({name: spec})
@@ -305,14 +334,31 @@ class FairNN:
         radius over the **live** dataset (tombstoned points are excluded),
         independent of any index — this is the reference the fair samplers'
         uniformity is measured against.
+
+        The scan gathers the live slots *first* and evaluates the measure
+        only on those: a tombstoned slot whose point object was already
+        released by a compaction sweep (its dataset entry is ``None``) must
+        never reach the measure kernels, and a dead point's value must never
+        influence the result even before release.  Returned indices are the
+        original (stable) dataset slots, so they remain comparable across
+        mutations and with historical responses.
         """
         self._check_built()
         target = self._samplers[self._resolve_name(sampler)]
         dataset = target.dataset
+        if isinstance(self._tables, DynamicLSHTables):
+            # target.dataset is the table layer's live container (or, for a
+            # non-LSH sampler, a fit-time prefix of it): slot i of either is
+            # dataset slot i, so the liveness mask prefix lines up.
+            alive = np.asarray(self._tables.alive[: len(dataset)])
+            live = np.flatnonzero(alive)
+            if live.size == 0:
+                return live
+            values = target.measure.values_to_query([dataset[int(i)] for i in live], query)
+            mask = target.measure.within_mask(values, target.radius)
+            return live[mask]
         values = target.measure.values_to_query(dataset, query)
         mask = target.measure.within_mask(values, target.radius)
-        if isinstance(self._tables, DynamicLSHTables):
-            mask &= self._tables.alive[: len(mask)]
         return np.flatnonzero(mask)
 
     # ------------------------------------------------------------------
@@ -325,13 +371,22 @@ class FairNN:
     def insert_many(self, points: Dataset) -> List[int]:
         """Bulk-index new points online.
 
-        The mutation is applied to the shared tables once and every named
-        sampler's engine is notified, so all of them re-synchronize (lazily,
-        on their next batch).  Only LSH-backed samplers can track index
-        mutations, so a facade that also serves e.g. the exact baseline
-        rejects mutation outright rather than letting that sampler silently
-        answer from a stale dataset.
+        The mutation is applied to the shared tables once (sharded facades
+        route each point to its owning shard) and every named sampler's
+        engine is notified, so all of them re-synchronize (lazily, on their
+        next batch).  Only LSH-backed samplers can track index mutations, so
+        a facade that also serves e.g. the exact baseline rejects mutation
+        outright rather than letting that sampler silently answer from a
+        stale dataset.
+
+        ``insert_many([])`` is a documented no-op: it returns ``[]``
+        immediately — no serving requirement is checked, no
+        :class:`~repro.engine.dynamic.MutationDelta` is emitted, no engine
+        counter moves and no sampler is re-synchronized.
         """
+        points = list(points)
+        if not points:
+            return []
         tables = self._require_dynamic()
         indices = tables.insert_many(points)
         for engine in self._engines.values():
@@ -342,6 +397,12 @@ class FairNN:
         """Remove one point online (tombstone + amortized compaction).
 
         Subject to the same LSH-only restriction as :meth:`insert_many`.
+        Deleting an out-of-range slot raises
+        :class:`~repro.exceptions.SlotOutOfRangeError` (an ``IndexError``)
+        and deleting an already-tombstoned slot raises
+        :class:`~repro.exceptions.AlreadyDeletedError` (a ``KeyError``);
+        both fail *before* any bookkeeping, so a failed delete never lands
+        in a mutation delta, the tombstone fraction or any engine counter.
         """
         tables = self._require_dynamic()
         tables.delete(index)
@@ -424,8 +485,16 @@ class FairNN:
         """(Re)build every sampler object from its spec."""
         self._check_family_compatible(self._spec.samplers)
         self._samplers = {name: spec.build() for name, spec in self._spec.samplers.items()}
-        self._engines = {}
+        self._close_engines()
         self._tables = None
+
+    def _close_engines(self) -> None:
+        """Release superseded engines (sharded ones own worker pools)."""
+        for engine in self._engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+        self._engines = {}
 
     def _lsh_samplers(self) -> Dict[str, LSHNeighborSampler]:
         return {
@@ -462,7 +531,9 @@ class FairNN:
         <repro.engine.batch.BatchQueryEngine.build>` uses, so the
         single-sampler dynamic case stays byte-compatible with it.  The only
         extension is that the tables store ranks when *any* attached sampler
-        needs them, not just the owner.
+        needs them, not just the owner.  A spec asking for ``n_shards > 1``
+        gets a :class:`~repro.engine.sharded.ShardedLSHTables` partitioned by
+        the spec's placement policy.
         """
         lsh_named = self._lsh_samplers()
         owner = self._table_owner(lsh_named)
@@ -472,13 +543,20 @@ class FairNN:
             dynamic=dynamic,
             max_tombstone_fraction=self._spec.max_tombstone_fraction,
             use_ranks=any(sampler._use_ranks for sampler in lsh_named.values()),
+            n_shards=self._spec.n_shards if (dynamic and self._spec.n_shards > 1) else None,
+            placement=self._spec.placement,
         )
         for sampler in lsh_named.values():
             sampler.attach(tables, bound_dataset)
         self._tables = tables
 
     def _new_engine(self, name: str, sampler: NeighborSampler) -> BatchQueryEngine:
-        return BatchQueryEngine(
+        engine_cls = (
+            ShardedEngine
+            if isinstance(getattr(sampler, "tables", None), ShardedLSHTables)
+            else BatchQueryEngine
+        )
+        return engine_cls(
             sampler,
             batch_hashing=self._spec.batch_hashing,
             coalesce_duplicates=self._spec.coalesce_duplicates,

@@ -419,6 +419,37 @@ class LSHNeighborSampler(NeighborSampler):
         """
         return None
 
+    #: Whether this sampler's single-draw answer is determined by a *rank
+    #: prefix* of the colliding view: scanning candidates in increasing rank
+    #: order, the query can stop at the first near point.  Samplers that set
+    #: this True must implement :meth:`sample_detailed_from_prefix`.  The
+    #: sharded serving engine uses it to gather only each shard's bottom-``B``
+    #: candidates by rank (a distributed top-k over the exchangeable rank
+    #: domain) instead of merging the full colliding multiset.
+    supports_rank_prefix_scan: bool = False
+
+    def sample_detailed_from_prefix(
+        self,
+        query: Point,
+        view: tuple,
+        complete: bool,
+        exclude_index: Optional[int] = None,
+    ) -> Optional[QueryResult]:
+        """Answer one query from a *rank-prefix* candidate view, or ``None``.
+
+        *view* is a rank-sorted ``(ranks, indices)`` multiset that is a
+        **prefix** (by rank) of the full colliding view: every colliding
+        reference with rank below the view's last entry is present, but
+        higher-ranked references may be missing unless *complete* is True.
+        Implementations must return exactly what :meth:`sample_detailed`
+        would return on the full view — including identical
+        :class:`~repro.core.result.QueryStats` counters — or ``None`` when
+        the prefix cannot prove that (the caller then retries with a longer
+        prefix, or falls back to the full view).  The default returns
+        ``None`` (no prefix support).
+        """
+        return None
+
     def _stripped_for_snapshot(self) -> "LSHNeighborSampler":
         """A shallow copy of the sampler suitable for pickling into a snapshot.
 

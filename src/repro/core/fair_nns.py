@@ -37,6 +37,11 @@ class PermutationFairSampler(LSHNeighborSampler):
     # Section 4), so the serving engine may coalesce duplicate queries.
     deterministic_queries = True
 
+    # The Section 3 answer is the minimum-rank near colliding point, so it is
+    # determined by a rank prefix of the colliding view — the property the
+    # sharded engine's bounded per-shard gather exploits.
+    supports_rank_prefix_scan = True
+
     def __init__(
         self,
         family: LSHFamily,
@@ -131,6 +136,58 @@ class PermutationFairSampler(LSHNeighborSampler):
         stats.distance_evaluations = evaluator.fresh_evaluations
         stats.kernel_calls = evaluator.kernel_calls
         return QueryResult(index=None, value=None, stats=stats)
+
+    def sample_detailed_from_prefix(
+        self, query: Point, view: tuple, complete: bool, exclude_index: Optional[int] = None
+    ) -> Optional[QueryResult]:
+        """Scan a rank-prefix view, answering only when provably identical.
+
+        The same chunked scan as :meth:`sample_detailed_from_candidates`,
+        with one extra rule: a chunk may only be scored while it lies
+        entirely inside the prefix.  Deduplication keeps each point's first
+        (lowest-rank) occurrence, so the deduplicated prefix is a *prefix of
+        the full deduplicated candidate sequence* — any hit found in a
+        fully-contained chunk is therefore the global minimum-rank near
+        point, with bit-identical values and work counters.  Returns ``None``
+        when the prefix is exhausted first (no near point among its
+        candidates, or the next chunk would be cut short); the caller widens
+        the prefix and retries.
+        """
+        if complete:
+            return self.sample_detailed_from_candidates(
+                query, view, exclude_index=exclude_index
+            )
+        _, indices = view
+        stats = QueryStats(buckets_probed=self.tables.num_tables)
+        evaluator = self._evaluator(query)
+        unique, first_seen = np.unique(indices, return_index=True)
+        candidates = unique[np.argsort(first_seen, kind="stable")]
+        if exclude_index is not None:
+            candidates = candidates[candidates != exclude_index]
+
+        start = 0
+        chunk = self._SCAN_CHUNK
+        while start < candidates.size:
+            if start + chunk > candidates.size:
+                # The chunk would be cut short by the prefix boundary: on the
+                # full view it would score more candidates, so values and
+                # counters could diverge.  Ask for a longer prefix.
+                return None
+            batch = candidates[start : start + chunk]
+            values = evaluator.values(batch)
+            hits = np.flatnonzero(self.measure.within_mask(values, self.radius))
+            if hits.size:
+                position = int(hits[0])
+                stats.candidates_examined += position + 1
+                stats.distance_evaluations = evaluator.fresh_evaluations
+                stats.kernel_calls = evaluator.kernel_calls
+                return QueryResult(
+                    index=int(batch[position]), value=float(values[position]), stats=stats
+                )
+            stats.candidates_examined += int(batch.size)
+            start += chunk
+            chunk *= 4
+        return None
 
     def sample_k(self, query: Point, k: int, replacement: bool = True) -> List[int]:
         """Sample ``k`` near neighbors.

@@ -14,6 +14,12 @@ system:
 * :class:`~repro.engine.batch.BatchQueryEngine` — batched query execution
   that hashes a whole batch of queries in one vectorized pass and dispatches
   to any sampler, with per-engine serving statistics;
+* :class:`~repro.engine.sharded.ShardedLSHTables` /
+  :class:`~repro.engine.sharded.ShardedEngine` — the scale-out layer: the
+  index partitioned across ``n_shards`` dynamic shards with recorded
+  placement, batches executed across shards through a thread pool, and
+  per-shard candidates merged into answers byte-identical to unsharded
+  serving (the exchangeable ``2^62`` rank domain makes the merge exact);
 * :mod:`~repro.engine.requests` — the typed request/response surface;
 * :mod:`~repro.engine.snapshot` — save/load of a fitted engine, so indexes
   can be built offline and shipped to servers.
@@ -34,6 +40,7 @@ True
 from repro.engine.batch import BatchQueryEngine
 from repro.engine.dynamic import RANK_DOMAIN, DynamicLSHTables, MutationDelta
 from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
+from repro.engine.sharded import PLACEMENTS, ShardedEngine, ShardedLSHTables
 from repro.engine.snapshot import load_engine, save_engine
 
 __all__ = [
@@ -41,6 +48,9 @@ __all__ = [
     "DynamicLSHTables",
     "MutationDelta",
     "RANK_DOMAIN",
+    "PLACEMENTS",
+    "ShardedEngine",
+    "ShardedLSHTables",
     "EngineStats",
     "QueryRequest",
     "QueryResponse",

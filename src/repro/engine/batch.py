@@ -50,6 +50,8 @@ def build_tables(
     max_tombstone_fraction: float = 0.25,
     use_ranks: Optional[bool] = None,
     seed: SeedLike = None,
+    n_shards: Optional[int] = None,
+    placement: str = "round_robin",
 ):
     """Build a table layer for *owner* exactly as its offline ``fit`` would.
 
@@ -64,6 +66,12 @@ def build_tables(
     tables.  Returns ``(tables, bound_dataset)`` where *bound_dataset* is
     what attached samplers must be given (the tables' own live container for
     dynamic tables).
+
+    Passing *n_shards* (an int, even ``1``) builds a
+    :class:`~repro.engine.sharded.ShardedLSHTables` partitioned by
+    *placement* instead of one monolithic dynamic table set — same hash
+    functions, same ranks, byte-identical merged buckets.  ``None`` (the
+    default) keeps the unsharded layout.  Sharding requires ``dynamic=True``.
     """
     n = len(dataset)
     if n == 0:
@@ -74,14 +82,31 @@ def build_tables(
     tables_seed = seed if seed is not None else owner._tables_rng
     if use_ranks is None:
         use_ranks = owner._use_ranks
-    if dynamic:
-        tables = DynamicLSHTables(
-            concatenated,
-            params.l,
-            seed=tables_seed,
-            use_ranks=use_ranks,
-            max_tombstone_fraction=max_tombstone_fraction,
+    if n_shards is not None and not dynamic:
+        raise InvalidParameterError(
+            "sharded tables are a serving-layer structure; build with dynamic=True"
         )
+    if dynamic:
+        if n_shards is not None:
+            from repro.engine.sharded import ShardedLSHTables  # circular at import time
+
+            tables = ShardedLSHTables(
+                concatenated,
+                params.l,
+                seed=tables_seed,
+                use_ranks=use_ranks,
+                max_tombstone_fraction=max_tombstone_fraction,
+                n_shards=n_shards,
+                placement=placement,
+            )
+        else:
+            tables = DynamicLSHTables(
+                concatenated,
+                params.l,
+                seed=tables_seed,
+                use_ranks=use_ranks,
+                max_tombstone_fraction=max_tombstone_fraction,
+            )
         tables.fit(dataset)
         return tables, tables.dataset
     ranks = owner._perm_rng.permutation(n) if use_ranks else None
@@ -205,7 +230,16 @@ class BatchQueryEngine:
         return self.insert_many([point])[0]
 
     def insert_many(self, points: Dataset) -> List[int]:
-        """Bulk-index new points (vectorized hashing, merged bucket splices)."""
+        """Bulk-index new points (vectorized hashing, merged bucket splices).
+
+        An empty batch is a documented no-op: ``insert_many([])`` returns
+        ``[]`` without touching the tables — no
+        :class:`~repro.engine.dynamic.MutationDelta` is recorded, no engine
+        counter moves, and the attached sampler is not re-synchronized.
+        """
+        points = list(points)
+        if not points:
+            return []
         tables = self._dynamic_tables()
         indices = tables.insert_many(points)
         self.stats.inserts += len(indices)
@@ -271,20 +305,28 @@ class BatchQueryEngine:
         distinct, assignment = self._coalesce(normalized)
         tables = self.tables
         primed = False
+        keys_per_query = None
         if self.batch_hashing and tables is not None and len(distinct) > 1:
             queries = [request.query for request in distinct]
-            tables.prime_key_cache(queries, tables.query_keys_many(queries))
+            keys_per_query = tables.query_keys_many(queries)
+            tables.prime_key_cache(queries, keys_per_query)
             primed = True
         hits_before = tables.key_cache_hits if tables is not None else 0
         try:
-            answers = [
-                self._answer(position, request) for position, request in enumerate(distinct)
-            ]
+            answers = self._execute(distinct, keys_per_query)
         finally:
             if primed:
                 tables.clear_key_cache()
         if tables is not None:
             self.stats.key_cache_hits += tables.key_cache_hits - hits_before
+        for answer in answers:
+            # Work counters accumulate here (not inside _answer) so that
+            # subclasses may compute answers concurrently; multi-draw
+            # responses carry empty QueryStats and contribute nothing,
+            # exactly as before.
+            self.stats.candidates_scanned += answer.stats.candidates_examined
+            self.stats.distance_evaluations += answer.stats.distance_evaluations
+            self.stats.distance_kernel_calls += answer.stats.kernel_calls
         self.stats.queries_served += len(normalized)
         self.stats.batches_served += 1
         responses = []
@@ -343,6 +385,17 @@ class BatchQueryEngine:
         """Convenience wrapper: one single-draw sample index per query."""
         return [response.index for response in self.run(list(queries))]
 
+    def _execute(self, distinct, keys_per_query) -> List[QueryResponse]:
+        """Answer the batch's distinct requests, in order.
+
+        *keys_per_query* holds the pre-hashed per-table bucket keys of each
+        distinct query (``None`` when batch hashing was skipped).  The base
+        implementation answers serially; the sharded engine overrides this
+        to fan candidate gathering — and, for query-deterministic samplers,
+        whole queries — out over its worker pool.
+        """
+        return [self._answer(position, request) for position, request in enumerate(distinct)]
+
     def _answer(self, position: int, request: QueryRequest) -> QueryResponse:
         if request.k == 1:
             result = None
@@ -365,9 +418,6 @@ class BatchQueryEngine:
                 result = self.sampler.sample_detailed(
                     request.query, exclude_index=request.exclude_index
                 )
-            self.stats.candidates_scanned += result.stats.candidates_examined
-            self.stats.distance_evaluations += result.stats.distance_evaluations
-            self.stats.distance_kernel_calls += result.stats.kernel_calls
             return QueryResponse(
                 request_index=position,
                 indices=[] if result.index is None else [int(result.index)],

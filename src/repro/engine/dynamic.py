@@ -58,7 +58,12 @@ from typing import Dict, Hashable, List, Optional, Set
 import numpy as np
 
 from repro.data.store import DatasetStore, make_store
-from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.exceptions import (
+    AlreadyDeletedError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    SlotOutOfRangeError,
+)
 from repro.lsh.family import LSHFamily
 from repro.lsh.tables import Bucket, LSHTables
 from repro.rng import SeedLike, spawn_rngs
@@ -438,19 +443,7 @@ class DynamicLSHTables(LSHTables):
         count = len(points)
         if count == 0:
             return []
-        if self._use_ranks:
-            if ranks is None:
-                new_ranks = self._draw_ranks(count)
-            else:
-                new_ranks = np.asarray(ranks, dtype=np.int64)
-                if new_ranks.shape != (count,):
-                    raise InvalidParameterError(
-                        f"ranks must have shape ({count},), got {new_ranks.shape}"
-                    )
-        else:
-            if ranks is not None:
-                raise InvalidParameterError("tables were built without ranks; cannot insert ranks")
-            new_ranks = None
+        new_ranks = self._checked_insert_ranks(count, ranks)
         start = self._n
         keys_per_point = self.query_keys_many(points)
         for table_index, table in enumerate(self._tables):
@@ -501,6 +494,27 @@ class DynamicLSHTables(LSHTables):
         self._maybe_overflow_delta()
         return indices
 
+    def _checked_insert_ranks(self, count: int, ranks) -> Optional[np.ndarray]:
+        """Validate (or draw) the ranks of an insert batch of size *count*.
+
+        Shared by the unsharded and sharded mutation paths so the rank
+        contract — explicit ranks must match the batch shape, rankless
+        tables reject them, and fresh draws come from the mutation stream —
+        cannot drift between the two.
+        """
+        if self._use_ranks:
+            if ranks is None:
+                return self._draw_ranks(count)
+            new_ranks = np.asarray(ranks, dtype=np.int64)
+            if new_ranks.shape != (count,):
+                raise InvalidParameterError(
+                    f"ranks must have shape ({count},), got {new_ranks.shape}"
+                )
+            return new_ranks
+        if ranks is not None:
+            raise InvalidParameterError("tables were built without ranks; cannot insert ranks")
+        return None
+
     def _grow_slots(self, new_ranks: Optional[np.ndarray], count: int) -> None:
         """Extend the per-slot arrays (liveness, ranks) by *count* live entries.
 
@@ -533,12 +547,22 @@ class DynamicLSHTables(LSHTables):
         in one vectorized pass when the delta is next read.  Triggers a full
         bucket compaction when the pending-tombstone fraction crosses
         :attr:`max_tombstone_fraction`.
+
+        Raises
+        ------
+        SlotOutOfRangeError
+            (also an :class:`IndexError`) when *index* is outside ``[0, n)``.
+        AlreadyDeletedError
+            (also a :class:`KeyError`) when the slot is already tombstoned.
+        Both are raised before any bookkeeping: a failed delete is never
+        recorded in the :class:`MutationDelta`, never enters the pending
+        tombstone set, and never moves the compaction trigger.
         """
         self._check_fitted()
         if not 0 <= index < self._n:
-            raise InvalidParameterError(f"index {index} out of range [0, {self._n})")
+            raise SlotOutOfRangeError(f"index {index} out of range [0, {self._n})")
         if not self._alive[index]:
-            raise InvalidParameterError(f"point {index} was already deleted")
+            raise AlreadyDeletedError(f"point {index} was already deleted")
         # Capture the point object while it still exists (a compaction sweep
         # — possibly the one triggered below — releases the slot's entry);
         # its bucket keys are resolved lazily, in one vectorized pass per

@@ -130,6 +130,16 @@ class EngineStats:
         Bucket compaction sweeps — those triggered by tombstone pressure
         *and* those forced per mutation batch by samplers that need clean
         buckets to rebuild derived state (e.g. the Section 4 sketches).
+    shard_merges:
+        Cross-shard candidate buckets materialized by a
+        :class:`~repro.engine.sharded.ShardedEngine` (per batch, each
+        distinct ``(table, bucket key)`` pair a query needs is merged at most
+        once; repeats hit the merged-bucket cache).  Deterministic for a
+        seeded workload — the counter the perf-guard CI job pins.
+    prefix_scans, prefix_escalations:
+        Rank-prefix candidate merges served by a sharded engine (bounded
+        bottom-``B``-by-rank gathers instead of full multiset merges) and
+        the retries where the prefix proved too short and was widened.
     """
 
     queries_served: int = 0
@@ -142,6 +152,9 @@ class EngineStats:
     inserts: int = 0
     deletes: int = 0
     rebuilds_triggered: int = 0
+    shard_merges: int = 0
+    prefix_scans: int = 0
+    prefix_escalations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (for logging / snapshot manifests)."""

@@ -8,9 +8,13 @@ holds three files:
     Human-readable metadata: format version, class names, the serving name
     and originating declarative spec (format v3 — see :mod:`repro.spec`),
     table shape, liveness counters and the engine's serving statistics.
+    Sharded engines (format v4) additionally record the shard topology —
+    ``n_shards``, the placement policy and one per-shard manifest entry.
 ``arrays.npz``
     The numeric bulk — per-table bucket member/rank arrays (flattened with
-    bucket offsets), the global rank array and the liveness mask.
+    bucket offsets), the global rank array and the liveness mask.  Sharded
+    snapshots store each shard's bucket arrays under an ``s<j>_`` prefix
+    plus the recorded per-point placement (``shard_of`` / ``local_of``).
 ``objects.pkl``
     The Python objects with no natural array form: the drawn hash functions,
     the LSH family, per-table bucket keys, the dataset points, the sampler
@@ -38,6 +42,7 @@ from repro.core.base import LSHNeighborSampler
 from repro.engine.batch import BatchQueryEngine
 from repro.engine.dynamic import DynamicLSHTables, MutationDelta
 from repro.engine.requests import EngineStats
+from repro.engine.sharded import ShardedEngine, ShardedLSHTables
 from repro.exceptions import InvalidParameterError
 from repro.lsh.tables import Bucket, LSHTables
 from repro.spec import EngineSpec, SamplerSpec
@@ -47,23 +52,64 @@ from repro.spec import EngineSpec, SamplerSpec
 #: state incrementally across the save/load boundary.  Version 3 added the
 #: engine's serving name (``sampler_name``) and its originating declarative
 #: spec (``spec`` / ``spec_kind``) to the manifest, making snapshots
-#: self-describing: a loaded artifact knows which
-#: :class:`~repro.spec.SamplerSpec`/:class:`~repro.spec.EngineSpec` built it.
+#: self-describing.  Version 4 is the *sharded* layout: per-shard bucket
+#: arrays and manifests plus the recorded point placement.  Unsharded
+#: engines keep writing version 3, so pre-existing loaders stay compatible.
 FORMAT_VERSION = 3
 
-#: Older formats ``load_engine`` still reads.  Version 1 merely lacks the
-#: pending delta (the loader substitutes an empty one); version 2 lacks the
-#: spec and serving name (the loader leaves the spec ``None`` and derives the
-#: name from the sampler class).
-COMPATIBLE_VERSIONS = (1, 2, FORMAT_VERSION)
+#: Format written for engines over :class:`~repro.engine.sharded.ShardedLSHTables`.
+SHARDED_FORMAT_VERSION = 4
+
+#: Formats ``load_engine`` reads.  Version 1 merely lacks the pending delta
+#: (the loader substitutes an empty one); version 2 lacks the spec and
+#: serving name (the loader leaves the spec ``None`` and derives the name
+#: from the sampler class); version 4 adds shards.
+COMPATIBLE_VERSIONS = (1, 2, FORMAT_VERSION, SHARDED_FORMAT_VERSION)
 
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"
 _OBJECTS = "objects.pkl"
 
 
+def _pack_tables(tables, prefix: str, arrays: Dict[str, np.ndarray]) -> List[List[Hashable]]:
+    """Flatten one table set's buckets into *arrays* under *prefix*.
+
+    Returns the per-table bucket key lists (pickled separately — keys are
+    ints or tuples, not rectangular arrays).
+    """
+    bucket_keys: List[List[Hashable]] = []
+    has_ranks = tables.ranks is not None
+    for table_index, table in enumerate(tables._tables):
+        keys = list(table.keys())
+        bucket_keys.append(keys)
+        buckets = [table[key] for key in keys]
+        sizes = np.asarray([len(bucket) for bucket in buckets], dtype=np.int64)
+        arrays[f"{prefix}t{table_index}_offsets"] = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64)]
+        )
+        arrays[f"{prefix}t{table_index}_indices"] = (
+            np.concatenate([bucket.indices for bucket in buckets])
+            if buckets
+            else np.empty(0, dtype=np.intp)
+        )
+        if has_ranks:
+            arrays[f"{prefix}t{table_index}_ranks"] = (
+                np.concatenate([bucket.ranks for bucket in buckets])
+                if buckets
+                else np.empty(0, dtype=np.int64)
+            )
+    return bucket_keys
+
+
 def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -> pathlib.Path:
-    """Write *engine* to *directory* (created if needed); returns the path."""
+    """Write *engine* to *directory* (created if needed); returns the path.
+
+    Engines over :class:`~repro.engine.sharded.ShardedLSHTables` are written
+    in the sharded format (v4): every shard's buckets are persisted
+    separately together with the recorded placement, so the restored engine
+    resumes with the same partitioning — and the same byte-identical
+    responses — as the saved one.
+    """
     sampler = engine.sampler
     if not isinstance(sampler, LSHNeighborSampler) or sampler.tables is None:
         raise InvalidParameterError(
@@ -77,29 +123,35 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
+    sharded = isinstance(tables, ShardedLSHTables)
+    dynamic = isinstance(tables, DynamicLSHTables)
+
     arrays: Dict[str, np.ndarray] = {}
-    bucket_keys: List[List[Hashable]] = []
-    for table_index, table in enumerate(tables._tables):
-        keys = list(table.keys())
-        bucket_keys.append(keys)
-        buckets = [table[key] for key in keys]
-        sizes = np.asarray([len(bucket) for bucket in buckets], dtype=np.int64)
-        arrays[f"t{table_index}_offsets"] = np.concatenate([[0], np.cumsum(sizes)])
-        arrays[f"t{table_index}_indices"] = (
-            np.concatenate([bucket.indices for bucket in buckets])
-            if buckets
-            else np.empty(0, dtype=np.intp)
-        )
-        if tables.ranks is not None:
-            arrays[f"t{table_index}_ranks"] = (
-                np.concatenate([bucket.ranks for bucket in buckets])
-                if buckets
-                else np.empty(0, dtype=np.int64)
+    shard_manifests = None
+    if sharded:
+        bucket_keys: List[Union[List[List[Hashable]], None]] = []
+        shard_manifests = []
+        for shard_index, shard in enumerate(tables.shards):
+            if tables._shard_fitted[shard_index]:
+                bucket_keys.append(_pack_tables(shard, f"s{shard_index}_", arrays))
+                arrays[f"s{shard_index}_pending"] = np.asarray(
+                    sorted(shard._pending), dtype=np.intp
+                )
+            else:
+                bucket_keys.append(None)
+            shard_manifests.append(
+                {
+                    "fitted": tables._shard_fitted[shard_index],
+                    "num_points": len(tables._globals_list[shard_index]),
+                    "rebuilds_triggered": shard.rebuilds_triggered,
+                }
             )
+        arrays["shard_of"] = np.asarray(tables._shard_of, dtype=np.int64)
+        arrays["local_of"] = np.asarray(tables._local_of, dtype=np.int64)
+    else:
+        bucket_keys = _pack_tables(tables, "", arrays)
     if tables.ranks is not None:
         arrays["ranks"] = tables.ranks
-
-    dynamic = isinstance(tables, DynamicLSHTables)
     if dynamic:
         arrays["alive"] = tables.alive
         arrays["pending"] = np.asarray(sorted(tables._pending), dtype=np.intp)
@@ -132,7 +184,7 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
         )
 
     manifest = {
-        "format_version": FORMAT_VERSION,
+        "format_version": SHARDED_FORMAT_VERSION if sharded else FORMAT_VERSION,
         "sampler_class": type(sampler).__name__,
         "sampler_name": engine.sampler_name,
         "spec": None if spec is None else spec.to_dict(),
@@ -151,6 +203,10 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
         "coalesce_duplicates": engine.coalesce_duplicates,
         "stats": engine.stats.as_dict(),
     }
+    if sharded:
+        manifest["n_shards"] = tables.n_shards
+        manifest["placement"] = tables.placement
+        manifest["shards"] = shard_manifests
 
     np.savez(directory / _ARRAYS, **arrays)
     with open(directory / _OBJECTS, "wb") as handle:
@@ -161,7 +217,13 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
 
 
 def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
-    """Reconstruct a :class:`BatchQueryEngine` saved by :func:`save_engine`."""
+    """Reconstruct a :class:`BatchQueryEngine` saved by :func:`save_engine`.
+
+    All compatible formats load: v1–v3 unsharded snapshots restore exactly
+    as before, and v4 snapshots come back as
+    :class:`~repro.engine.sharded.ShardedEngine` instances over the same
+    partitioning.
+    """
     directory = pathlib.Path(directory)
     with open(directory / _MANIFEST, "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
@@ -176,8 +238,20 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
     num_points = int(manifest["num_points"])
     has_ranks = bool(manifest["has_ranks"])
     dynamic = bool(manifest["dynamic"])
+    sharded = manifest["format_version"] == SHARDED_FORMAT_VERSION
 
-    if dynamic:
+    if sharded:
+        tables = ShardedLSHTables(
+            objects["family"],
+            num_tables,
+            seed=0,
+            use_ranks=bool(manifest["use_ranks"]),
+            max_tombstone_fraction=float(manifest["max_tombstone_fraction"]),
+            n_shards=int(manifest["n_shards"]),
+            placement=manifest["placement"],
+            _functions=objects["functions"],
+        )
+    elif dynamic:
         tables = DynamicLSHTables(
             objects["family"],
             num_tables,
@@ -191,36 +265,40 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
     # All array accesses happen inside the with block (NpzFile materializes
     # plain ndarrays on access), so the file handle is released on exit.
     with np.load(directory / _ARRAYS, allow_pickle=False) as arrays:
-        tables._tables = [
-            _restore_table(arrays, table_index, objects["bucket_keys"][table_index], has_ranks)
-            for table_index in range(num_tables)
-        ]
-        tables._n = num_points
-        tables._ranks = arrays["ranks"] if has_ranks else None
-        tables._fitted = True
-
-        if dynamic:
-            tables._points = list(objects["dataset"])
-            if has_ranks:
-                # Re-establish the capacity buffer the rank view grows inside.
-                tables._ranks_buf = np.array(tables._ranks, dtype=np.int64)
-                tables._ranks = tables._ranks_buf[:num_points]
-            tables._alive = arrays["alive"].astype(bool)
-            tables._num_live = int(manifest["num_live"])
-            tables._pending = set(arrays["pending"].tolist())
-            tables.rebuilds_triggered = int(manifest["rebuilds_triggered"])
-            tables._mut_rng = objects["mut_rng"]
-            restored_delta = objects.get("pending_delta")
-            tables._delta = (
-                restored_delta if restored_delta is not None else MutationDelta.empty(num_tables)
-            )
-            # Epochs restart at 0 in the restored tables; re-anchor the delta
-            # so the re-anchored sampler (below) sees no epoch gap and can
-            # still apply the persisted record incrementally.
-            tables._delta.start_epoch = tables.mutation_epoch
+        if sharded:
+            _restore_sharded_tables(tables, manifest, arrays, objects)
             dataset = tables.dataset
         else:
-            dataset = list(objects["dataset"])
+            tables._tables = [
+                _restore_table(arrays, table_index, objects["bucket_keys"][table_index], has_ranks)
+                for table_index in range(num_tables)
+            ]
+            tables._n = num_points
+            tables._ranks = arrays["ranks"] if has_ranks else None
+            tables._fitted = True
+
+            if dynamic:
+                tables._points = list(objects["dataset"])
+                if has_ranks:
+                    # Re-establish the capacity buffer the rank view grows inside.
+                    tables._ranks_buf = np.array(tables._ranks, dtype=np.int64)
+                    tables._ranks = tables._ranks_buf[:num_points]
+                tables._alive = arrays["alive"].astype(bool)
+                tables._num_live = int(manifest["num_live"])
+                tables._pending = set(arrays["pending"].tolist())
+                tables.rebuilds_triggered = int(manifest["rebuilds_triggered"])
+                tables._mut_rng = objects["mut_rng"]
+                restored_delta = objects.get("pending_delta")
+                tables._delta = (
+                    restored_delta if restored_delta is not None else MutationDelta.empty(num_tables)
+                )
+                # Epochs restart at 0 in the restored tables; re-anchor the delta
+                # so the re-anchored sampler (below) sees no epoch gap and can
+                # still apply the persisted record incrementally.
+                tables._delta.start_epoch = tables.mutation_epoch
+                dataset = tables.dataset
+            else:
+                dataset = list(objects["dataset"])
 
     sampler = objects["sampler"]
     sampler.tables = tables
@@ -240,7 +318,8 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
         spec_cls = EngineSpec if manifest.get("spec_kind") == "engine" else SamplerSpec
         spec = spec_cls.from_dict(spec_data)
 
-    engine = BatchQueryEngine(
+    engine_cls = ShardedEngine if sharded else BatchQueryEngine
+    engine = engine_cls(
         sampler,
         batch_hashing=bool(manifest["batch_hashing"]),
         coalesce_duplicates=bool(manifest["coalesce_duplicates"]),
@@ -251,11 +330,80 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
     return engine
 
 
-def _restore_table(arrays, table_index: int, keys: List[Hashable], has_ranks: bool) -> dict:
+def _restore_sharded_tables(
+    tables: ShardedLSHTables, manifest: dict, arrays, objects: dict
+) -> None:
+    """Rebuild a :class:`ShardedLSHTables` (and its shards) from a v4 snapshot."""
+    num_tables = int(manifest["num_tables"])
+    num_points = int(manifest["num_points"])
+    has_ranks = bool(manifest["has_ranks"])
+
+    tables._points = list(objects["dataset"])
+    tables._n = num_points
+    tables._alive = arrays["alive"].astype(bool)
+    tables._num_live = int(manifest["num_live"])
+    tables._pending = set(arrays["pending"].tolist())
+    tables.rebuilds_triggered = int(manifest["rebuilds_triggered"])
+    tables._mut_rng = objects["mut_rng"]
+    if has_ranks:
+        tables._ranks_buf = np.array(arrays["ranks"], dtype=np.int64)
+        tables._ranks = tables._ranks_buf[:num_points]
+    else:
+        tables._ranks_buf = np.empty(0, dtype=np.int64)
+        tables._ranks = None
+
+    shard_of = arrays["shard_of"].astype(np.intp)
+    local_of = arrays["local_of"].astype(np.intp)
+    tables._shard_of = [int(s) for s in shard_of]
+    tables._local_of = [int(i) for i in local_of]
+    tables._globals_list = [[] for _ in range(tables.n_shards)]
+    for index, shard_index in enumerate(tables._shard_of):
+        tables._globals_list[shard_index].append(index)
+    tables._globals_np = [None] * tables.n_shards
+
+    for shard_index, shard in enumerate(tables.shards):
+        entry = manifest["shards"][shard_index]
+        if not entry["fitted"]:
+            tables._shard_fitted[shard_index] = False
+            continue
+        keys = objects["bucket_keys"][shard_index]
+        prefix = f"s{shard_index}_"
+        shard._tables = [
+            _restore_table(arrays, table_index, keys[table_index], has_ranks, prefix=prefix)
+            for table_index in range(num_tables)
+        ]
+        globals_ = np.asarray(tables._globals_list[shard_index], dtype=np.intp)
+        shard._n = int(globals_.size)
+        shard._points = [tables._points[int(g)] for g in globals_]
+        shard._alive = tables._alive[globals_].copy()
+        shard._num_live = int(shard._alive.sum())
+        if has_ranks:
+            shard._ranks_buf = np.array(tables._ranks_buf[globals_], dtype=np.int64)
+            shard._ranks = shard._ranks_buf[: shard._n]
+        else:
+            shard._ranks = None
+        shard._pending = set(arrays[f"{prefix}pending"].tolist())
+        shard.rebuilds_triggered = int(entry["rebuilds_triggered"])
+        shard._fitted = True
+        tables._shard_fitted[shard_index] = True
+
+    tables._restore_views()
+    tables._fitted = True
+    restored_delta = objects.get("pending_delta")
+    tables._delta = (
+        restored_delta if restored_delta is not None else MutationDelta.empty(num_tables)
+    )
+    tables._delta.start_epoch = tables.mutation_epoch
+    tables._unresolved_insert_points = []
+
+
+def _restore_table(
+    arrays, table_index: int, keys: List[Hashable], has_ranks: bool, prefix: str = ""
+) -> dict:
     """Rebuild one table's ``key -> Bucket`` dict from the flattened arrays."""
-    offsets = arrays[f"t{table_index}_offsets"]
-    indices = arrays[f"t{table_index}_indices"].astype(np.intp)
-    ranks = arrays[f"t{table_index}_ranks"] if has_ranks else None
+    offsets = arrays[f"{prefix}t{table_index}_offsets"]
+    indices = arrays[f"{prefix}t{table_index}_indices"].astype(np.intp)
+    ranks = arrays[f"{prefix}t{table_index}_ranks"] if has_ranks else None
     table = {}
     for position, key in enumerate(keys):
         lo, hi = int(offsets[position]), int(offsets[position + 1])

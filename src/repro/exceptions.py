@@ -39,3 +39,30 @@ class UnsupportedDataTypeError(ReproError):
     For example, feeding dense vectors to a MinHash family (which operates on
     sets) raises this error rather than producing silently wrong hashes.
     """
+
+
+class SlotOutOfRangeError(InvalidParameterError, IndexError):
+    """Raised when a mutation names a dataset slot outside ``[0, n)``.
+
+    Subclasses both :class:`InvalidParameterError` (so library-wide handlers
+    keep working) and :class:`IndexError` (the natural Python category for an
+    out-of-range index).  Raised *before* any state is touched: a failed
+    delete never lands in a :class:`~repro.engine.dynamic.MutationDelta`,
+    never moves the tombstone fraction and never bumps engine counters.
+    """
+
+
+class AlreadyDeletedError(InvalidParameterError, KeyError):
+    """Raised when deleting a dataset slot that is already tombstoned.
+
+    Subclasses both :class:`InvalidParameterError` and :class:`KeyError` (a
+    double-delete is a missing-key condition, not a range error).  Like
+    :class:`SlotOutOfRangeError` it is raised before any bookkeeping, so a
+    double-delete is never double-counted in the
+    :class:`~repro.engine.dynamic.MutationDelta`, the pending-tombstone set
+    or any engine statistics.
+    """
+
+    # KeyError.__str__ repr()s the message (it normally carries a key);
+    # restore plain rendering so logs don't grow spurious quotes.
+    __str__ = Exception.__str__

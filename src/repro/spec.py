@@ -49,6 +49,11 @@ __all__ = [
 #: Sentinel distinguishing "no seed passed" from "seed=None passed".
 _UNSET = object()
 
+#: Placement policies an :class:`EngineSpec` may name for sharded serving
+#: (kept in sync with :data:`repro.engine.sharded.PLACEMENTS`, which the
+#: engine layer re-validates at construction time).
+_PLACEMENTS = ("round_robin", "hash")
+
 
 def _checked_params(params: Mapping[str, Any], owner: str) -> Dict[str, Any]:
     """Validate and normalize a spec's parameter mapping.
@@ -284,6 +289,16 @@ class EngineSpec(_JsonRoundTrip):
         Compaction threshold forwarded to the dynamic table layer.
     batch_hashing, coalesce_duplicates:
         Forwarded to every :class:`~repro.engine.batch.BatchQueryEngine`.
+    n_shards:
+        Number of index partitions :meth:`~repro.api.FairNN.serve` builds.
+        ``1`` (the default) keeps the unsharded dynamic layout; values above
+        one build a :class:`~repro.engine.sharded.ShardedLSHTables` served
+        by :class:`~repro.engine.sharded.ShardedEngine` workers — responses
+        stay byte-identical to unsharded serving for the same spec + seed +
+        dataset.  Requires ``dynamic=True``.
+    placement:
+        Shard placement policy, ``"round_robin"`` or ``"hash"`` (see
+        :data:`repro.engine.sharded.PLACEMENTS`).
     """
 
     samplers: Dict[str, SamplerSpec] = field(default_factory=dict)
@@ -292,6 +307,8 @@ class EngineSpec(_JsonRoundTrip):
     max_tombstone_fraction: float = 0.25
     batch_hashing: bool = True
     coalesce_duplicates: bool = True
+    n_shards: int = 1
+    placement: str = "round_robin"
 
     def __post_init__(self) -> None:
         if not isinstance(self.samplers, Mapping) or not self.samplers:
@@ -312,6 +329,18 @@ class EngineSpec(_JsonRoundTrip):
         object.__setattr__(self, "primary", primary)
         if not 0.0 < float(self.max_tombstone_fraction) <= 1.0:
             raise InvalidParameterError("max_tombstone_fraction must be in (0, 1]")
+        if not isinstance(self.n_shards, int) or isinstance(self.n_shards, bool) or self.n_shards < 1:
+            raise InvalidParameterError(
+                f"EngineSpec.n_shards must be an int >= 1, got {self.n_shards!r}"
+            )
+        if self.placement not in _PLACEMENTS:
+            raise InvalidParameterError(
+                f"EngineSpec.placement must be one of {_PLACEMENTS}, got {self.placement!r}"
+            )
+        if self.n_shards > 1 and not self.dynamic:
+            raise InvalidParameterError(
+                "EngineSpec.n_shards > 1 requires dynamic=True (sharding is a serving-layer structure)"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -335,6 +364,8 @@ class EngineSpec(_JsonRoundTrip):
             "max_tombstone_fraction": self.max_tombstone_fraction,
             "batch_hashing": self.batch_hashing,
             "coalesce_duplicates": self.coalesce_duplicates,
+            "n_shards": self.n_shards,
+            "placement": self.placement,
         }
 
     @classmethod
@@ -349,6 +380,8 @@ class EngineSpec(_JsonRoundTrip):
                 "max_tombstone_fraction",
                 "batch_hashing",
                 "coalesce_duplicates",
+                "n_shards",
+                "placement",
             ),
             "EngineSpec",
         )
@@ -362,6 +395,8 @@ class EngineSpec(_JsonRoundTrip):
             max_tombstone_fraction=float(data.get("max_tombstone_fraction", 0.25)),
             batch_hashing=bool(data.get("batch_hashing", True)),
             coalesce_duplicates=bool(data.get("coalesce_duplicates", True)),
+            n_shards=int(data.get("n_shards", 1)),
+            placement=data.get("placement", "round_robin"),
         )
 
 
