@@ -1,0 +1,121 @@
+"""HTTP serving benchmark: wire overhead of the ``repro.server`` front-end.
+
+Quantifies what the network door costs over the in-process facade, persisted
+to ``benchmarks/results/server_http_overhead.json``:
+
+* **Batched HTTP amortizes the wire.**  ``POST /v1/sample_batch`` feeds the
+  whole request list to one engine run, so its throughput must stay within a
+  small factor of direct ``FairNN.run`` — the JSON codec and the socket are
+  the only additions, and they are per-batch, not per-candidate.
+* **Per-request HTTP is the anti-pattern.**  One ``POST /v1/sample`` per
+  query pays the full HTTP round-trip each time; the measured gap against
+  the batched endpoint is the number an operator needs when sizing clients.
+
+Answers over the wire are asserted byte-identical to the direct run (JSON
+floats round-trip float64 exactly), so the comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_result, write_result_json
+from repro import FairNN, FairNNClient, FairNNServer, LSHSpec, SamplerSpec
+from repro.data import generate_lastfm_like
+from repro.engine.requests import QueryRequest
+
+N_USERS = 2_000
+N_QUERIES = 200
+N_SINGLES = 50
+ROUNDS = 5
+SPEC = SamplerSpec(
+    "permutation",
+    {"radius": 0.2, "far_radius": 0.1, "recall": 0.95},
+    lsh=LSHSpec("minhash"),
+    seed=17,
+)
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    value = callable_()
+    return value, time.perf_counter() - start
+
+
+def test_http_serving_overhead():
+    """Batched HTTP throughput vs direct FairNN.run, and per-request cost."""
+    users = generate_lastfm_like(num_users=N_USERS, seed=1)
+    queries = [users[i * 7 % N_USERS] for i in range(N_QUERIES)]
+    requests = [QueryRequest(query=q, k=2, replacement=False) for q in queries]
+
+    direct = FairNN.from_spec(SPEC).serve(users)
+    served = FairNN.from_spec(SPEC).serve(users)
+    direct.run(requests[:20])  # warm caches and the columnar store
+
+    with FairNNServer(served) as server:
+        client = FairNNClient(server.url)
+        client.sample_batch(queries[:20], k=2, replacement=False)  # warm
+
+        reference, direct_seconds = _timed(
+            lambda: [direct.run(requests) for _ in range(ROUNDS)][-1]
+        )
+        wire, batched_seconds = _timed(
+            lambda: [
+                client.sample_batch(queries, k=2, replacement=False)
+                for _ in range(ROUNDS)
+            ][-1]
+        )
+        # Wire fidelity: the HTTP answers equal the direct ones, bytewise.
+        assert [r["indices"] for r in wire["results"]] == [
+            r.indices for r in reference
+        ]
+        assert [r["value"] for r in wire["results"]] == [r.value for r in reference]
+
+        _, singles_seconds = _timed(
+            lambda: [
+                client.sample(q, k=2, replacement=False) for q in queries[:N_SINGLES]
+            ]
+        )
+
+    direct_qps = ROUNDS * N_QUERIES / direct_seconds
+    batched_qps = ROUNDS * N_QUERIES / batched_seconds
+    singles_qps = N_SINGLES / singles_seconds
+    overhead_ratio = direct_qps / batched_qps
+    per_request_ms = (batched_seconds / ROUNDS - direct_seconds / ROUNDS) * 1000
+
+    lines = [
+        f"workload: {N_USERS} users, {N_QUERIES}-query batches x {ROUNDS} rounds, "
+        f"k=2 without replacement ({N_SINGLES} per-request singles)",
+        f"direct FairNN.run:        {direct_qps:8.0f} q/s",
+        f"HTTP /v1/sample_batch:    {batched_qps:8.0f} q/s "
+        f"({overhead_ratio:4.2f}x direct cost, ~{per_request_ms:.2f}ms per batch on the wire)",
+        f"HTTP /v1/sample (single): {singles_qps:8.0f} q/s "
+        f"({batched_qps / singles_qps:4.1f}x slower than batched)",
+        "answers: byte-identical across all three paths",
+    ]
+    payload = {
+        "workload": {
+            "users": N_USERS,
+            "batch_queries": N_QUERIES,
+            "rounds": ROUNDS,
+            "single_requests": N_SINGLES,
+        },
+        "direct_run": {"queries_per_second": round(direct_qps, 1)},
+        "http_batched": {
+            "queries_per_second": round(batched_qps, 1),
+            "cost_ratio_vs_direct": round(overhead_ratio, 3),
+            "wire_ms_per_batch": round(per_request_ms, 3),
+            "byte_identical": True,
+        },
+        "http_per_request": {
+            "queries_per_second": round(singles_qps, 1),
+            "slowdown_vs_batched": round(batched_qps / singles_qps, 2),
+        },
+    }
+    write_result("server_http_overhead", "\n".join(lines))
+    write_result_json("server_http_overhead", payload)
+    print("\n".join(lines))
+
+    # The wire must stay an overhead, not a cliff: batched HTTP within 5x of
+    # in-process throughput on this workload.
+    assert overhead_ratio < 5.0, lines

@@ -78,9 +78,11 @@ from repro.engine import (
 from repro.fairness import FairnessAuditor, total_variation_from_uniform
 from repro.exceptions import (
     AlreadyDeletedError,
+    CapacityExceededError,
     EmptyDatasetError,
     InvalidParameterError,
     NotFittedError,
+    QuotaExceededError,
     ReproError,
     SlotOutOfRangeError,
 )
@@ -100,8 +102,19 @@ from repro.registry import (
 )
 from repro.spec import DistanceSpec, EngineSpec, LSHSpec, SamplerSpec, spec_from_dict
 from repro.api import FairNN
+from repro.server import (
+    CapacityModel,
+    FairNNClient,
+    FairNNServer,
+    ServingHandle,
+    SnapshotSwapper,
+    SwapInProgressError,
+    SwapReport,
+    SwapVerificationError,
+    TokenBucket,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -162,6 +175,8 @@ __all__ = [
     "InvalidParameterError",
     "SlotOutOfRangeError",
     "AlreadyDeletedError",
+    "CapacityExceededError",
+    "QuotaExceededError",
     # registries (repro.registry)
     "SAMPLERS",
     "DISTANCES",
@@ -183,4 +198,14 @@ __all__ = [
     "spec_from_dict",
     # facade (repro.api)
     "FairNN",
+    # serving (repro.server)
+    "FairNNServer",
+    "FairNNClient",
+    "CapacityModel",
+    "TokenBucket",
+    "ServingHandle",
+    "SnapshotSwapper",
+    "SwapReport",
+    "SwapInProgressError",
+    "SwapVerificationError",
 ]

@@ -34,6 +34,7 @@ query method takes ``sampler="name"``.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
@@ -77,6 +78,10 @@ class FairNN:
         self._tables: Optional[LSHTables] = None
         self._dataset: Optional[Dataset] = None
         self._serving = False
+        # Makes a facade-level mutation (apply to the shared tables + notify
+        # every engine) atomic under concurrent callers — the HTTP serving
+        # surface mutates from handler threads.
+        self._mutation_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -166,9 +171,67 @@ class FairNN:
         self._check_built()
         return self._engines[self._resolve_name(sampler)]
 
+    @property
+    def engines(self) -> Dict[str, BatchQueryEngine]:
+        """The per-sampler serving engines by name (empty before fit/serve).
+
+        The handle the serving layer (:mod:`repro.server`) uses for hot
+        snapshot swaps and per-engine lifecycle management.
+        """
+        return dict(self._engines)
+
     def stats(self) -> Dict[str, EngineStats]:
         """Per-sampler serving statistics, keyed by sampler name."""
         return {name: engine.stats for name, engine in self._engines.items()}
+
+    def capacity(self) -> Dict:
+        """Raw index occupancy, the substrate of serving-layer capacity models.
+
+        Returns a JSON-serializable dict:
+
+        ``live_points``
+            Live (non-tombstoned) indexed points.
+        ``total_slots``
+            Allocated dataset slots, live and tombstoned — what the index
+            structurally holds until compaction reclaims space.
+        ``pending_tombstones``
+            Deleted slots not yet swept by compaction.
+        ``memory_bytes``
+            Resident bytes of the columnar dataset store plus the rank
+            array, when a store exists (``None`` otherwise — e.g. static
+            facades that never built one).
+        ``n_shards``
+            Index partitions (1 when unsharded).
+
+        :class:`repro.server.CapacityModel` combines these numbers with a
+        configured budget and over-commit ratio into the MAAS-pods-style
+        ``total/used/available`` rendering of ``GET /v1/capacity``.
+        """
+        self._check_built()
+        tables = self._tables
+        if isinstance(tables, DynamicLSHTables):
+            live = tables.num_live
+            total_slots = len(tables.dataset)
+            pending = tables.pending_tombstones
+        else:
+            live = self.num_live_points
+            total_slots = live
+            pending = 0
+        memory_bytes = None
+        if tables is not None:
+            store = getattr(tables, "point_store", None)
+            if store is not None:
+                memory_bytes = int(store.nbytes)
+                ranks = tables.ranks
+                if ranks is not None:
+                    memory_bytes += int(ranks.nbytes)
+        return {
+            "live_points": int(live),
+            "total_slots": int(total_slots),
+            "pending_tombstones": int(pending),
+            "memory_bytes": memory_bytes,
+            "n_shards": self.n_shards,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -388,9 +451,10 @@ class FairNN:
         if not points:
             return []
         tables = self._require_dynamic()
-        indices = tables.insert_many(points)
-        for engine in self._engines.values():
-            engine.note_external_mutation(inserts=len(indices))
+        with self._mutation_lock:
+            indices = tables.insert_many(points)
+            for engine in self._engines.values():
+                engine.note_external_mutation(inserts=len(indices))
         return indices
 
     def delete(self, index: int) -> None:
@@ -405,9 +469,10 @@ class FairNN:
         in a mutation delta, the tombstone fraction or any engine counter.
         """
         tables = self._require_dynamic()
-        tables.delete(index)
-        for engine in self._engines.values():
-            engine.note_external_mutation(deletes=1)
+        with self._mutation_lock:
+            tables.delete(index)
+            for engine in self._engines.values():
+                engine.note_external_mutation(deletes=1)
 
     # ------------------------------------------------------------------
     # Snapshots

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 
 @dataclass
@@ -42,6 +42,22 @@ class QueryStats:
     buckets_probed: int = 0
     rounds: int = 0
     kernel_calls: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """The counters as a plain JSON-serializable dict.
+
+        The one serialization recipe shared by the HTTP ``/v1/stats`` and
+        query endpoints (:mod:`repro.server`) and the
+        ``benchmarks/results/*.json`` writers, so counter names never drift
+        between the wire format and the checked-in benchmark artifacts.
+        """
+        return {name: int(getattr(self, name)) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "QueryStats":
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        known = {f: int(data[f]) for f in cls.__dataclass_fields__ if f in data}
+        return cls(**known)
 
 
 @dataclass

@@ -57,6 +57,18 @@ class DatasetStore(abc.ABC):
     def append(self, points: Sequence) -> None:
         """Add new slots for *points* at the end of the store."""
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the store's columnar buffers (capacity included).
+
+        The number the serving layer's capacity accounting
+        (:meth:`FairNN.capacity <repro.api.FairNN.capacity>` /
+        ``GET /v1/capacity``) reports as index memory.  Counts the allocated
+        buffers — including capacity-doubling headroom and tombstoned slots —
+        because that is what the process actually holds.
+        """
+        return 0
+
     def release(self, index: int) -> None:
         """Mark slot *index* tombstoned.
 
@@ -113,6 +125,13 @@ class DenseStore(DatasetStore):
             )
         return self._norms_buf[: self._n]
 
+    @property
+    def nbytes(self) -> int:
+        total = self._buf.nbytes
+        if self._norms_buf is not None:
+            total += self._norms_buf.nbytes
+        return int(total)
+
     def get_point(self, index: int) -> np.ndarray:
         return self._buf[index]
 
@@ -158,6 +177,10 @@ class SetStore(DatasetStore):
     def items(self) -> np.ndarray:
         """All rows' items, concatenated, sorted within each row."""
         return self._items[: self._indptr[self._n]]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._indptr.nbytes + self._items.nbytes)
 
     def get_point(self, index: int):
         return self._points[index]

@@ -29,8 +29,9 @@ everything except mutation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.base import LSHNeighborSampler, NeighborSampler
 from repro.engine.dynamic import DynamicLSHTables
@@ -162,6 +163,21 @@ class BatchQueryEngine:
         self.spec = spec
         self.stats = EngineStats()
         self._tables_dirty = False
+        # Serializes the mutate path (insert/delete/note_external_mutation)
+        # and the lazy per-batch re-sync against each other: concurrent HTTP
+        # mutations must not interleave MutationDelta bookkeeping or the
+        # insert/delete counters, and a mutation landing mid-drain must not
+        # race notify_update.  Reentrant because a sync may itself trigger
+        # compaction paths that re-enter engine accounting.
+        self._mutate_lock = threading.RLock()
+        # Guards lifetime-counter accumulation in run(); subclasses answering
+        # on worker threads share it for their own counter updates.
+        self._stats_lock = threading.Lock()
+        # Samplers with query-time randomness share one RNG stream, which is
+        # not safe (or meaningful) to advance from concurrent batches; their
+        # batches execute serially.  Query-deterministic samplers run
+        # concurrent batches freely.
+        self._serial_run_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction convenience
@@ -214,6 +230,27 @@ class BatchQueryEngine:
             return tables.num_live
         return self.sampler.num_points
 
+    def stats_dict(self) -> Dict:
+        """The engine's serving state as one JSON-serializable dict.
+
+        Combines the lifetime :class:`~repro.engine.requests.EngineStats`
+        counters (via :meth:`EngineStats.to_dict
+        <repro.engine.requests.EngineStats.to_dict>`) with the engine's
+        identity and index occupancy — the payload the HTTP ``/v1/stats``
+        endpoint returns per sampler and the benchmark writers persist.
+        """
+        tables = self.tables
+        payload = {
+            "sampler": self.sampler_name,
+            "sampler_class": type(self.sampler).__name__,
+            "is_dynamic": self.is_dynamic,
+            "live_points": int(self.num_live_points),
+            "counters": self.stats.to_dict(),
+        }
+        if isinstance(tables, DynamicLSHTables):
+            payload["pending_tombstones"] = int(tables.pending_tombstones)
+        return payload
+
     # ------------------------------------------------------------------
     # Index mutation
     # ------------------------------------------------------------------
@@ -241,18 +278,20 @@ class BatchQueryEngine:
         if not points:
             return []
         tables = self._dynamic_tables()
-        indices = tables.insert_many(points)
-        self.stats.inserts += len(indices)
-        if indices:
-            self._tables_dirty = True
+        with self._mutate_lock:
+            indices = tables.insert_many(points)
+            self.stats.inserts += len(indices)
+            if indices:
+                self._tables_dirty = True
         return indices
 
     def delete(self, index: int) -> None:
         """Remove a point online (tombstone + amortized compaction)."""
         tables = self._dynamic_tables()
-        tables.delete(index)
-        self.stats.deletes += 1
-        self._tables_dirty = True
+        with self._mutate_lock:
+            tables.delete(index)
+            self.stats.deletes += 1
+            self._tables_dirty = True
 
     def note_external_mutation(self, inserts: int = 0, deletes: int = 0) -> None:
         """Record index mutations applied directly to the shared table layer.
@@ -262,10 +301,11 @@ class BatchQueryEngine:
         the tables once and every engine is told about it here, so each one
         re-synchronizes its own sampler lazily on its next batch.
         """
-        self.stats.inserts += int(inserts)
-        self.stats.deletes += int(deletes)
-        if inserts or deletes:
-            self._tables_dirty = True
+        with self._mutate_lock:
+            self.stats.inserts += int(inserts)
+            self.stats.deletes += int(deletes)
+            if inserts or deletes:
+                self._tables_dirty = True
 
     def _sync(self) -> None:
         """Propagate pending index mutations to the sampler (lazily, per batch).
@@ -277,12 +317,15 @@ class BatchQueryEngine:
         """
         if not self._tables_dirty:
             return
-        tables = self.tables
-        if isinstance(self.sampler, LSHNeighborSampler):
-            self.sampler.notify_update()
-        if isinstance(tables, DynamicLSHTables):
-            self.stats.rebuilds_triggered = tables.rebuilds_triggered
-        self._tables_dirty = False
+        with self._mutate_lock:
+            if not self._tables_dirty:
+                return
+            tables = self.tables
+            if isinstance(self.sampler, LSHNeighborSampler):
+                self.sampler.notify_update()
+            if isinstance(tables, DynamicLSHTables):
+                self.stats.rebuilds_triggered = tables.rebuilds_triggered
+            self._tables_dirty = False
 
     # ------------------------------------------------------------------
     # Query execution
@@ -296,7 +339,19 @@ class BatchQueryEngine:
         (serving traffic is heavy-tailed; hot queries repeat), and the
         distinct queries are hashed against all ``L`` tables in one
         vectorized pass.
+
+        Concurrent ``run`` calls (the HTTP serving surface answers from
+        handler threads) are safe: batches over query-deterministic samplers
+        execute concurrently, while samplers with query-time randomness are
+        serialized per engine so their RNG stream is never advanced from two
+        threads at once.
         """
+        if getattr(self.sampler, "deterministic_queries", False):
+            return self._run_batch(requests)
+        with self._serial_run_lock:
+            return self._run_batch(requests)
+
+    def _run_batch(self, requests: Sequence[Union[QueryRequest, Point]]) -> List[QueryResponse]:
         self._sync()
         normalized = [
             request if isinstance(request, QueryRequest) else QueryRequest(query=request)
@@ -317,18 +372,19 @@ class BatchQueryEngine:
         finally:
             if primed:
                 tables.clear_key_cache()
-        if tables is not None:
-            self.stats.key_cache_hits += tables.key_cache_hits - hits_before
-        for answer in answers:
-            # Work counters accumulate here (not inside _answer) so that
-            # subclasses may compute answers concurrently; multi-draw
-            # responses carry empty QueryStats and contribute nothing,
-            # exactly as before.
-            self.stats.candidates_scanned += answer.stats.candidates_examined
-            self.stats.distance_evaluations += answer.stats.distance_evaluations
-            self.stats.distance_kernel_calls += answer.stats.kernel_calls
-        self.stats.queries_served += len(normalized)
-        self.stats.batches_served += 1
+        with self._stats_lock:
+            if tables is not None:
+                self.stats.key_cache_hits += tables.key_cache_hits - hits_before
+            for answer in answers:
+                # Work counters accumulate here (not inside _answer) so that
+                # subclasses may compute answers concurrently; multi-draw
+                # responses carry empty QueryStats and contribute nothing,
+                # exactly as before.
+                self.stats.candidates_scanned += answer.stats.candidates_examined
+                self.stats.distance_evaluations += answer.stats.distance_evaluations
+                self.stats.distance_kernel_calls += answer.stats.kernel_calls
+            self.stats.queries_served += len(normalized)
+            self.stats.batches_served += 1
         responses = []
         for position, answer_index in enumerate(assignment):
             answer = answers[answer_index]
@@ -377,7 +433,8 @@ class BatchQueryEngine:
                 if slot_key is not None:
                     slot_of[slot_key] = slot
             else:
-                self.stats.coalesced_queries += 1
+                with self._stats_lock:
+                    self.stats.coalesced_queries += 1
             assignment.append(slot)
         return distinct, assignment
 

@@ -97,6 +97,24 @@ class QueryResponse:
         """The first sampled index, or ``None`` (the paper's ``⊥``)."""
         return self.indices[0] if self.indices else None
 
+    def to_dict(self) -> Dict:
+        """A JSON-serializable rendering of the response.
+
+        This is the wire schema of the HTTP serving surface
+        (:mod:`repro.server`): plain ints/floats only, with the work counters
+        rendered through :meth:`QueryStats.to_dict
+        <repro.core.result.QueryStats.to_dict>`.
+        """
+        return {
+            "request_index": int(self.request_index),
+            "indices": [int(i) for i in self.indices],
+            "index": None if self.index is None else int(self.index),
+            "value": None if self.value is None else float(self.value),
+            "found": self.found,
+            "sampler": self.sampler,
+            "stats": self.stats.to_dict(),
+        }
+
 
 @dataclass
 class EngineStats:
@@ -156,12 +174,24 @@ class EngineStats:
     prefix_scans: int = 0
     prefix_escalations: int = 0
 
+    def to_dict(self) -> Dict[str, int]:
+        """The counters as a plain JSON-serializable dict.
+
+        The canonical serialization shared by snapshot manifests, the HTTP
+        ``/v1/stats`` endpoint (:mod:`repro.server`) and the
+        ``benchmarks/results/*.json`` writers.
+        """
+        return {
+            field_name: int(getattr(self, field_name))
+            for field_name in self.__dataclass_fields__
+        }
+
     def as_dict(self) -> Dict[str, int]:
-        """The counters as a plain dict (for logging / snapshot manifests)."""
-        return {field_name: getattr(self, field_name) for field_name in self.__dataclass_fields__}
+        """Backward-compatible alias of :meth:`to_dict`."""
+        return self.to_dict()
 
     @classmethod
     def from_dict(cls, data: Dict[str, int]) -> "EngineStats":
-        """Inverse of :meth:`as_dict` (ignores unknown keys)."""
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
         known = {f: int(data[f]) for f in cls.__dataclass_fields__ if f in data}
         return cls(**known)

@@ -713,10 +713,9 @@ class ShardedEngine(BatchQueryEngine):
         self._pool = ThreadPoolExecutor(
             max_workers=self._max_workers, thread_name_prefix="repro-shard"
         )
-        # Guards counter increments made from answer workers: every query
-        # contributes a fixed amount, so the totals stay deterministic
-        # whatever the thread scheduling.
-        self._stats_lock = threading.Lock()
+        # Counter increments made from answer workers are guarded by the
+        # base engine's _stats_lock: every query contributes a fixed amount,
+        # so the totals stay deterministic whatever the thread scheduling.
 
     # ------------------------------------------------------------------
     @classmethod
@@ -754,6 +753,15 @@ class ShardedEngine(BatchQueryEngine):
     def n_shards(self) -> int:
         """Number of index partitions behind this engine."""
         return self.tables.n_shards
+
+    def stats_dict(self) -> Dict:
+        """Sharded serving state: the base payload plus the shard topology."""
+        payload = super().stats_dict()
+        tables: ShardedLSHTables = self.tables
+        payload["n_shards"] = tables.n_shards
+        payload["placement"] = tables.placement
+        payload["shard_sizes"] = [int(size) for size in tables.shard_sizes()]
+        return payload
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; the engine stops serving).
@@ -817,7 +825,8 @@ class ShardedEngine(BatchQueryEngine):
             # answer-phase stragglers (e.g. the fallback path of a prefix
             # sampler, or re-merges after cache eviction under extreme key
             # working sets).
-            self.stats.shard_merges += tables.merged_buckets - merges_before
+            with self._stats_lock:
+                self.stats.shard_merges += tables.merged_buckets - merges_before
 
     def _answer_all(
         self,

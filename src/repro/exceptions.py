@@ -41,6 +41,30 @@ class UnsupportedDataTypeError(ReproError):
     """
 
 
+class CapacityExceededError(ReproError):
+    """Raised when an operation would exceed a configured capacity limit.
+
+    The serving layer's admission control
+    (:class:`~repro.server.capacity.CapacityModel`) raises this when an
+    insert batch would push the index past its slot or memory budget (after
+    over-commit), or when the bounded request queue is full.  Carries
+    ``retry_after`` — the suggested back-off in seconds, surfaced by the HTTP
+    layer as a ``429`` response with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class QuotaExceededError(CapacityExceededError):
+    """Raised when a per-sampler token-bucket quota is exhausted.
+
+    ``retry_after`` is the time until the bucket has refilled enough tokens
+    to admit the rejected request.
+    """
+
+
 class SlotOutOfRangeError(InvalidParameterError, IndexError):
     """Raised when a mutation names a dataset slot outside ``[0, n)``.
 

@@ -1,0 +1,41 @@
+"""HTTP serving surface: capacity-accounted, quota'd, hot-swappable.
+
+The subsystem layers three concerns over the :class:`~repro.api.FairNN`
+facade, each usable on its own:
+
+- :mod:`repro.server.capacity` — slot/memory accounting with over-commit,
+  per-sampler token-bucket quotas, and a bounded in-flight queue
+  (backpressure surfaces as 429 + ``Retry-After``).
+- :mod:`repro.server.swap` — RCU-style generations with probe-verified
+  atomic snapshot swaps under live traffic.
+- :mod:`repro.server.app` / :mod:`repro.server.client` — the stdlib
+  ``http.server`` front-end and its ``urllib`` client.
+"""
+
+from repro.server.app import FairNNServer, decode_point, encode_point
+from repro.server.capacity import CapacityModel, TokenBucket
+from repro.server.client import FairNNClient, ServerHTTPError
+from repro.server.swap import (
+    Generation,
+    ServingHandle,
+    SnapshotSwapper,
+    SwapInProgressError,
+    SwapReport,
+    SwapVerificationError,
+)
+
+__all__ = [
+    "CapacityModel",
+    "FairNNClient",
+    "FairNNServer",
+    "Generation",
+    "ServerHTTPError",
+    "ServingHandle",
+    "SnapshotSwapper",
+    "SwapInProgressError",
+    "SwapReport",
+    "SwapVerificationError",
+    "TokenBucket",
+    "decode_point",
+    "encode_point",
+]

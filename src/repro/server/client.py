@@ -1,0 +1,161 @@
+"""A thin stdlib HTTP client for :class:`~repro.server.app.FairNNServer`.
+
+Built on ``urllib.request`` so tests, examples, and benchmarks can exercise
+the serving surface without third-party dependencies.  Error responses are
+raised as :class:`ServerHTTPError`, carrying the HTTP status, the server's
+error message, and the parsed ``Retry-After`` hint (for 429 backpressure).
+
+Usage::
+
+    with FairNNServer(nn) as server:
+        client = FairNNClient(server.url)
+        client.healthz()["status"]               # "ok"
+        client.sample([0.1, 0.2])["index"]
+        client.sample_batch([[0.1, 0.2], [0.3, 0.4]], k=3, replacement=False)
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from repro.server.app import encode_point
+from repro.types import Point
+
+__all__ = ["FairNNClient", "ServerHTTPError"]
+
+
+class ServerHTTPError(Exception):
+    """A non-2xx response from the server, with its parsed JSON payload."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        payload: Optional[Dict] = None,
+    ):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+        #: The full response body (e.g. the swap report of a failed swap).
+        self.payload = payload if payload is not None else {}
+
+
+class FairNNClient:
+    """Client for one server base URL (e.g. ``http://127.0.0.1:8420``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        url = f"{self.base_url}{path}"
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            payload = None
+            try:
+                payload = json.loads(raw)
+                message = payload.get("error") or raw.decode("utf-8", "replace")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace")
+            retry_after = exc.headers.get("Retry-After")
+            raise ServerHTTPError(
+                exc.code,
+                message,
+                retry_after=None if retry_after is None else float(retry_after),
+                payload=payload if isinstance(payload, dict) else None,
+            ) from None
+
+    @staticmethod
+    def _encode(points: Sequence[Point]) -> List[List]:
+        return [encode_point(point) for point in points]
+
+    # ------------------------------------------------------------------
+    # Read-only
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/v1/stats")
+
+    def capacity(self) -> Dict:
+        return self._request("GET", "/v1/capacity")
+
+    def swap_status(self) -> Dict:
+        return self._request("GET", "/v1/admin/swap")
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        query: Point,
+        sampler: Optional[str] = None,
+        k: int = 1,
+        replacement: bool = True,
+        exclude_index: Optional[int] = None,
+    ) -> Dict:
+        body: Dict = {"query": encode_point(query), "k": k, "replacement": replacement}
+        if sampler is not None:
+            body["sampler"] = sampler
+        if exclude_index is not None:
+            body["exclude_index"] = exclude_index
+        return self._request("POST", "/v1/sample", body)
+
+    def sample_batch(
+        self,
+        queries: Sequence[Point],
+        sampler: Optional[str] = None,
+        k: int = 1,
+        replacement: bool = True,
+    ) -> Dict:
+        body: Dict = {
+            "queries": self._encode(queries),
+            "k": k,
+            "replacement": replacement,
+        }
+        if sampler is not None:
+            body["sampler"] = sampler
+        return self._request("POST", "/v1/sample_batch", body)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, points: Sequence[Point]) -> Dict:
+        return self._request(
+            "POST", "/v1/mutate", {"op": "insert", "points": self._encode(points)}
+        )
+
+    def delete(self, index: int) -> Dict:
+        return self._request("POST", "/v1/mutate", {"op": "delete", "index": int(index)})
+
+    # ------------------------------------------------------------------
+    # Admin
+    # ------------------------------------------------------------------
+    def swap(
+        self,
+        snapshot: str,
+        probes: Optional[Sequence[Point]] = None,
+        verify: bool = True,
+        wait: bool = True,
+    ) -> Dict:
+        body: Dict = {"snapshot": str(snapshot), "verify": verify, "wait": wait}
+        if probes is not None:
+            body["probes"] = self._encode(probes)
+        return self._request("POST", "/v1/admin/swap", body)
