@@ -28,17 +28,30 @@ The workload is clustered (serving traffic queries near existing data):
 radius covering the local cluster — dense neighborhoods, large buckets,
 early hits.  Mutation-inclusive equivalence is covered by the tier-1 suite
 (``tests/test_sharded.py``); this file is about throughput.
+
+The **process executor** (PR 7) is measured on the same workload:
+``ProcessShardedEngine`` replicates each shard into a worker process
+reading the dataset zero-copy through shared memory, gathers every
+query's rank prefix in one batched frame round per shard, and — because
+any *certifying* prefix is provably exact — starts from a narrower
+prefix budget than the thread engine.  Acceptance: process @ 4 shards
+must beat the best thread configuration outright.  Note the numbers
+below come from whatever host runs the benchmark; on a single-core
+container the process win is the smaller per-query gather + IPC batching,
+while on multicore hosts the fleet adds true CPU parallelism on top
+(the GIL never serializes worker-side gather work).
 """
 
 from __future__ import annotations
 
+import gc
 import time
 
 import numpy as np
 
 from benchmarks.conftest import write_result, write_result_json
 from repro.core import PermutationFairSampler
-from repro.engine import BatchQueryEngine, ShardedEngine
+from repro.engine import BatchQueryEngine, ProcessShardedEngine, ShardedEngine
 from repro.lsh import PStableFamily
 
 N_POINTS = 100_000
@@ -54,6 +67,18 @@ def _timed(callable_):
     start = time.perf_counter()
     value = callable_()
     return value, time.perf_counter() - start
+
+
+def _timed_best(callable_, repeats=2):
+    """Best-of-*repeats* wall time (same value every run: queries are
+    deterministic).  Applied to every configuration identically, this
+    filters scheduler noise on small hosts without biasing the comparison."""
+    value, best = _timed(callable_)
+    for _ in range(repeats - 1):
+        again, seconds = _timed(callable_)
+        assert again == value
+        best = min(best, seconds)
+    return value, best
 
 
 def _workload():
@@ -87,8 +112,13 @@ def test_sharded_batched_throughput():
 
     engine, build_seconds = _timed(lambda: BatchQueryEngine.build(_sampler(), dataset))
     engine.sample_batch(queries[:20])  # warm caches and the columnar store
-    reference, unsharded_seconds = _timed(lambda: engine.sample_batch(queries))
+    reference, unsharded_seconds = _timed_best(lambda: engine.sample_batch(queries))
     found = sum(answer is not None for answer in reference)
+    # The unsharded engine is only needed for its reference answers; drop it
+    # so the hundreds of MB it pins don't inflate allocator pressure (and
+    # worker fork images) for every configuration measured after it.
+    del engine
+    gc.collect()
 
     lines = [
         f"workload: {N_POINTS} points, dim {DIM}, {N_CLUSTERS} clusters, "
@@ -117,15 +147,17 @@ def test_sharded_batched_throughput():
     }
 
     speedups = {}
+    thread_seconds = {}
     for n_shards in SHARD_COUNTS:
         sharded, shard_build = _timed(
             lambda: ShardedEngine.build(_sampler(), dataset, n_shards=n_shards)
         )
         sharded.sample_batch(queries[:20])
-        answers, sharded_seconds = _timed(lambda: sharded.sample_batch(queries))
+        answers, sharded_seconds = _timed_best(lambda: sharded.sample_batch(queries))
         # The merge is exact: byte-identical answers at every shard count.
         assert answers == reference
         speedups[n_shards] = unsharded_seconds / sharded_seconds
+        thread_seconds[n_shards] = sharded_seconds
         stats = sharded.stats
         lines.append(
             f"{n_shards:>6} {sharded_seconds * 1000:8.1f}ms {N_QUERIES / sharded_seconds:8.0f} "
@@ -141,9 +173,64 @@ def test_sharded_batched_throughput():
             "prefix_escalations": stats.prefix_escalations,
             "shard_merges": stats.shard_merges,
         }
+        sharded.close()
+        gc.collect()
 
+    lines += [
+        "",
+        "process executor (shard replicas in worker processes, shared-memory "
+        "dataset):",
+        "shards     batch      q/s   speedup   prefix-escalations   ipc-sent"
+        "   ipc-recv",
+    ]
+    payload["process"] = {}
+    process_seconds = {}
+    for n_shards in SHARD_COUNTS:
+        gc.collect()
+        procs, proc_build = _timed(
+            lambda: ProcessShardedEngine.build(_sampler(), dataset, n_shards=n_shards)
+        )
+        try:
+            procs.sample_batch(queries[:20])
+            answers, proc_seconds_ = _timed_best(lambda: procs.sample_batch(queries))
+            # Still byte-identical: the worker gather is the same provably
+            # complete rank prefix, just computed out-of-process.
+            assert answers == reference
+            process_seconds[n_shards] = proc_seconds_
+            stats = procs.stats
+            lines.append(
+                f"{n_shards:>6} {proc_seconds_ * 1000:8.1f}ms "
+                f"{N_QUERIES / proc_seconds_:8.0f} "
+                f"{unsharded_seconds / proc_seconds_:8.2f}x "
+                f"{stats.prefix_escalations:>19} "
+                f"{stats.ipc_bytes_sent:>10} {stats.ipc_bytes_received:>10}"
+            )
+            payload["process"][str(n_shards)] = {
+                "wall_ms_build": round(proc_build * 1000, 1),
+                "wall_ms_batch": round(proc_seconds_ * 1000, 3),
+                "queries_per_second": round(N_QUERIES / proc_seconds_, 1),
+                "speedup_vs_unsharded": round(unsharded_seconds / proc_seconds_, 2),
+                "byte_identical": True,
+                "prefix_scans": stats.prefix_scans,
+                "prefix_escalations": stats.prefix_escalations,
+                "worker_restarts": stats.worker_restarts,
+                "ipc_bytes_sent": stats.ipc_bytes_sent,
+                "ipc_bytes_received": stats.ipc_bytes_received,
+            }
+        finally:
+            procs.close()
+
+    best_thread = min(thread_seconds.values())
+    lines.append(
+        f"\nprocess @ 4 shards vs best thread config: "
+        f"{process_seconds[4] * 1000:.1f}ms vs {best_thread * 1000:.1f}ms "
+        f"({best_thread / process_seconds[4]:.2f}x)"
+    )
     write_result("engine_sharded_throughput", "\n".join(lines))
     write_result_json("engine_sharded_throughput", payload)
 
     # Acceptance: >= 2x batched throughput at 4 shards.
     assert speedups[4] >= 2.0
+    # Acceptance (PR 7): process workers @ 4 shards beat the best thread
+    # configuration outright on the same workload.
+    assert process_seconds[4] < best_thread

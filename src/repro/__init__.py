@@ -68,6 +68,7 @@ from repro.engine import (
     BatchQueryEngine,
     DynamicLSHTables,
     EngineStats,
+    ProcessShardedEngine,
     QueryRequest,
     QueryResponse,
     ShardedEngine,
@@ -85,6 +86,7 @@ from repro.exceptions import (
     QuotaExceededError,
     ReproError,
     SlotOutOfRangeError,
+    WorkerCrashedError,
 )
 from repro.registry import (
     DISTANCES,
@@ -158,6 +160,7 @@ __all__ = [
     # engine
     "BatchQueryEngine",
     "DynamicLSHTables",
+    "ProcessShardedEngine",
     "ShardedEngine",
     "ShardedLSHTables",
     "EngineStats",
@@ -177,6 +180,7 @@ __all__ = [
     "AlreadyDeletedError",
     "CapacityExceededError",
     "QuotaExceededError",
+    "WorkerCrashedError",
     # registries (repro.registry)
     "SAMPLERS",
     "DISTANCES",

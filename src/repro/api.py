@@ -184,6 +184,22 @@ class FairNN:
         """Per-sampler serving statistics, keyed by sampler name."""
         return {name: engine.stats for name, engine in self._engines.items()}
 
+    def close(self) -> None:
+        """Release engine-held resources deterministically; idempotent.
+
+        Thread-pool engines shut their executors down and process-executor
+        engines terminate their shard workers and unlink shared-memory
+        segments.  Interpreter-exit finalizers cover an unclosed facade, but
+        long-lived applications (and the hot-swap path, which retires whole
+        generations) should close retired facades promptly.  The facade
+        stays usable for non-serving reads; ``fit``/``serve`` rebuild
+        engines.
+        """
+        for engine in self._engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+
     def capacity(self) -> Dict:
         """Raw index occupancy, the substrate of serving-layer capacity models.
 
@@ -265,6 +281,7 @@ class FairNN:
         dataset: Optional[Dataset] = None,
         shards: Optional[int] = None,
         placement: Optional[str] = None,
+        executor: Optional[str] = None,
     ) -> "FairNN":
         """Promote to a serving setup over shared (by default dynamic) tables.
 
@@ -290,16 +307,25 @@ class FairNN:
         responses stay byte-identical to unsharded serving for the same
         spec + seed + dataset.  Explicit arguments are recorded back into
         :attr:`spec` so snapshots describe the topology actually served.
+
+        ``serve(executor="process")`` (or ``EngineSpec.executor``) runs each
+        shard in a supervised **worker process** over shared-memory dataset
+        buffers (:class:`~repro.engine.procpool.ProcessShardedEngine`) —
+        still byte-identical, with crash isolation: a dying worker fails its
+        in-flight batch with a typed
+        :class:`~repro.exceptions.WorkerCrashedError` and is restarted from
+        its shard snapshot with the mutation log replayed.
         """
         if dataset is None:
             dataset = self._dataset
         if dataset is None:
             raise NotFittedError("serve() needs a dataset (pass one or call fit first)")
-        if shards is not None or placement is not None:
+        if shards is not None or placement is not None or executor is not None:
             self._spec = replace(
                 self._spec,
                 n_shards=self._spec.n_shards if shards is None else int(shards),
                 placement=self._spec.placement if placement is None else placement,
+                executor=self._spec.executor if executor is None else executor,
             )
         self._build_samplers()
         lsh_named = self._lsh_samplers()
@@ -608,7 +634,9 @@ class FairNN:
             dynamic=dynamic,
             max_tombstone_fraction=self._spec.max_tombstone_fraction,
             use_ranks=any(sampler._use_ranks for sampler in lsh_named.values()),
-            n_shards=self._spec.n_shards if (dynamic and self._spec.n_shards > 1) else None,
+            n_shards=self._spec.n_shards
+            if (dynamic and (self._spec.n_shards > 1 or self._spec.executor == "process"))
+            else None,
             placement=self._spec.placement,
         )
         for sampler in lsh_named.values():
@@ -616,11 +644,15 @@ class FairNN:
         self._tables = tables
 
     def _new_engine(self, name: str, sampler: NeighborSampler) -> BatchQueryEngine:
-        engine_cls = (
-            ShardedEngine
-            if isinstance(getattr(sampler, "tables", None), ShardedLSHTables)
-            else BatchQueryEngine
-        )
+        if isinstance(getattr(sampler, "tables", None), ShardedLSHTables):
+            if self._spec.executor == "process":
+                from repro.engine.procpool import ProcessShardedEngine
+
+                engine_cls = ProcessShardedEngine
+            else:
+                engine_cls = ShardedEngine
+        else:
+            engine_cls = BatchQueryEngine
         return engine_cls(
             sampler,
             batch_hashing=self._spec.batch_hashing,

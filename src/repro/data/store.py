@@ -25,13 +25,19 @@ back to the per-pair scalar loop, which remains the semantic reference.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["DatasetStore", "DenseStore", "SetStore", "make_store"]
+__all__ = [
+    "DatasetStore",
+    "DenseStore",
+    "SetStore",
+    "SharedStoreExport",
+    "make_store",
+]
 
 
 class DatasetStore(abc.ABC):
@@ -77,6 +83,39 @@ class DatasetStore(abc.ABC):
         never evaluate dead slots — subclasses override only when retaining
         the payload costs real memory.
         """
+
+    def to_shared(self) -> "SharedStoreExport":
+        """Export the store's columnar buffers into shared memory.
+
+        Returns a :class:`SharedStoreExport` whose ``descriptor`` is a small
+        picklable dict another process can hand to :meth:`from_shared` to
+        attach the same buffers zero-copy.  The export is a one-time snapshot
+        of the current rows; the owner keeps the handle alive for as long as
+        attachers need it and must call :meth:`SharedStoreExport.unlink` when
+        done (segments otherwise outlive the process).
+        """
+        raise InvalidParameterError(
+            f"{type(self).__name__} has no shared-memory export"
+        )
+
+    @staticmethod
+    def from_shared(descriptor: Dict) -> "DatasetStore":
+        """Attach the store described by a :meth:`to_shared` descriptor.
+
+        The returned store is **read-only** (``append`` raises) and views the
+        exporter's shared-memory segments without copying.  Call
+        :meth:`detach` on it to drop the mappings; attachers never ``unlink``
+        — segment lifetime belongs to the exporting process.
+        """
+        kind = descriptor.get("kind")
+        if kind == "dense":
+            return _AttachedDenseStore(descriptor)
+        if kind == "sets":
+            return _AttachedSetStore(descriptor)
+        raise InvalidParameterError(f"unknown shared store kind: {kind!r}")
+
+    def detach(self) -> None:
+        """Close shared-memory mappings held by an attached store (no-op otherwise)."""
 
 
 class DenseStore(DatasetStore):
@@ -153,6 +192,20 @@ class DenseStore(DatasetStore):
         self._n = needed
         # Norms for the appended rows are filled lazily on next access.
 
+    def to_shared(self) -> "SharedStoreExport":
+        matrix = self.matrix
+        segment = _create_segment(matrix.nbytes)
+        if matrix.size:
+            view = np.ndarray(matrix.shape, dtype=np.float64, buffer=segment.buf)
+            view[...] = matrix
+        descriptor = {
+            "kind": "dense",
+            "segment": segment.name,
+            "rows": int(matrix.shape[0]),
+            "dim": int(matrix.shape[1]),
+        }
+        return SharedStoreExport(descriptor, [segment])
+
 
 class SetStore(DatasetStore):
     """Set-valued data packed CSR-style: flat sorted item rows + offsets."""
@@ -206,6 +259,155 @@ class SetStore(DatasetStore):
         self._indptr = np.concatenate([self._indptr, self._indptr[-1] + indptr[1:]])
         self._points.extend(points)
         self._n += len(points)
+
+    def to_shared(self) -> "SharedStoreExport":
+        indptr = self.indptr
+        items = self.items
+        indptr_segment = _create_segment(indptr.nbytes)
+        np.ndarray(indptr.shape, dtype=np.int64, buffer=indptr_segment.buf)[...] = indptr
+        items_segment = _create_segment(items.nbytes)
+        if items.size:
+            np.ndarray(items.shape, dtype=np.int64, buffer=items_segment.buf)[...] = items
+        descriptor = {
+            "kind": "sets",
+            "indptr_segment": indptr_segment.name,
+            "items_segment": items_segment.name,
+            "rows": int(self._n),
+            "items_len": int(items.shape[0]),
+        }
+        return SharedStoreExport(descriptor, [indptr_segment, items_segment])
+
+
+class SharedStoreExport:
+    """Owner-side handle of a store exported via :meth:`DatasetStore.to_shared`.
+
+    Holds the shared-memory segments alive and carries the picklable
+    ``descriptor`` attachers feed to :meth:`DatasetStore.from_shared`.  The
+    exporting process is the segments' owner: it must eventually call
+    :meth:`unlink` exactly once (idempotent here) or the segments leak past
+    process exit.  Attachers only ever map and close.
+    """
+
+    def __init__(self, descriptor: Dict, segments: List):
+        self.descriptor = descriptor
+        self._segments = segments
+        self._closed = False
+        self._unlinked = False
+
+    def close(self) -> None:
+        """Drop this process's mappings (safe to call repeatedly)."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def unlink(self) -> None:
+        """Destroy the segments (owner only; safe to call repeatedly)."""
+        self.close()
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for segment in self._segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already removed
+                pass
+
+
+def _create_segment(nbytes: int):
+    from multiprocessing import shared_memory
+
+    # Zero-size segments are rejected by the OS; a 1-byte floor keeps empty
+    # stores (no rows yet) exportable with the same code path.
+    return shared_memory.SharedMemory(create=True, size=max(1, int(nbytes)))
+
+
+def _attach_segment(name: str):
+    from multiprocessing import shared_memory
+
+    # Attaching registers the name with the resource tracker a second time.
+    # That is harmless — and must NOT be "fixed" with an unregister — as long
+    # as attachers share the exporter's tracker daemon: the tracker's cache
+    # is a set, so the re-register is a no-op and the owner's ``unlink()``
+    # performs the single removal.  Same-process attachment and fork-started
+    # workers (what :mod:`repro.engine.procpool` uses) both satisfy this;
+    # spawn-started attachers would need Python 3.13's ``track=False``.
+    return shared_memory.SharedMemory(name=name)
+
+
+class _AttachedDenseStore(DenseStore):
+    """Read-only :class:`DenseStore` viewing another process's shared matrix."""
+
+    def __init__(self, descriptor: Dict):
+        segment = _attach_segment(descriptor["segment"])
+        rows, dim = int(descriptor["rows"]), int(descriptor["dim"])
+        buf = np.ndarray((rows, dim), dtype=np.float64, buffer=segment.buf)
+        buf.flags.writeable = False
+        self._buf = buf
+        self._n = rows
+        self.dim = dim
+        self._norms_buf = None
+        self._segments = [segment]
+
+    def append(self, points: Sequence) -> None:
+        raise InvalidParameterError("shared-memory attached stores are read-only")
+
+    def detach(self) -> None:
+        for segment in self._segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._segments = []
+
+
+class _AttachedSetStore(SetStore):
+    """Read-only :class:`SetStore` viewing another process's CSR buffers.
+
+    Point objects are not shipped; :meth:`get_point` reconstructs each row's
+    frozenset lazily from the CSR slice and caches it.  Tombstoned slots come
+    back as empty frozensets — callers that track liveness (the dynamic
+    tables' alive mask) never ask for them.
+    """
+
+    def __init__(self, descriptor: Dict):
+        indptr_segment = _attach_segment(descriptor["indptr_segment"])
+        items_segment = _attach_segment(descriptor["items_segment"])
+        rows = int(descriptor["rows"])
+        items_len = int(descriptor["items_len"])
+        indptr = np.ndarray((rows + 1,), dtype=np.int64, buffer=indptr_segment.buf)
+        items = np.ndarray((items_len,), dtype=np.int64, buffer=items_segment.buf)
+        indptr.flags.writeable = False
+        items.flags.writeable = False
+        self._indptr = indptr
+        self._items = items
+        self._n = rows
+        self._points = [None] * rows
+        self._segments = [indptr_segment, items_segment]
+
+    def get_point(self, index: int):
+        cached = self._points[index]
+        if cached is None:
+            start = int(self._indptr[index])
+            end = int(self._indptr[index + 1])
+            cached = frozenset(int(item) for item in self._items[start:end])
+            self._points[index] = cached
+        return cached
+
+    def append(self, points: Sequence) -> None:
+        raise InvalidParameterError("shared-memory attached stores are read-only")
+
+    def detach(self) -> None:
+        for segment in self._segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._segments = []
 
 
 def _dense_rows(points: Sequence, dim: Optional[int] = None) -> np.ndarray:

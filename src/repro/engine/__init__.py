@@ -20,6 +20,14 @@ system:
   placement, batches executed across shards through a thread pool, and
   per-shard candidates merged into answers byte-identical to unsharded
   serving (the exchangeable ``2^62`` rank domain makes the merge exact);
+* :class:`~repro.engine.procpool.ProcessShardedEngine` — the sharded layer
+  over worker **processes**: each shard's dynamic tables replicated in a
+  supervised worker reading the dataset's columnar buffers zero-copy through
+  ``multiprocessing.shared_memory``, mutations replicated over a
+  length-prefixed message protocol, crashed workers restarted from their
+  shard snapshot with the mutation log replayed (in-flight requests fail
+  with a typed :class:`~repro.exceptions.WorkerCrashedError` instead of
+  hanging) — responses still byte-identical to unsharded serving;
 * :mod:`~repro.engine.requests` — the typed request/response surface;
 * :mod:`~repro.engine.snapshot` — save/load of a fitted engine, so indexes
   can be built offline and shipped to servers.
@@ -39,6 +47,7 @@ True
 
 from repro.engine.batch import BatchQueryEngine
 from repro.engine.dynamic import RANK_DOMAIN, DynamicLSHTables, MutationDelta
+from repro.engine.procpool import FaultPlan, ProcessShardedEngine, WorkerSupervisor
 from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
 from repro.engine.sharded import PLACEMENTS, ShardedEngine, ShardedLSHTables
 from repro.engine.snapshot import load_engine, save_engine
@@ -49,6 +58,9 @@ __all__ = [
     "MutationDelta",
     "RANK_DOMAIN",
     "PLACEMENTS",
+    "FaultPlan",
+    "ProcessShardedEngine",
+    "WorkerSupervisor",
     "ShardedEngine",
     "ShardedLSHTables",
     "EngineStats",

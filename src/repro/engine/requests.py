@@ -158,6 +158,16 @@ class EngineStats:
         Rank-prefix candidate merges served by a sharded engine (bounded
         bottom-``B``-by-rank gathers instead of full multiset merges) and
         the retries where the prefix proved too short and was widened.
+    worker_restarts:
+        Shard worker processes restarted by the
+        :class:`~repro.engine.procpool.WorkerSupervisor` after a crash or
+        hang (process executor only; 0 for thread-pool engines).
+    mutations_replayed:
+        Mutation operations replayed into restarted workers to bring their
+        shard replicas back to the authoritative parent state.
+    ipc_bytes_sent, ipc_bytes_received:
+        Total protocol bytes shipped to / received from shard worker
+        processes (length-prefixed frames; counts payload plus prefix).
     """
 
     queries_served: int = 0
@@ -173,6 +183,10 @@ class EngineStats:
     shard_merges: int = 0
     prefix_scans: int = 0
     prefix_escalations: int = 0
+    worker_restarts: int = 0
+    mutations_replayed: int = 0
+    ipc_bytes_sent: int = 0
+    ipc_bytes_received: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """The counters as a plain JSON-serializable dict.

@@ -284,6 +284,40 @@ class ShardedLSHTables(DynamicLSHTables):
         # read-modify-write safe so totals stay deterministic (each distinct
         # (table, key) pair is merged by exactly one priming job).
         self._merge_count_lock = threading.Lock()
+        # Observers of per-shard mutation ops (the process-pool engine's
+        # replica feed).  Listeners fire after the op has landed in the
+        # owning parent shard, with enough payload to re-apply it verbatim
+        # on a replica of that shard.
+        self._shard_op_listeners: List = []
+
+    # ------------------------------------------------------------------
+    # Shard-op observation (replica feeds)
+    # ------------------------------------------------------------------
+    def add_shard_op_listener(self, listener) -> None:
+        """Register ``listener(shard_index, op, args)`` for shard mutations.
+
+        ``op`` is one of ``"insert"`` (args ``(points, ranks, was_fit)`` —
+        the shard sub-batch in shard-local order, its global-stream ranks,
+        and whether it arrived as the shard's first ``fit``), ``"delete"``
+        (args ``(local_index,)``) or ``"compact"`` (args ``()``).  Replaying
+        the stream against a byte-identical replica of the shard reproduces
+        its state exactly: ranks are shipped rather than redrawn, and
+        shard-local self-compaction triggers from identical thresholds.
+        Listeners run synchronously under the caller's mutation context,
+        *after* the parent shard reflects the op.
+        """
+        self._shard_op_listeners.append(listener)
+
+    def remove_shard_op_listener(self, listener) -> None:
+        """Unregister a listener registered via :meth:`add_shard_op_listener`."""
+        try:
+            self._shard_op_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_shard_op(self, shard_index: int, op: str, args: tuple) -> None:
+        for listener in list(self._shard_op_listeners):
+            listener(shard_index, op, args)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -478,12 +512,14 @@ class ShardedLSHTables(DynamicLSHTables):
             shard = self.shards[shard_index]
             subset = [points[offset] for offset in offsets]
             shard_ranks = None if new_ranks is None else new_ranks[offsets]
+            was_fit = not self._shard_fitted[shard_index]
             if self._shard_fitted[shard_index]:
                 shard.insert_many(subset, ranks=shard_ranks)
             else:
                 shard.fit(subset, ranks=shard_ranks)
                 self._shard_fitted[shard_index] = True
             self._absorb_shard_sweeps(shard_index)
+            self._notify_shard_op(shard_index, "insert", (subset, shard_ranks, was_fit))
 
         self._points.extend(points)
         if self._store not in (None, False):
@@ -522,6 +558,7 @@ class ShardedLSHTables(DynamicLSHTables):
         self._unresolved_deletes.append((index, self._points[index]))
         self.shards[shard_index].delete(self._local_of[index])
         self._absorb_shard_sweeps(shard_index)
+        self._notify_shard_op(shard_index, "delete", (self._local_of[index],))
         self._delta.deleted.append(index)
         self.mutation_epoch += 1
         self._maybe_overflow_delta()
@@ -539,6 +576,7 @@ class ShardedLSHTables(DynamicLSHTables):
         for shard_index in self._fitted_shards():
             self.shards[shard_index].compact()
             self._absorb_shard_sweeps(shard_index)
+            self._notify_shard_op(shard_index, "compact", ())
         for index in self._pending:
             self._points[index] = None
             if self._store not in (None, False):
@@ -716,6 +754,12 @@ class ShardedEngine(BatchQueryEngine):
         # Counter increments made from answer workers are guarded by the
         # base engine's _stats_lock: every query contributes a fixed amount,
         # so the totals stay deterministic whatever the thread scheduling.
+        # close() must be idempotent *under concurrency*: a hot snapshot
+        # swap's drain path and the facade's engine teardown can both reach
+        # it at once (see server/swap.py), so the closed transition is a
+        # check-and-set under a lock and teardown runs exactly once.
+        self._close_lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -769,8 +813,19 @@ class ShardedEngine(BatchQueryEngine):
         Worker threads would otherwise linger until the engine is garbage
         collected; long-lived processes that rebuild their serving setup
         (:meth:`FairNN.serve <repro.api.FairNN.serve>` closes superseded
-        engines through this) should release them deterministically.
+        engines through this) should release them deterministically.  Safe
+        under concurrent callers — a snapshot swap's generation drain and
+        the facade teardown may race here — exactly one caller runs the
+        shutdown sequence, the rest return immediately.
         """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        """Release serving resources (runs at most once, via :meth:`close`)."""
         self._pool.shutdown(wait=False)
 
     def __enter__(self) -> "ShardedEngine":

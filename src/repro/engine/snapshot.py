@@ -207,6 +207,13 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
         manifest["n_shards"] = tables.n_shards
         manifest["placement"] = tables.placement
         manifest["shards"] = shard_manifests
+        # Additive key (older readers ignore it): which sharded executor the
+        # snapshotted engine used, so load_engine restores the same serving
+        # topology — "process" reconstructs a ProcessShardedEngine whose
+        # worker baselines capture the freshly restored shard state.
+        manifest["executor"] = (
+            "process" if type(engine).__name__ == "ProcessShardedEngine" else "thread"
+        )
 
     np.savez(directory / _ARRAYS, **arrays)
     with open(directory / _OBJECTS, "wb") as handle:
@@ -318,7 +325,14 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
         spec_cls = EngineSpec if manifest.get("spec_kind") == "engine" else SamplerSpec
         spec = spec_cls.from_dict(spec_data)
 
-    engine_cls = ShardedEngine if sharded else BatchQueryEngine
+    if sharded and manifest.get("executor") == "process":
+        from repro.engine.procpool import ProcessShardedEngine
+
+        engine_cls = ProcessShardedEngine
+    elif sharded:
+        engine_cls = ShardedEngine
+    else:
+        engine_cls = BatchQueryEngine
     engine = engine_cls(
         sampler,
         batch_hashing=bool(manifest["batch_hashing"]),

@@ -64,6 +64,7 @@ from repro.exceptions import (
     QuotaExceededError,
     ReproError,
     SlotOutOfRangeError,
+    WorkerCrashedError,
 )
 from repro.server.capacity import CapacityModel
 from repro.server.swap import ServingHandle, SnapshotSwapper, SwapInProgressError
@@ -140,6 +141,10 @@ def _map_exception(exc: Exception) -> _HTTPError:
         return _HTTPError(409, str(exc))
     if isinstance(exc, NotFittedError):
         return _HTTPError(503, str(exc))
+    if isinstance(exc, WorkerCrashedError):
+        # A shard worker died mid-batch; the supervisor has already
+        # restarted it, so the condition is transient — retryable.
+        return _HTTPError(503, str(exc), retry_after=1.0)
     if isinstance(exc, InvalidParameterError):
         return _HTTPError(400, str(exc))
     if isinstance(exc, ReproError):

@@ -118,6 +118,9 @@ class Generation:
             return self._retired
 
     def _close_engines(self) -> None:
+        # Duck-typed on purpose: generations also wrap facade test doubles
+        # that expose only ``engines``.  ``FairNN.close()`` is the same
+        # recipe for library callers.
         for engine in self.nn.engines.values():
             close = getattr(engine, "close", None)
             if close is not None:

@@ -54,6 +54,11 @@ _UNSET = object()
 #: engine layer re-validates at construction time).
 _PLACEMENTS = ("round_robin", "hash")
 
+#: Sharded batch executors an :class:`EngineSpec` may select: a thread pool
+#: in the serving process, or supervised per-shard worker processes over
+#: shared memory (:class:`repro.engine.procpool.ProcessShardedEngine`).
+_EXECUTORS = ("thread", "process")
+
 
 def _checked_params(params: Mapping[str, Any], owner: str) -> Dict[str, Any]:
     """Validate and normalize a spec's parameter mapping.
@@ -299,6 +304,16 @@ class EngineSpec(_JsonRoundTrip):
     placement:
         Shard placement policy, ``"round_robin"`` or ``"hash"`` (see
         :data:`repro.engine.sharded.PLACEMENTS`).
+    executor:
+        How sharded batches are executed: ``"thread"`` (the default — a
+        :class:`~repro.engine.sharded.ShardedEngine` thread pool in the
+        serving process) or ``"process"`` (a
+        :class:`~repro.engine.procpool.ProcessShardedEngine` running each
+        shard in a supervised worker process over shared-memory dataset
+        buffers).  Responses are byte-identical either way; ``"process"``
+        adds crash isolation and typed
+        :class:`~repro.exceptions.WorkerCrashedError` failure semantics.
+        Requires ``dynamic=True``.
     """
 
     samplers: Dict[str, SamplerSpec] = field(default_factory=dict)
@@ -309,6 +324,7 @@ class EngineSpec(_JsonRoundTrip):
     coalesce_duplicates: bool = True
     n_shards: int = 1
     placement: str = "round_robin"
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
         if not isinstance(self.samplers, Mapping) or not self.samplers:
@@ -341,6 +357,15 @@ class EngineSpec(_JsonRoundTrip):
             raise InvalidParameterError(
                 "EngineSpec.n_shards > 1 requires dynamic=True (sharding is a serving-layer structure)"
             )
+        if self.executor not in _EXECUTORS:
+            raise InvalidParameterError(
+                f"EngineSpec.executor must be one of {_EXECUTORS}, got {self.executor!r}"
+            )
+        if self.executor == "process" and not self.dynamic:
+            raise InvalidParameterError(
+                "EngineSpec.executor='process' requires dynamic=True "
+                "(shard workers replicate the dynamic mutation stream)"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -366,6 +391,7 @@ class EngineSpec(_JsonRoundTrip):
             "coalesce_duplicates": self.coalesce_duplicates,
             "n_shards": self.n_shards,
             "placement": self.placement,
+            "executor": self.executor,
         }
 
     @classmethod
@@ -382,6 +408,7 @@ class EngineSpec(_JsonRoundTrip):
                 "coalesce_duplicates",
                 "n_shards",
                 "placement",
+                "executor",
             ),
             "EngineSpec",
         )
@@ -397,6 +424,7 @@ class EngineSpec(_JsonRoundTrip):
             coalesce_duplicates=bool(data.get("coalesce_duplicates", True)),
             n_shards=int(data.get("n_shards", 1)),
             placement=data.get("placement", "round_robin"),
+            executor=data.get("executor", "thread"),
         )
 
 

@@ -30,7 +30,7 @@ from repro.core import (
     StandardLSHSampler,
 )
 from repro.distances import JaccardSimilarity
-from repro.engine import BatchQueryEngine, ShardedEngine
+from repro.engine import BatchQueryEngine, ProcessShardedEngine, ShardedEngine
 from repro.lsh import MinHashFamily
 
 
@@ -216,6 +216,62 @@ class TestShardedMergeCounters:
 
         for sampler_cls in (IndependentFairSampler, PermutationFairSampler):
             assert serve(sampler_cls, 23) == serve(sampler_cls, 23)
+
+    def test_process_executor_supervision_counters(self, heavy_workload):
+        """Clean serving through worker processes is restart- and replay-free.
+
+        A spurious ``worker_restarts`` here means the supervisor is killing or
+        losing healthy workers; a spurious ``mutations_replayed`` means replay
+        work is happening outside crash recovery.  Both would silently eat the
+        process executor's latency win, so they are pinned at zero.
+        """
+        engine = ProcessShardedEngine.build(
+            _lsh(PermutationFairSampler, seed=21), heavy_workload["dataset"], n_shards=4
+        )
+        try:
+            engine.run([heavy_workload["query"]] + heavy_workload["dataset"][:20])
+            engine.insert_many(heavy_workload["dataset"][:3])
+            engine.run(heavy_workload["dataset"][10:20])
+            stats = engine.stats.as_dict()
+            assert stats["worker_restarts"] == 0
+            assert stats["mutations_replayed"] == 0
+            # Both directions of the shard protocol actually carried frames.
+            assert stats["ipc_bytes_sent"] > 0
+            assert stats["ipc_bytes_received"] > 0
+        finally:
+            engine.close()
+
+    def test_process_executor_ipc_volume_is_deterministic(self, heavy_workload):
+        """IPC byte counts are an exact function of a seeded workload.
+
+        The framing protocol sends pickled query/mutation frames; a regression
+        that re-sends frames, pads payloads, or gathers from shards a query
+        never needed shows up as a byte-count drift between identical runs
+        long before it is measurable as latency.
+        """
+
+        def serve():
+            engine = ProcessShardedEngine.build(
+                _lsh(PermutationFairSampler, seed=23),
+                heavy_workload["dataset"],
+                n_shards=4,
+            )
+            try:
+                engine.run([heavy_workload["query"]] * 5 + heavy_workload["dataset"][:15])
+                engine.insert_many(heavy_workload["dataset"][:3])
+                engine.run(heavy_workload["dataset"][10:20])
+                stats = engine.stats.as_dict()
+            finally:
+                engine.close()
+            keys = _DETERMINISTIC_SHARDED_COUNTERS + (
+                "worker_restarts",
+                "mutations_replayed",
+                "ipc_bytes_sent",
+                "ipc_bytes_received",
+            )
+            return {key: stats[key] for key in keys}
+
+        assert serve() == serve()
 
     def test_sharded_answers_match_unsharded(self, heavy_workload):
         queries = [heavy_workload["query"]] + heavy_workload["dataset"][:15]

@@ -1,0 +1,219 @@
+"""Shared-memory and worker lifecycle hygiene of the process executor.
+
+Every path out of a :class:`~repro.engine.procpool.ProcessShardedEngine`
+must leave the host clean: ``close()``, a worker crash followed by close,
+and plain interpreter exit without ``close()`` (the ``weakref.finalize``
+safety net) all unlink the ``multiprocessing.shared_memory`` segments and
+reap every worker process.  The subprocess cases run under ``-W error`` so
+a ``resource_tracker`` "leaked shared_memory objects" complaint — emitted
+as a warning at interpreter shutdown — fails the test instead of scrolling
+past, and the parent additionally diffs ``/dev/shm`` around the child.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine.procpool import FaultPlan, ProcessShardedEngine
+from repro.exceptions import WorkerCrashedError
+
+from test_sharded import _make_sampler, _workload
+
+_SRC = str(pathlib.Path(repro.__file__).resolve().parents[1])
+_SHM_DIR = pathlib.Path("/dev/shm")
+
+
+def _shm_segments():
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux fallback
+        return set()
+    return {name for name in os.listdir(_SHM_DIR) if name.startswith("psm_")}
+
+
+def _run_child(script: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    return subprocess.run(
+        [sys.executable, "-W", "error", "-c", textwrap.dedent(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+
+
+_CHILD_PRELUDE = """
+    import multiprocessing
+    import numpy as np
+    from repro.engine.procpool import FaultPlan, ProcessShardedEngine
+    from repro.exceptions import WorkerCrashedError
+    from repro.spec import LSHSpec, SamplerSpec
+
+    rng = np.random.default_rng(7)
+    dataset = [
+        frozenset(int(x) for x in rng.choice(300, size=rng.integers(6, 18)))
+        for _ in range(80)
+    ]
+    sampler = SamplerSpec(
+        "permutation",
+        {"radius": 0.35, "far_radius": 0.1, "num_hashes": 2, "num_tables": 8},
+        lsh=LSHSpec("minhash"),
+        seed=7,
+    ).build()
+    engine = ProcessShardedEngine.build(sampler, dataset, n_shards=2)
+    engine.run(dataset[:4])
+"""
+
+
+class TestCloseReleasesEverything:
+    def test_close_unlinks_segments_and_reaps_workers(self):
+        rng = np.random.default_rng(50)
+        dataset, queries, _, _ = _workload(rng, n=80)
+        before = _shm_segments()
+        engine = ProcessShardedEngine.build(
+            _make_sampler("permutation"), dataset, n_shards=2
+        )
+        engine.run(queries[:4])
+        pids = [pid for pid in engine.supervisor.worker_pids() if pid is not None]
+        assert len(pids) == 2
+        assert _shm_segments() - before  # the export is live while serving
+        engine.close()
+        assert _shm_segments() - before == set()
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)  # reaped, not just signalled
+        assert engine.supervisor.worker_pids() == [None, None]
+
+    def test_close_after_crash_is_still_clean(self):
+        rng = np.random.default_rng(51)
+        dataset, queries, _, _ = _workload(rng, n=80)
+        before = _shm_segments()
+        engine = ProcessShardedEngine.build(
+            _make_sampler("permutation"), dataset, n_shards=2
+        )
+        engine.inject_fault(FaultPlan(shard_index=0, kill_after_queries=1))
+        with pytest.raises(WorkerCrashedError):
+            engine.run(queries[:4])
+        engine.run(queries[:4])  # restarted fleet serves
+        engine.close()
+        assert _shm_segments() - before == set()
+        assert engine.supervisor.worker_pids() == [None, None]
+
+    def test_facade_close_reaps_process_workers(self):
+        """FairNN.close() is the public boundary's deterministic release."""
+        rng = np.random.default_rng(52)
+        dataset, queries, _, _ = _workload(rng, n=80)
+        before = _shm_segments()
+        spec = repro.SamplerSpec(
+            "permutation",
+            {"radius": 0.35, "far_radius": 0.1, "num_hashes": 2, "num_tables": 8},
+            lsh=repro.LSHSpec("minhash"),
+            seed=7,
+        )
+        nn = repro.FairNN.from_spec(spec).serve(dataset, shards=2, executor="process")
+        nn.run(queries[:4])
+        engine = next(iter(nn.engines.values()))
+        pids = [pid for pid in engine.supervisor.worker_pids() if pid is not None]
+        assert len(pids) == 2
+        nn.close()
+        nn.close()  # idempotent
+        assert _shm_segments() - before == set()
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+        assert engine.supervisor.worker_pids() == [None, None]
+
+
+class TestSubprocessLifecycles:
+    def test_clean_close_emits_no_warnings_under_w_error(self):
+        before = _shm_segments()
+        result = _run_child(
+            _CHILD_PRELUDE
+            + """
+    engine.close()
+    assert multiprocessing.active_children() == [], multiprocessing.active_children()
+    print("CLEAN")
+"""
+        )
+        assert result.returncode == 0, result.stderr
+        assert "CLEAN" in result.stdout
+        assert result.stderr == ""
+        assert _shm_segments() - before == set()
+
+    def test_interpreter_exit_without_close_is_clean(self):
+        # The weakref.finalize safety net must reap workers and unlink the
+        # segments even when close() is never called.
+        before = _shm_segments()
+        result = _run_child(
+            _CHILD_PRELUDE
+            + """
+    print("EXITING", flush=True)
+"""
+        )
+        assert result.returncode == 0, result.stderr
+        assert "EXITING" in result.stdout
+        assert result.stderr == ""
+        assert _shm_segments() - before == set()
+
+    def test_exit_after_crash_recovery_is_clean(self):
+        before = _shm_segments()
+        result = _run_child(
+            _CHILD_PRELUDE
+            + """
+    engine.inject_fault(FaultPlan(shard_index=1, kill_after_queries=1))
+    try:
+        engine.run(dataset[:4])
+        raise SystemExit("expected WorkerCrashedError")
+    except WorkerCrashedError:
+        pass
+    engine.run(dataset[:4])
+    print("RECOVERED", flush=True)
+"""
+        )
+        assert result.returncode == 0, result.stderr
+        assert "RECOVERED" in result.stdout
+        assert result.stderr == ""
+        assert _shm_segments() - before == set()
+
+    def test_engine_killed_by_signal_leaves_no_workers(self):
+        # Even a SIGKILLed parent cannot leak workers: they exit on socket
+        # EOF.  The shm segment is unlinked by the resource tracker (the one
+        # cleanup os.kill can't skip), so /dev/shm converges too.
+        before = _shm_segments()
+        result = _run_child(
+            _CHILD_PRELUDE
+            + """
+    import os, sys
+    pids = [pid for pid in engine.supervisor.worker_pids() if pid is not None]
+    print(" ".join(str(pid) for pid in pids), flush=True)
+    sys.stdout.flush()
+    os.kill(os.getpid(), __import__("signal").SIGKILL)
+"""
+        )
+        assert result.returncode == -signal.SIGKILL
+        pids = [int(token) for token in result.stdout.split()]
+        assert len(pids) == 2
+        deadline = 50
+        import time
+
+        for pid in pids:
+            for _ in range(deadline):
+                try:
+                    os.kill(pid, 0)
+                except OSError:
+                    break
+                time.sleep(0.1)
+            else:  # pragma: no cover - the leak this test exists to catch
+                pytest.fail(f"worker {pid} outlived its killed parent")
+        for _ in range(deadline):
+            if _shm_segments() - before == set():
+                break
+            time.sleep(0.1)
+        assert _shm_segments() - before == set()

@@ -1,0 +1,110 @@
+"""Property-based cross-executor equivalence (hypothesis-driven churn).
+
+The acceptance bar of the process-executor work: for randomized
+insert/delete/compact/query interleavings, the **unsharded**
+:class:`~repro.engine.batch.BatchQueryEngine`, the **thread-pool**
+:class:`~repro.engine.sharded.ShardedEngine` and the **process-pool**
+:class:`~repro.engine.procpool.ProcessShardedEngine` return byte-identical
+responses — indices, values, per-query work counters and sampler names —
+for every registered LSH-backed sampler, at every shard count hypothesis
+picks.  Deletes are drawn as fractions and resolved against the live set at
+apply time, so shrunk examples stay valid; enough deletes in a run cross the
+tombstone threshold and exercise self-compaction on top of the explicit
+``compact`` op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BatchQueryEngine, ShardedEngine
+from repro.engine.procpool import ProcessShardedEngine
+
+from test_sharded import _assert_identical, _lsh_backed_sampler_names, _make_sampler
+
+# Each example builds three engines (one with forked shard workers), so the
+# example budget is deliberately small; the op-sequence space still covers
+# mutation orderings a fixed trace never would.
+CHURN = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+_point = st.frozensets(st.integers(min_value=0, max_value=400), min_size=3, max_size=18)
+
+_op = st.one_of(
+    st.tuples(st.just("insert"), st.lists(_point, min_size=1, max_size=6)),
+    st.tuples(st.just("delete"), st.floats(min_value=0.0, max_value=0.999)),
+    st.tuples(st.just("compact"), st.none()),
+    st.tuples(st.just("query"), st.integers(min_value=1, max_value=5)),
+)
+
+
+def _dataset(seed: int, size: int):
+    rng = np.random.default_rng(seed)
+    return [
+        frozenset(int(x) for x in rng.choice(400, size=rng.integers(6, 20)))
+        for _ in range(size)
+    ]
+
+
+def _apply(engine, ops, queries):
+    """Run one churn trace; deletes resolve fractions against live slots."""
+    responses = list(engine.run(queries[:3]))
+    tables = engine.tables
+    for op, payload in ops:
+        if op == "insert":
+            engine.insert_many(payload)
+        elif op == "delete":
+            alive = np.flatnonzero(tables._alive)
+            if alive.size == 0:
+                continue
+            engine.delete(int(alive[int(payload * alive.size)]))
+        elif op == "compact":
+            tables.compact()
+        else:  # query
+            responses += engine.run(queries[: int(payload)])
+    responses += engine.run(queries)
+    return responses
+
+
+class TestCrossExecutorEquivalence:
+    @pytest.mark.parametrize("name", _lsh_backed_sampler_names())
+    @CHURN
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        size=st.integers(min_value=40, max_value=90),
+        n_shards=st.sampled_from([1, 2, 4]),
+        ops=st.lists(_op, min_size=0, max_size=10),
+    )
+    def test_three_executors_answer_byte_identically(
+        self, name, seed, size, n_shards, ops
+    ):
+        dataset = _dataset(seed, size)
+        queries = dataset[:5] + [frozenset({401, 402, 403})]
+
+        reference = _apply(
+            BatchQueryEngine.build(_make_sampler(name), dataset), ops, queries
+        )
+        threaded_engine = ShardedEngine.build(
+            _make_sampler(name), dataset, n_shards=n_shards
+        )
+        try:
+            _assert_identical(reference, _apply(threaded_engine, ops, queries))
+        finally:
+            threaded_engine.close()
+        process_engine = ProcessShardedEngine.build(
+            _make_sampler(name), dataset, n_shards=n_shards
+        )
+        try:
+            _assert_identical(reference, _apply(process_engine, ops, queries))
+            counters = process_engine.stats_dict()["counters"]
+            assert counters["worker_restarts"] == 0  # clean runs never restart
+            assert counters["ipc_bytes_sent"] > 0
+            assert counters["ipc_bytes_received"] > 0
+        finally:
+            process_engine.close()

@@ -1,0 +1,265 @@
+"""Fault-injection harness for the process-parallel shard workers.
+
+The crash-recovery contract of :class:`~repro.engine.procpool.
+ProcessShardedEngine` is pinned here end to end:
+
+* a worker killed **mid-batch** (SIGKILL via an injectable
+  :class:`~repro.engine.procpool.FaultPlan`) surfaces as a typed
+  :class:`~repro.exceptions.WorkerCrashedError` — never a hang — carrying
+  the failed shard and restart count;
+* the supervisor restarts the worker from its shard baseline and **replays**
+  the logged mutations, so the very next run of the same batch is
+  byte-identical to unsharded serving;
+* hung workers (the ``"hang"`` fault mode) are detected by the reply
+  timeout and handled exactly like crashes;
+* crashes during mutation replication never fail the mutation — the parent
+  is authoritative — and are absorbed by restart + replay;
+* the HTTP layer maps :class:`WorkerCrashedError` to a retryable ``503``;
+* ``close()`` stays idempotent under concurrent callers for both sharded
+  engine flavours (the snapshot-swap drain vs facade-teardown race).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import numpy as np
+import pytest
+
+from repro import FairNN, FairNNClient, FairNNServer
+from repro.engine import BatchQueryEngine, ShardedEngine
+from repro.engine.procpool import FaultPlan, ProcessShardedEngine
+from repro.exceptions import WorkerCrashedError
+from repro.server.client import ServerHTTPError
+from repro.spec import EngineSpec, LSHSpec, SamplerSpec
+
+from test_sharded import (
+    SET_PARAMS,
+    _assert_identical,
+    _make_sampler,
+    _workload,
+)
+
+SEED = 7
+
+
+def _engine_spec(executor="process", n_shards=2):
+    return EngineSpec(
+        samplers={
+            "permutation": SamplerSpec(
+                "permutation", SET_PARAMS, lsh=LSHSpec("minhash"), seed=SEED
+            )
+        },
+        n_shards=n_shards,
+        executor=executor,
+    )
+
+
+def _build_pair(dataset, n_shards=2, **kwargs):
+    """An unsharded reference engine and a process-executor twin."""
+    reference = BatchQueryEngine.build(_make_sampler("permutation"), dataset)
+    engine = ProcessShardedEngine.build(
+        _make_sampler("permutation"), dataset, n_shards=n_shards, **kwargs
+    )
+    return reference, engine
+
+
+class TestWorkerKilledMidBatch:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_typed_error_restart_and_identical_recovery(self, n_shards):
+        rng = np.random.default_rng(42)
+        dataset, queries, inserts, doomed = _workload(rng)
+        reference, engine = _build_pair(dataset, n_shards=n_shards)
+        try:
+            # Churn before the crash so the restart has mutations to replay.
+            reference.insert_many(inserts)
+            engine.insert_many(inserts)
+            for index in doomed[:5]:
+                reference.delete(index)
+                engine.delete(index)
+            expected = reference.run(queries)
+
+            engine.inject_fault(FaultPlan(shard_index=0, kill_after_queries=1))
+            with pytest.raises(WorkerCrashedError) as excinfo:
+                engine.run(queries)
+            assert excinfo.value.shard_index == 0
+            assert excinfo.value.restarts == 1
+
+            # The supervisor already restarted + replayed: the same batch now
+            # answers byte-identically, and again on a second run.
+            _assert_identical(expected, engine.run(queries))
+            _assert_identical(expected, engine.run(queries))
+            counters = engine.stats_dict()["counters"]
+            assert counters["worker_restarts"] == 1
+            assert counters["mutations_replayed"] > 0
+        finally:
+            reference_close = getattr(reference, "close", None)
+            if reference_close:
+                reference_close()
+            engine.close()
+
+    def test_fault_plans_are_one_shot(self):
+        rng = np.random.default_rng(43)
+        dataset, queries, _, _ = _workload(rng)
+        reference, engine = _build_pair(dataset)
+        try:
+            expected = reference.run(queries)
+            engine.inject_fault(FaultPlan(shard_index=1, kill_after_queries=1))
+            with pytest.raises(WorkerCrashedError):
+                engine.run(queries)
+            # The restarted worker must not be re-armed: every later batch
+            # serves normally.
+            for _ in range(3):
+                _assert_identical(expected, engine.run(queries))
+            assert engine.stats_dict()["counters"]["worker_restarts"] == 1
+        finally:
+            engine.close()
+
+    def test_all_workers_killed_reports_aggregate(self):
+        rng = np.random.default_rng(44)
+        dataset, queries, _, _ = _workload(rng)
+        reference, engine = _build_pair(dataset)
+        try:
+            expected = reference.run(queries)
+            engine.inject_fault(FaultPlan(kill_after_queries=1))  # every shard
+            with pytest.raises(WorkerCrashedError) as excinfo:
+                engine.run(queries)
+            assert excinfo.value.shard_index is None  # several died
+            assert excinfo.value.restarts == 2
+            _assert_identical(expected, engine.run(queries))
+        finally:
+            engine.close()
+
+
+class TestHungWorker:
+    def test_hang_is_detected_by_timeout_and_recovered(self):
+        rng = np.random.default_rng(45)
+        dataset, queries, _, _ = _workload(rng)
+        reference, engine = _build_pair(dataset, reply_timeout=1.5)
+        try:
+            expected = reference.run(queries)
+            engine.inject_fault(FaultPlan(shard_index=0, kill_after_queries=1, mode="hang"))
+            with pytest.raises(WorkerCrashedError):
+                engine.run(queries)  # must fail fast, not hang the suite
+            _assert_identical(expected, engine.run(queries))
+        finally:
+            engine.close()
+
+
+class TestCrashDuringMutation:
+    def test_mutation_never_fails_and_replica_recovers(self):
+        rng = np.random.default_rng(46)
+        dataset, queries, inserts, _ = _workload(rng)
+        reference, engine = _build_pair(dataset)
+        try:
+            engine.inject_fault(FaultPlan(shard_index=0, kill_after_mutations=1, mode="exit"))
+            # The insert must succeed: the parent tables are authoritative and
+            # the replica's copy is recovered by restart + replay.
+            engine.insert_many(inserts)
+            reference.insert_many(inserts)
+            expected = reference.run(queries)
+            try:
+                first = engine.run(queries)
+            except WorkerCrashedError:
+                # The corpse may only be noticed at the next exchange; the
+                # batch after the restart must be exact either way.
+                first = engine.run(queries)
+            _assert_identical(expected, first)
+            counters = engine.stats_dict()["counters"]
+            assert counters["worker_restarts"] == 1
+            assert counters["mutations_replayed"] > 0
+        finally:
+            engine.close()
+
+
+class TestSupervisorHealth:
+    def test_health_check_restarts_dead_workers(self):
+        rng = np.random.default_rng(47)
+        dataset, queries, _, _ = _workload(rng)
+        reference, engine = _build_pair(dataset)
+        try:
+            expected = reference.run(queries)
+            pid_before = engine.supervisor.worker_pids()[1]
+            engine.inject_fault(
+                FaultPlan(shard_index=1, kill_after_mutations=1, mode="kill")
+            )
+            # Two inserts so round-robin placement reaches shard 1 whatever
+            # parity the dataset length left the cursor at.
+            engine.insert_many([frozenset({1, 2, 3}), frozenset({4, 5, 6})])
+            reference.insert_many([frozenset({1, 2, 3}), frozenset({4, 5, 6})])
+            health = engine.supervisor.health_check()
+            assert health[1] is False  # found dead, then restarted
+            assert engine.supervisor.health_check() == {0: True, 1: True}
+            assert engine.supervisor.worker_pids()[1] != pid_before
+            _assert_identical(reference.run(queries), engine.run(queries))
+        finally:
+            engine.close()
+
+
+class TestServerMapsCrashTo503:
+    def test_worker_crash_is_a_retryable_503(self, small_set_dataset):
+        nn = FairNN(_engine_spec()).serve(list(small_set_dataset))
+        engine = nn.engine("permutation")
+        assert isinstance(engine, ProcessShardedEngine)
+        with FairNNServer(nn) as server:
+            client = FairNNClient(server.url)
+            queries = list(small_set_dataset)[:3]
+            baseline = client.sample_batch(queries)
+            engine.inject_fault(FaultPlan(shard_index=0, kill_after_queries=1))
+            with pytest.raises(ServerHTTPError) as excinfo:
+                client.sample_batch(queries)
+            assert excinfo.value.status == 503
+            assert "died mid-batch" in str(excinfo.value)
+            # Retrying the exact request succeeds against the restarted fleet.
+            assert client.sample_batch(queries) == baseline
+            stats = client.stats()["samplers"]["permutation"]
+            assert stats["executor"] == "process"
+            assert stats["counters"]["worker_restarts"] == 1
+
+
+class TestConcurrentCloseIdempotency:
+    """close() raced from many threads runs its teardown exactly once.
+
+    Regression for the snapshot-swap drain vs facade-teardown race: both
+    paths call ``close()`` on the superseded engine, potentially at the same
+    instant from different threads.
+    """
+
+    @pytest.mark.parametrize("flavour", ["thread", "process"])
+    def test_racing_closers_are_safe(self, flavour):
+        rng = np.random.default_rng(48)
+        dataset, queries, _, _ = _workload(rng, n=60)
+        if flavour == "thread":
+            engine = ShardedEngine.build(_make_sampler("permutation"), dataset, n_shards=2)
+        else:
+            engine = ProcessShardedEngine.build(
+                _make_sampler("permutation"), dataset, n_shards=2
+            )
+        engine.run(queries[:3])
+        shutdowns = []
+        original = engine._shutdown
+
+        def _counting_shutdown():
+            shutdowns.append(threading.get_ident())
+            original()
+
+        engine._shutdown = _counting_shutdown
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def _racer():
+            barrier.wait()
+            try:
+                engine.close()
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=_racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(shutdowns) == 1  # teardown ran exactly once
+        engine.close()  # and repeated sequential closes stay no-ops
