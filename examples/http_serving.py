@@ -15,7 +15,17 @@ schemas it documents, exiting non-zero on any regression:
 5. hot-swap to a snapshot of the served state — probe-verified, the
    generation counter flips, traffic continues;
 6. drive the quota into exhaustion and read the ``Retry-After`` hint from
-   the resulting 429.
+   the resulting 429;
+7. boot a **durable** server (``serve(data_dir=...)``): every mutation is
+   journaled to a write-ahead log before it is applied, and idempotency
+   keys dedupe client retries;
+8. shut down gracefully on SIGTERM/SIGINT — the handler only sets a flag,
+   the serving loop drains in-flight requests and closes cleanly — then
+   **restart with recovery** (``FairNNServer.from_data_dir``) and confirm
+   the rebooted server answers byte-identically.
+
+Operational details (fsync policies, crash recovery, chaos testing) live
+in ``docs/operations.md``.
 
 Run with:
 
@@ -24,7 +34,10 @@ Run with:
 
 from __future__ import annotations
 
+import os
+import signal
 import tempfile
+import threading
 
 from repro import CapacityModel, FairNN, FairNNClient, FairNNServer, LSHSpec, SamplerSpec
 from repro.data import generate_lastfm_like
@@ -106,16 +119,77 @@ def main() -> None:
         assert client.sample(users[0])["found"] is not None  # traffic continues
 
         # 6. Exhaust the quota; backpressure arrives as 429 + Retry-After.
+        # The default client *retries* 429s after sleeping out Retry-After,
+        # which would politely wait for the bucket to refill — exactly what
+        # production callers want, and exactly wrong for this demo.  Turn
+        # retries off to observe the raw backpressure.
+        impatient = FairNNClient(server.url, retries=0)
         throttled = None
         for _ in range(200):
             try:
-                client.sample(users[0])
+                impatient.sample(users[0])
             except ServerHTTPError as exc:
                 throttled = exc
                 break
         assert throttled is not None and throttled.status == 429, "quota never engaged"
         assert throttled.retry_after is not None and throttled.retry_after >= 1
         print(f"quota exhausted: HTTP 429, Retry-After {throttled.retry_after:.0f}s")
+
+    # 7 + 8. Durable serving, graceful shutdown, restart with recovery.
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = f"{tmp}/durable"
+        durable = FairNN.from_spec(spec, name="fair").serve(
+            users, data_dir=data_dir, fsync="interval"
+        )
+
+        # A production handler must not tear the server down from inside the
+        # signal frame; it only sets a flag, and the serving loop drains.
+        drain_requested = threading.Event()
+
+        def _request_drain(signum, frame):
+            drain_requested.set()
+
+        previous = {
+            sig: signal.signal(sig, _request_drain)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+        try:
+            with FairNNServer(durable) as server:
+                client = FairNNClient(server.url)
+                assert client.healthz()["durable"] is True
+
+                # Journaled mutations: logged (and flushed) before applied.
+                # The idempotency key makes the client's retries safe.
+                inserted = client.insert(
+                    [frozenset({7000 + i, 7100 + i}) for i in range(3)]
+                )
+                client.checkpoint()  # snapshot + truncate the journaled prefix
+                client.delete(inserted["indices"][0])  # lives in the WAL suffix
+                queries = users[:10]
+                before = client.sample_batch(queries, k=2, replacement=False)
+
+                # The operator sends SIGTERM (here: to ourselves).  The loop
+                # notices the flag, stops accepting work, and the context
+                # manager exit drains in-flight requests before closing.
+                os.kill(os.getpid(), signal.SIGTERM)
+                assert drain_requested.wait(5.0), "signal handler never ran"
+            durable.close()  # fsyncs and closes the WAL
+            print("SIGTERM: drained in-flight requests, closed server and WAL")
+        finally:
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+
+        # Restart with recovery: newest checkpoint + WAL-suffix replay
+        # rebuilds the exact pre-shutdown engine (see docs/operations.md).
+        with FairNNServer.from_data_dir(data_dir) as server:
+            client = FairNNClient(server.url)
+            assert client.healthz()["durable"] is True
+            after = client.sample_batch(queries, k=2, replacement=False)
+            assert after["results"] == before["results"], "recovery diverged"
+            with server.handle.acquire() as facade:
+                recovered = facade
+        recovered.close()
+        print(f"restarted from {data_dir}: answers byte-identical")
 
     print("ok")
 

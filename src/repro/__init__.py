@@ -73,6 +73,8 @@ from repro.engine import (
     QueryResponse,
     ShardedEngine,
     ShardedLSHTables,
+    WALRecord,
+    WriteAheadLog,
     load_engine,
     save_engine,
 )
@@ -85,9 +87,15 @@ from repro.exceptions import (
     NotFittedError,
     QuotaExceededError,
     ReproError,
+    ServerTimeoutError,
     SlotOutOfRangeError,
+    SnapshotCorruptError,
+    WALCorruptError,
+    WALError,
+    WALWriteError,
     WorkerCrashedError,
 )
+from repro.testing import FaultInjector, FaultPlan
 from repro.registry import (
     DISTANCES,
     LSH_FAMILIES,
@@ -116,7 +124,7 @@ from repro.server import (
     TokenBucket,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -168,6 +176,12 @@ __all__ = [
     "QueryResponse",
     "save_engine",
     "load_engine",
+    # durability (repro.engine.wal)
+    "WriteAheadLog",
+    "WALRecord",
+    # chaos testing (repro.testing)
+    "FaultInjector",
+    "FaultPlan",
     # fairness
     "FairnessAuditor",
     "total_variation_from_uniform",
@@ -181,6 +195,11 @@ __all__ = [
     "CapacityExceededError",
     "QuotaExceededError",
     "WorkerCrashedError",
+    "WALError",
+    "WALCorruptError",
+    "WALWriteError",
+    "SnapshotCorruptError",
+    "ServerTimeoutError",
     # registries (repro.registry)
     "SAMPLERS",
     "DISTANCES",

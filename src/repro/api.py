@@ -34,9 +34,14 @@ query method takes ``sampler="name"``.
 from __future__ import annotations
 
 import json
+import os
+import pathlib
+import re
+import shutil
 import threading
+from collections import OrderedDict
 from dataclasses import replace
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -46,7 +51,16 @@ from repro.engine.dynamic import DynamicLSHTables
 from repro.engine.sharded import ShardedEngine, ShardedLSHTables
 from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
 from repro.engine.snapshot import load_engine, save_engine
-from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.engine.wal import WriteAheadLog
+from repro.exceptions import (
+    AlreadyDeletedError,
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+    SlotOutOfRangeError,
+    SnapshotCorruptError,
+    WALCorruptError,
+)
 from repro.lsh.tables import LSHTables
 from repro.spec import EngineSpec, SamplerSpec, spec_from_dict
 from repro.types import Dataset, Point
@@ -54,6 +68,19 @@ from repro.types import Dataset, Point
 __all__ = ["FairNN"]
 
 SpecLike = Union[EngineSpec, SamplerSpec, Mapping, str]
+
+#: Checkpoint directories inside ``<data_dir>/snapshots`` — named by the WAL
+#: position they cover (every record with ``seq < N`` is inside the snapshot).
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{20})$")
+
+#: Replayed-but-remembered mutation results kept for idempotent retries.
+_IDEMPOTENCY_CAP = 4096
+
+#: Checkpoints retained per data directory (newest first; older ones are the
+#: fallback when the newest fails to load).
+_CHECKPOINTS_KEPT = 2
+
+_IDEMPOTENCY_MISS = object()
 
 
 class FairNN:
@@ -80,8 +107,13 @@ class FairNN:
         self._serving = False
         # Makes a facade-level mutation (apply to the shared tables + notify
         # every engine) atomic under concurrent callers — the HTTP serving
-        # surface mutates from handler threads.
+        # surface mutates from handler threads.  Also serializes WAL appends
+        # with their applies, so the log order equals the apply order.
         self._mutation_lock = threading.Lock()
+        self._wal: Optional[WriteAheadLog] = None
+        self._data_dir: Optional[pathlib.Path] = None
+        self._idempotency: "OrderedDict[str, Any]" = OrderedDict()
+        self._recovered_records = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -193,12 +225,15 @@ class FairNN:
         long-lived applications (and the hot-swap path, which retires whole
         generations) should close retired facades promptly.  The facade
         stays usable for non-serving reads; ``fit``/``serve`` rebuild
-        engines.
+        engines.  A durable facade also fsyncs and closes its WAL.
         """
         for engine in self._engines.values():
             close = getattr(engine, "close", None)
             if close is not None:
                 close()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
 
     def capacity(self) -> Dict:
         """Raw index occupancy, the substrate of serving-layer capacity models.
@@ -282,6 +317,8 @@ class FairNN:
         shards: Optional[int] = None,
         placement: Optional[str] = None,
         executor: Optional[str] = None,
+        data_dir: Optional[Union[str, pathlib.Path]] = None,
+        fsync: Optional[str] = None,
     ) -> "FairNN":
         """Promote to a serving setup over shared (by default dynamic) tables.
 
@@ -315,17 +352,33 @@ class FairNN:
         in-flight batch with a typed
         :class:`~repro.exceptions.WorkerCrashedError` and is restarted from
         its shard snapshot with the mutation log replayed.
+
+        ``serve(data_dir=P)`` makes the facade **durable**: the directory is
+        initialized with a write-ahead log plus an immediate checkpoint, and
+        from then on every mutation is journaled (and flushed per the
+        ``fsync`` policy — see :data:`repro.engine.wal.FSYNC_POLICIES`)
+        *before* it is applied.  After a crash, :meth:`recover` rebuilds the
+        exact pre-crash engine from the newest checkpoint plus the WAL
+        suffix.  ``data_dir`` must be fresh (no prior WAL/checkpoints) —
+        resuming an existing directory is :meth:`recover`'s job, so a typo
+        cannot silently fork a mutation history.  Requires dynamic tables.
         """
         if dataset is None:
             dataset = self._dataset
         if dataset is None:
             raise NotFittedError("serve() needs a dataset (pass one or call fit first)")
-        if shards is not None or placement is not None or executor is not None:
+        if shards is not None or placement is not None or executor is not None or fsync is not None:
             self._spec = replace(
                 self._spec,
                 n_shards=self._spec.n_shards if shards is None else int(shards),
                 placement=self._spec.placement if placement is None else placement,
                 executor=self._spec.executor if executor is None else executor,
+                wal_fsync=self._spec.wal_fsync if fsync is None else fsync,
+            )
+        if data_dir is not None and not self._spec.dynamic:
+            raise InvalidParameterError(
+                "serve(data_dir=...) journals mutations; it requires dynamic tables "
+                "(EngineSpec.dynamic=True)"
             )
         self._build_samplers()
         lsh_named = self._lsh_samplers()
@@ -337,6 +390,8 @@ class FairNN:
         self._dataset = dataset
         self._serving = True
         self._make_engines()
+        if data_dir is not None:
+            self._init_data_dir(pathlib.Path(data_dir))
         return self
 
     def add_sampler(self, name: str, spec: SamplerSpec) -> "FairNN":
@@ -457,7 +512,9 @@ class FairNN:
         """Index one new point online; returns its dataset index."""
         return self.insert_many([point])[0]
 
-    def insert_many(self, points: Dataset) -> List[int]:
+    def insert_many(
+        self, points: Dataset, idempotency_key: Optional[str] = None
+    ) -> List[int]:
         """Bulk-index new points online.
 
         The mutation is applied to the shared tables once (sharded facades
@@ -472,18 +529,32 @@ class FairNN:
         immediately — no serving requirement is checked, no
         :class:`~repro.engine.dynamic.MutationDelta` is emitted, no engine
         counter moves and no sampler is re-synchronized.
+
+        On a durable facade (``serve(data_dir=...)``) the batch is appended
+        to the WAL before it is applied.  ``idempotency_key`` makes retries
+        safe: a repeated key returns the first application's indices without
+        re-inserting (the key rides inside the WAL record, so the dedup
+        window survives a crash + recovery).
         """
         points = list(points)
         if not points:
             return []
         tables = self._require_dynamic()
         with self._mutation_lock:
+            if idempotency_key is not None:
+                hit = self._idempotency_lookup(idempotency_key)
+                if hit is not _IDEMPOTENCY_MISS:
+                    return list(hit)
+            self._wal_append(
+                {"op": "insert", "points": points, "key": idempotency_key}
+            )
             indices = tables.insert_many(points)
             for engine in self._engines.values():
                 engine.note_external_mutation(inserts=len(indices))
+            self._idempotency_remember(idempotency_key, list(indices))
         return indices
 
-    def delete(self, index: int) -> None:
+    def delete(self, index: int, idempotency_key: Optional[str] = None) -> None:
         """Remove one point online (tombstone + amortized compaction).
 
         Subject to the same LSH-only restriction as :meth:`insert_many`.
@@ -491,14 +562,34 @@ class FairNN:
         :class:`~repro.exceptions.SlotOutOfRangeError` (an ``IndexError``)
         and deleting an already-tombstoned slot raises
         :class:`~repro.exceptions.AlreadyDeletedError` (a ``KeyError``);
-        both fail *before* any bookkeeping, so a failed delete never lands
-        in a mutation delta, the tombstone fraction or any engine counter.
+        both fail *before* any bookkeeping — and before any WAL append, so
+        a doomed delete is never journaled.  ``idempotency_key`` works as in
+        :meth:`insert_many`: a retried delete of a slot this facade already
+        deleted under the same key is a no-op instead of an
+        ``AlreadyDeletedError``.
         """
         tables = self._require_dynamic()
         with self._mutation_lock:
+            if idempotency_key is not None:
+                hit = self._idempotency_lookup(idempotency_key)
+                if hit is not _IDEMPOTENCY_MISS:
+                    return
+            if self._wal is not None:
+                # Mirror the table layer's validation so a delete that would
+                # fail is rejected before it lands in the journal (replay
+                # would skip it deterministically, but a clean log beats a
+                # log of known-doomed records).
+                index = int(index)
+                n = tables.num_points
+                if not 0 <= index < n:
+                    raise SlotOutOfRangeError(f"index {index} out of range [0, {n})")
+                if not tables.alive[index]:
+                    raise AlreadyDeletedError(f"point {index} was already deleted")
+            self._wal_append({"op": "delete", "index": int(index), "key": idempotency_key})
             tables.delete(index)
             for engine in self._engines.values():
                 engine.note_external_mutation(deletes=1)
+            self._idempotency_remember(idempotency_key, None)
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -556,6 +647,216 @@ class FairNN:
             facade._samplers[name] = sampler
             facade._engines[name] = facade._new_engine(name, sampler)
         return facade
+
+    # ------------------------------------------------------------------
+    # Durability (write-ahead log + checkpoints)
+    # ------------------------------------------------------------------
+    @property
+    def data_dir(self) -> Optional[pathlib.Path]:
+        """The durable data directory, when serving with one."""
+        return self._data_dir
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The mutation journal, when serving with a data directory."""
+        return self._wal
+
+    @classmethod
+    def recover(
+        cls, data_dir: Union[str, pathlib.Path], fsync: Optional[str] = None
+    ) -> "FairNN":
+        """Rebuild the exact pre-crash facade from a durable data directory.
+
+        Loads the newest checkpoint that passes validation (a checkpoint
+        that raises :class:`~repro.exceptions.SnapshotCorruptError` falls
+        back to the previous one), then replays every WAL record past that
+        checkpoint's position.  Because checkpoints persist the mutation
+        RNG stream, replaying the logical ops re-draws the same ranks the
+        live engine drew — the recovered facade serves **byte-identical**
+        answers to one that never crashed.  A torn final WAL record (the
+        residue of dying mid-append) is truncated, matching the crashed
+        process, where that mutation was never applied.
+
+        Idempotency keys ride inside WAL records, so the replay also
+        restores the retry-dedup window: a client retrying a mutation whose
+        ack was lost in the crash gets the original result, not a double
+        apply.
+
+        ``fsync`` overrides the persisted fsync policy for the recovered
+        facade (recorded back into the spec).
+        """
+        data_dir = pathlib.Path(data_dir)
+        snapshots_root = data_dir / "snapshots"
+        candidates = (
+            sorted(
+                (p for p in snapshots_root.iterdir() if _CHECKPOINT_RE.match(p.name)),
+                key=lambda p: p.name,
+                reverse=True,
+            )
+            if snapshots_root.is_dir()
+            else []
+        )
+        if not candidates:
+            raise InvalidParameterError(
+                f"{data_dir} holds no checkpoints; initialize it with "
+                "serve(data_dir=...) first"
+            )
+        facade = None
+        last_error: Optional[Exception] = None
+        for candidate in candidates:
+            try:
+                with open(candidate / "wal_position.json", "r", encoding="utf-8") as handle:
+                    position = int(json.load(handle)["next_seq"])
+                facade = cls.load(candidate)
+            except (SnapshotCorruptError, OSError, ValueError, KeyError, TypeError) as error:
+                last_error = error
+                continue
+            break
+        if facade is None:
+            raise SnapshotCorruptError(
+                f"no loadable checkpoint under {snapshots_root} "
+                f"({len(candidates)} candidate{'s' if len(candidates) != 1 else ''} tried)"
+            ) from last_error
+        try:
+            if fsync is not None:
+                facade._spec = replace(facade._spec, wal_fsync=fsync)
+            wal = WriteAheadLog.open(data_dir / "wal", fsync=facade._spec.wal_fsync)
+            replayed = 0
+            for record in wal.replay(after_seq=position - 1):
+                payload = record.payload
+                try:
+                    result = facade._apply_logged(payload)
+                except (SlotOutOfRangeError, AlreadyDeletedError):
+                    # The pre-crash apply of this record failed the same
+                    # validation after it was journaled; skipping reproduces
+                    # the pre-crash state exactly.
+                    continue
+                facade._idempotency_remember(payload.get("key"), result)
+                replayed += 1
+        except Exception:
+            facade.close()
+            raise
+        facade._data_dir = data_dir
+        facade._wal = wal
+        facade._recovered_records = replayed
+        return facade
+
+    def checkpoint(self) -> pathlib.Path:
+        """Write a durable checkpoint and truncate the journaled prefix.
+
+        Snapshots the primary engine into
+        ``<data_dir>/snapshots/checkpoint-<N>`` where ``N`` is the WAL
+        position the snapshot covers (written to a temp directory first and
+        renamed, so a crash mid-checkpoint never leaves a half checkpoint
+        under a valid name), deletes WAL segments that are now fully
+        covered, and prunes all but the newest two checkpoints.  Returns
+        the checkpoint path.
+        """
+        self._check_built()
+        if self._wal is None:
+            raise InvalidParameterError(
+                "checkpoint() requires a durable facade (serve(data_dir=...) or recover)"
+            )
+        with self._mutation_lock:
+            position = self._wal.next_seq
+            snapshots_root = self._data_dir / "snapshots"
+            snapshots_root.mkdir(parents=True, exist_ok=True)
+            final = snapshots_root / f"checkpoint-{position:020d}"
+            staging = snapshots_root / f"checkpoint-{position:020d}.tmp"
+            if staging.exists():
+                shutil.rmtree(staging)
+            save_engine(self.engine(self.primary), staging)
+            with open(staging / "wal_position.json", "w", encoding="utf-8") as handle:
+                json.dump({"next_seq": position}, handle)
+            if final.exists():
+                shutil.rmtree(final)
+            os.replace(staging, final)
+            self._wal.truncate_through(position - 1)
+            self._prune_checkpoints(snapshots_root)
+        return final
+
+    def durability(self) -> Dict:
+        """JSON-serializable durability status (``None`` fields when not durable)."""
+        wal = self._wal
+        checkpoints: List[str] = []
+        if self._data_dir is not None:
+            snapshots_root = self._data_dir / "snapshots"
+            if snapshots_root.is_dir():
+                checkpoints = sorted(
+                    p.name for p in snapshots_root.iterdir() if _CHECKPOINT_RE.match(p.name)
+                )
+        return {
+            "durable": wal is not None,
+            "data_dir": None if self._data_dir is None else str(self._data_dir),
+            "wal_fsync": self._spec.wal_fsync,
+            "wal_last_seq": None if wal is None else wal.last_seq,
+            "wal_appended_records": None if wal is None else wal.appended_records,
+            "wal_appended_bytes": None if wal is None else wal.appended_bytes,
+            "recovered_records": self._recovered_records,
+            "checkpoints": checkpoints,
+        }
+
+    def _init_data_dir(self, data_dir: pathlib.Path) -> None:
+        wal_dir = data_dir / "wal"
+        snapshots_root = data_dir / "snapshots"
+        already = (wal_dir.is_dir() and any(wal_dir.iterdir())) or (
+            snapshots_root.is_dir() and any(snapshots_root.iterdir())
+        )
+        if already:
+            raise InvalidParameterError(
+                f"data_dir {data_dir} is already initialized; resume it with "
+                "FairNN.recover(data_dir) instead of serve(data_dir=...)"
+            )
+        data_dir.mkdir(parents=True, exist_ok=True)
+        self._wal = WriteAheadLog.open(wal_dir, fsync=self._spec.wal_fsync)
+        self._data_dir = data_dir
+        # Checkpoint-0: the freshly indexed dataset.  Recovery always has a
+        # base snapshot, even if the process dies before the first explicit
+        # checkpoint.
+        self.checkpoint()
+
+    def _wal_append(self, payload: Dict) -> None:
+        if self._wal is not None:
+            self._wal.append(payload)
+
+    def _apply_logged(self, payload: Dict):
+        """Apply one journaled mutation without re-journaling it (replay path)."""
+        tables = self._require_dynamic()
+        op = payload.get("op")
+        if op == "insert":
+            indices = tables.insert_many(list(payload["points"]))
+            for engine in self._engines.values():
+                engine.note_external_mutation(inserts=len(indices))
+            return list(indices)
+        if op == "delete":
+            tables.delete(int(payload["index"]))
+            for engine in self._engines.values():
+                engine.note_external_mutation(deletes=1)
+            return None
+        raise WALCorruptError(f"unknown WAL op {op!r}")
+
+    def _idempotency_lookup(self, key: str):
+        result = self._idempotency.get(key, _IDEMPOTENCY_MISS)
+        if result is not _IDEMPOTENCY_MISS:
+            self._idempotency.move_to_end(key)
+        return result
+
+    def _idempotency_remember(self, key: Optional[str], result) -> None:
+        if key is None:
+            return
+        self._idempotency[key] = result
+        self._idempotency.move_to_end(key)
+        while len(self._idempotency) > _IDEMPOTENCY_CAP:
+            self._idempotency.popitem(last=False)
+
+    @staticmethod
+    def _prune_checkpoints(snapshots_root: pathlib.Path) -> None:
+        checkpoints = sorted(
+            (p for p in snapshots_root.iterdir() if _CHECKPOINT_RE.match(p.name)),
+            key=lambda p: p.name,
+        )
+        for stale in checkpoints[:-_CHECKPOINTS_KEPT]:
+            shutil.rmtree(stale, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # Internals

@@ -30,7 +30,11 @@ system:
   hanging) — responses still byte-identical to unsharded serving;
 * :mod:`~repro.engine.requests` — the typed request/response surface;
 * :mod:`~repro.engine.snapshot` — save/load of a fitted engine, so indexes
-  can be built offline and shipped to servers.
+  can be built offline and shipped to servers;
+* :mod:`~repro.engine.wal` — an append-only, checksummed write-ahead log of
+  mutation batches: a durable facade journals every insert/delete *before*
+  applying it, so a crashed server recovers byte-identically from its
+  newest checkpoint plus the WAL suffix (see ``docs/operations.md``).
 
 Quickstart
 ----------
@@ -51,6 +55,7 @@ from repro.engine.procpool import FaultPlan, ProcessShardedEngine, WorkerSupervi
 from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
 from repro.engine.sharded import PLACEMENTS, ShardedEngine, ShardedLSHTables
 from repro.engine.snapshot import load_engine, save_engine
+from repro.engine.wal import WALRecord, WALScanReport, WriteAheadLog
 
 __all__ = [
     "BatchQueryEngine",
@@ -68,4 +73,7 @@ __all__ = [
     "QueryResponse",
     "save_engine",
     "load_engine",
+    "WriteAheadLog",
+    "WALRecord",
+    "WALScanReport",
 ]

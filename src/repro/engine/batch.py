@@ -36,7 +36,12 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core.base import LSHNeighborSampler, NeighborSampler
 from repro.engine.dynamic import DynamicLSHTables
 from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
-from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.exceptions import (
+    AlreadyDeletedError,
+    InvalidParameterError,
+    NotFittedError,
+    SlotOutOfRangeError,
+)
 from repro.lsh.family import LSHFamily
 from repro.lsh.tables import LSHTables, point_digest
 from repro.registry import SAMPLERS
@@ -162,6 +167,7 @@ class BatchQueryEngine:
         )
         self.spec = spec
         self.stats = EngineStats()
+        self._wal = None
         self._tables_dirty = False
         # Serializes the mutate path (insert/delete/note_external_mutation)
         # and the lazy per-batch re-sync against each other: concurrent HTTP
@@ -279,6 +285,8 @@ class BatchQueryEngine:
             return []
         tables = self._dynamic_tables()
         with self._mutate_lock:
+            if self._wal is not None:
+                self._wal.append({"op": "insert", "points": points, "key": None})
             indices = tables.insert_many(points)
             self.stats.inserts += len(indices)
             if indices:
@@ -289,9 +297,32 @@ class BatchQueryEngine:
         """Remove a point online (tombstone + amortized compaction)."""
         tables = self._dynamic_tables()
         with self._mutate_lock:
+            if self._wal is not None:
+                # Mirror the table layer's validation so a doomed delete is
+                # rejected before it is journaled (see DynamicLSHTables.delete).
+                index = int(index)
+                n = tables.num_points
+                if not 0 <= index < n:
+                    raise SlotOutOfRangeError(f"index {index} out of range [0, {n})")
+                if not tables.alive[index]:
+                    raise AlreadyDeletedError(f"point {index} was already deleted")
+                self._wal.append({"op": "delete", "index": index, "key": None})
             tables.delete(index)
             self.stats.deletes += 1
             self._tables_dirty = True
+
+    def attach_wal(self, wal) -> None:
+        """Journal this engine's own mutations to *wal* before applying them.
+
+        For standalone engines (no :class:`~repro.api.FairNN` facade) this
+        provides the same log-before-apply durability contract the facade
+        gets from ``serve(data_dir=...)``: replaying the log onto the
+        snapshot the WAL position names reproduces the engine exactly.
+        Pass ``None`` to detach.  Facade-managed engines do **not** need
+        this — the facade journals at its own mutation entry points.
+        """
+        with self._mutate_lock:
+            self._wal = wal
 
     def note_external_mutation(self, inserts: int = 0, deletes: int = 0) -> None:
         """Record index mutations applied directly to the shared table layer.

@@ -62,7 +62,6 @@ import struct
 import threading
 import time
 import weakref
-from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import multiprocessing
@@ -75,6 +74,7 @@ from repro.engine.requests import QueryRequest, QueryResponse
 from repro.engine.sharded import _MERGED_CACHE_LIMIT, ShardedEngine, ShardedLSHTables
 from repro.exceptions import WorkerCrashedError
 from repro.lsh.tables import Bucket
+from repro.testing.faults import FaultPlan
 
 __all__ = ["FaultPlan", "ProcessShardedEngine", "WorkerSupervisor"]
 
@@ -86,32 +86,10 @@ _CHECKPOINT_EVERY = 192
 _HANG_SECONDS = 60.0
 
 
-@dataclass
-class FaultPlan:
-    """Deterministic crash injection for one (or every) shard worker.
-
-    Triggers are 1-based counts of protocol events observed by the worker
-    *after* the plan is installed: the worker dies while serving its
-    ``kill_after_queries``-th ``QUERY`` frame (before replying — mid-batch
-    from the parent's point of view) or right after applying its
-    ``kill_after_mutations``-th replicated mutation.  Plans are one-shot: the
-    supervisor clears a worker's plan when it handles that worker's crash,
-    so the restarted worker serves normally.
-
-    ``mode`` selects how the worker dies: ``"kill"`` (SIGKILL itself — no
-    cleanup, the hard case), ``"exit"`` (``os._exit``) or ``"hang"`` (sleep
-    past the parent's reply timeout; the supervisor treats the silence as a
-    crash and kills the process).
-    """
-
-    shard_index: Optional[int] = None
-    kill_after_queries: Optional[int] = None
-    kill_after_mutations: Optional[int] = None
-    mode: str = "kill"
-
-    def matches(self, shard_index: int) -> bool:
-        return self.shard_index is None or self.shard_index == shard_index
-
+# FaultPlan moved to repro.testing.faults in the durability PR so the chaos
+# machinery is reusable outside the process engine; re-exported above for
+# backward compatibility (``from repro.engine.procpool import FaultPlan``
+# keeps working).
 
 # ----------------------------------------------------------------------
 # Length-prefixed pickle frames
@@ -470,9 +448,19 @@ class WorkerSupervisor:
     :class:`~repro.engine.requests.EngineStats`.
     """
 
-    def __init__(self, tables: ShardedLSHTables, reply_timeout: float = 30.0):
+    def __init__(
+        self,
+        tables: ShardedLSHTables,
+        reply_timeout: float = 30.0,
+        fault_injector=None,
+    ):
         self._tables = tables
         self.reply_timeout = float(reply_timeout)
+        #: Optional :class:`repro.testing.faults.FaultInjector`; fires the
+        #: ``"proc.send"``/``"proc.recv"`` sites around every frame so chaos
+        #: tests can delay or drop IPC traffic (an injected ``OSError``
+        #: becomes a worker-crash signal, like a real dead socket).
+        self.fault_injector = fault_injector
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-posix fallback
@@ -549,16 +537,25 @@ class WorkerSupervisor:
     # ------------------------------------------------------------------
     # Framed exchanges
     # ------------------------------------------------------------------
+    def _fire(self, site: str) -> None:
+        if self.fault_injector is not None:
+            try:
+                self.fault_injector.fire(site)
+            except OSError as exc:
+                raise _WorkerGone(f"injected fault at {site}: {exc}") from exc
+
     def _send(self, shard_index: int, frame) -> None:
         worker = self._workers[shard_index]
         if worker is None:
             raise _WorkerGone(f"shard {shard_index} has no worker")
+        self._fire("proc.send")
         self.ipc_bytes_sent += _send_frame(worker.conn, frame)
 
     def _recv(self, shard_index: int):
         worker = self._workers[shard_index]
         if worker is None:
             raise _WorkerGone(f"shard {shard_index} has no worker")
+        self._fire("proc.recv")
         try:
             reply, nbytes = _recv_frame(worker.conn)
         except _WorkerGone:
@@ -596,6 +593,7 @@ class WorkerSupervisor:
                 try:
                     if worker is None:
                         raise _WorkerGone(f"shard {shard_index} has no worker")
+                    self._fire("proc.send")
                     self.ipc_bytes_sent += _send_payload(worker.conn, payload)
                     sent.append(shard_index)
                 except _WorkerGone:
@@ -784,6 +782,7 @@ class ProcessShardedEngine(ShardedEngine):
         spec=None,
         max_workers: Optional[int] = None,
         reply_timeout: float = 30.0,
+        fault_injector=None,
     ):
         super().__init__(
             sampler,
@@ -797,7 +796,9 @@ class ProcessShardedEngine(ShardedEngine):
         # Build the columnar store before export so workers attach the same
         # buffers the parent serves from.
         tables.point_store
-        self._supervisor = WorkerSupervisor(tables, reply_timeout=reply_timeout)
+        self._supervisor = WorkerSupervisor(
+            tables, reply_timeout=reply_timeout, fault_injector=fault_injector
+        )
         # Deterministic adaptive start for the rank-prefix ladder: when a
         # batch needed escalation, later batches open at the limit that
         # certified it, trading slightly larger gather replies for whole

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import pathlib
 import pickle
+import zipfile
 from typing import Dict, Hashable, List, Union
 
 import numpy as np
@@ -43,7 +44,7 @@ from repro.engine.batch import BatchQueryEngine
 from repro.engine.dynamic import DynamicLSHTables, MutationDelta
 from repro.engine.requests import EngineStats
 from repro.engine.sharded import ShardedEngine, ShardedLSHTables
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, ReproError, SnapshotCorruptError
 from repro.lsh.tables import Bucket, LSHTables
 from repro.spec import EngineSpec, SamplerSpec
 
@@ -223,6 +224,26 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
     return directory
 
 
+#: Exception types a damaged snapshot surfaces as: missing/unreadable files
+#: (``OSError``), invalid JSON (``ValueError`` subclasses), a truncated
+#: ``arrays.npz`` (``zipfile.BadZipFile`` — *not* a ``ValueError``),
+#: truncated pickles (``UnpicklingError``/``EOFError``), missing manifest or
+#: array keys (``KeyError``), and structurally wrong values
+#: (``TypeError``/``AttributeError``/``IndexError``).
+_CORRUPT_SIGNALS = (
+    OSError,
+    ValueError,
+    KeyError,
+    TypeError,
+    AttributeError,
+    IndexError,
+    EOFError,
+    ImportError,
+    pickle.UnpicklingError,
+    zipfile.BadZipFile,
+)
+
+
 def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
     """Reconstruct a :class:`BatchQueryEngine` saved by :func:`save_engine`.
 
@@ -230,8 +251,27 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
     as before, and v4 snapshots come back as
     :class:`~repro.engine.sharded.ShardedEngine` instances over the same
     partitioning.
+
+    A snapshot that cannot be loaded — missing files, truncated or
+    bit-rotted arrays, invalid JSON, pickle damage — raises
+    :class:`~repro.exceptions.SnapshotCorruptError` (with the underlying
+    failure as ``__cause__``) rather than leaking raw ``numpy``/``pickle``/
+    ``json`` exceptions; a *valid* snapshot in an unsupported format still
+    raises :class:`~repro.exceptions.InvalidParameterError`.
     """
     directory = pathlib.Path(directory)
+    try:
+        return _load_engine(directory)
+    except ReproError:
+        raise
+    except _CORRUPT_SIGNALS as error:
+        raise SnapshotCorruptError(
+            f"snapshot at {directory} is corrupt or incomplete: "
+            f"{type(error).__name__}: {error}"
+        ) from error
+
+
+def _load_engine(directory: pathlib.Path) -> BatchQueryEngine:
     with open(directory / _MANIFEST, "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
     if manifest["format_version"] not in COMPATIBLE_VERSIONS:

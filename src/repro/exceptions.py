@@ -101,6 +101,68 @@ class SlotOutOfRangeError(InvalidParameterError, IndexError):
     """
 
 
+class WALError(ReproError):
+    """Base class for write-ahead-log failures (:mod:`repro.engine.wal`)."""
+
+
+class WALCorruptError(WALError):
+    """Raised when the WAL contains damage that replay cannot repair.
+
+    A *torn tail* — a partially written final record, the normal residue of
+    a crash mid-append — is **not** corruption: the scanner detects it via
+    the length prefix / CRC, truncates it, and recovery proceeds.  This
+    error marks the other cases: a damaged record *followed by* valid data
+    (bit rot, concurrent writers, manual edits), a bad segment header, or a
+    gap in the sequence numbering.  Replaying past such damage could apply
+    a divergent mutation history, so recovery refuses instead.
+
+    Attributes
+    ----------
+    path:
+        Segment file containing the damage (``None`` for cross-segment
+        problems such as sequence gaps).
+    offset:
+        Byte offset of the damaged record within ``path``, when known.
+    """
+
+    def __init__(self, message: str, path=None, offset=None):
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+        self.offset = offset
+
+
+class WALWriteError(WALError):
+    """Raised when appending to the WAL fails (disk full, I/O error).
+
+    The durability contract is *log before apply*: when the append fails
+    the mutation is **not** applied, so the in-memory engine and the log
+    never diverge.  The HTTP layer surfaces this as ``507 Insufficient
+    Storage`` — the request may be retried after the operator frees space
+    or rotates the data directory.
+    """
+
+
+class SnapshotCorruptError(ReproError):
+    """Raised when an engine snapshot directory cannot be loaded.
+
+    Wraps the underlying failure (missing files, truncated arrays, invalid
+    JSON, pickle damage) in one typed error so operators and the recovery
+    path can treat "this checkpoint is bad, try the previous one" as a
+    single condition instead of catching raw ``numpy``/``pickle``/``json``
+    exceptions.  The original exception is preserved as ``__cause__``.
+    """
+
+
+class ServerTimeoutError(ReproError, TimeoutError):
+    """Raised when an HTTP client call exceeds its socket timeout/deadline.
+
+    Subclasses :class:`TimeoutError` so generic timeout handlers work, and
+    :class:`ReproError` so library-wide handlers keep working.  Raised by
+    :class:`~repro.server.client.FairNNClient` when a request (including
+    all retries) does not complete within the configured deadline.
+    """
+
+
 class AlreadyDeletedError(InvalidParameterError, KeyError):
     """Raised when deleting a dataset slot that is already tombstoned.
 

@@ -12,6 +12,7 @@ facade, each usable on its own:
   ``http.server`` front-end and its ``urllib`` client.
 """
 
+from repro.exceptions import ServerTimeoutError
 from repro.server.app import FairNNServer, decode_point, encode_point
 from repro.server.capacity import CapacityModel, TokenBucket
 from repro.server.client import FairNNClient, ServerHTTPError
@@ -30,6 +31,7 @@ __all__ = [
     "FairNNServer",
     "Generation",
     "ServerHTTPError",
+    "ServerTimeoutError",
     "ServingHandle",
     "SnapshotSwapper",
     "SwapInProgressError",

@@ -23,20 +23,30 @@ Endpoints
     pool) apply exactly as for an in-process ``FairNN.run``.
 ``POST /v1/mutate``
     ``{"op": "insert", "points": [...]}`` or ``{"op": "delete", "index": i}``.
+``POST /v1/mutate`` also accepts an ``"idempotency_key"`` string: a retried
+mutation carrying the same key returns the original result instead of
+applying twice (the key is journaled, so the dedup window survives a crash
+and recovery).
+
 ``POST /v1/admin/swap`` / ``GET /v1/admin/swap``
     Trigger / observe an atomic hot snapshot swap (see
     :mod:`repro.server.swap`).  Trusted-operator surface: it loads a
     snapshot directory (which unpickles hash functions and samplers), so
     deployments expose it only inside the trust boundary — optionally
     fenced to a configured ``snapshot_root``.
+``POST /v1/admin/checkpoint``
+    Write a durable checkpoint of the serving facade and truncate the
+    journaled WAL prefix (requires a facade served with a ``data_dir``).
 
 Error mapping: the typed mutation errors surface as 4xx —
 :class:`~repro.exceptions.SlotOutOfRangeError` → 404,
 :class:`~repro.exceptions.AlreadyDeletedError` → 410,
-:class:`~repro.exceptions.InvalidParameterError` → 400 — and admission
+:class:`~repro.exceptions.InvalidParameterError` → 400 — admission
 failures (:class:`~repro.exceptions.CapacityExceededError` /
 :class:`~repro.exceptions.QuotaExceededError`) → 429 with a ``Retry-After``
-header.
+header, and a failed WAL append
+(:class:`~repro.exceptions.WALWriteError`; the mutation was **not**
+applied) → 507 Insufficient Storage.
 
 Wire format for points: JSON arrays.  Set-valued datasets decode arrays as
 ``frozenset`` of ints; dense datasets as float64 vectors (JSON floats
@@ -64,6 +74,7 @@ from repro.exceptions import (
     QuotaExceededError,
     ReproError,
     SlotOutOfRangeError,
+    WALWriteError,
     WorkerCrashedError,
 )
 from repro.server.capacity import CapacityModel
@@ -145,6 +156,11 @@ def _map_exception(exc: Exception) -> _HTTPError:
         # A shard worker died mid-batch; the supervisor has already
         # restarted it, so the condition is transient — retryable.
         return _HTTPError(503, str(exc), retry_after=1.0)
+    if isinstance(exc, WALWriteError):
+        # The journal append failed (disk full, I/O error); the mutation was
+        # NOT applied.  507 Insufficient Storage: retry after the operator
+        # frees space — not a client error and not an engine crash.
+        return _HTTPError(507, str(exc))
     if isinstance(exc, InvalidParameterError):
         return _HTTPError(400, str(exc))
     if isinstance(exc, ReproError):
@@ -294,10 +310,24 @@ class FairNNServer:
             ("POST", "/v1/sample_batch"): self._handle_sample_batch,
             ("POST", "/v1/mutate"): self._handle_mutate,
             ("POST", "/v1/admin/swap"): self._handle_swap,
+            ("POST", "/v1/admin/checkpoint"): self._handle_checkpoint,
         }
         self._httpd = _ServerCore((host, port), _Handler)
         self._httpd.app = self
         self._thread: Optional[threading.Thread] = None
+
+    @classmethod
+    def from_data_dir(
+        cls, data_dir, fsync: Optional[str] = None, **kwargs
+    ) -> "FairNNServer":
+        """Boot a server by recovering the facade from a durable data directory.
+
+        ``FairNN.recover(data_dir)`` rebuilds the exact pre-crash engine
+        (newest valid checkpoint + WAL-suffix replay — including the
+        idempotency dedup window), then the server fronts it as usual.
+        Remaining keyword arguments go to the constructor.
+        """
+        return cls(FairNN.recover(data_dir, fsync=fsync), **kwargs)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -367,6 +397,7 @@ class FairNNServer:
                 "primary": nn.primary,
                 "sharded": nn.is_sharded,
                 "n_shards": nn.n_shards,
+                "durable": nn.wal is not None,
                 "version": repro.__version__,
             }
 
@@ -451,6 +482,13 @@ class FairNNServer:
             raise InvalidParameterError(
                 f'POST /v1/mutate requires "op" of "insert" or "delete", got {op!r}'
             )
+        idempotency_key = body.get("idempotency_key")
+        if idempotency_key is not None and (
+            not isinstance(idempotency_key, str) or not idempotency_key
+        ):
+            raise InvalidParameterError(
+                '"idempotency_key" must be a non-empty string when present'
+            )
         self.capacity.enter_request()
         try:
             with self.handle.acquire() as nn:
@@ -463,7 +501,7 @@ class FairNNServer:
                     self.capacity.admit_insert(len(points), nn.capacity())
                     kind = point_kind(nn)
                     decoded = [decode_point(point, kind) for point in points]
-                    indices = nn.insert_many(decoded)
+                    indices = nn.insert_many(decoded, idempotency_key=idempotency_key)
                     return 200, {
                         "op": "insert",
                         "indices": [int(i) for i in indices],
@@ -472,7 +510,7 @@ class FairNNServer:
                 index = body.get("index")
                 if not isinstance(index, int) or isinstance(index, bool):
                     raise InvalidParameterError('delete requires an integer "index"')
-                nn.delete(index)
+                nn.delete(index, idempotency_key=idempotency_key)
                 return 200, {
                     "op": "delete",
                     "index": index,
@@ -510,6 +548,20 @@ class FairNNServer:
         if report["status"] != "completed":
             return 409, report
         return 200, report
+
+    def _handle_checkpoint(self, body: Dict) -> Tuple[int, Dict]:
+        """Write a durable checkpoint (trusted-operator surface, like swap).
+
+        Requires the serving facade to be durable (booted via
+        ``serve(data_dir=...)`` or :meth:`from_data_dir`); 400 otherwise.
+        """
+        with self.handle.acquire() as nn:
+            path = nn.checkpoint()
+            return 200, {
+                "status": "completed",
+                "checkpoint": str(path),
+                "durability": nn.durability(),
+            }
 
     # ------------------------------------------------------------------
     def _resolve_sampler(self, nn: FairNN, body: Dict) -> str:

@@ -5,10 +5,37 @@ the serving surface without third-party dependencies.  Error responses are
 raised as :class:`ServerHTTPError`, carrying the HTTP status, the server's
 error message, and the parsed ``Retry-After`` hint (for 429 backpressure).
 
+Timeouts and retries
+--------------------
+
+Every request carries an explicit per-attempt socket timeout (``timeout``,
+default **30 seconds**) — the client never hangs indefinitely on a stuck
+server.  A socket-level timeout surfaces as the typed
+:class:`~repro.exceptions.ServerTimeoutError` (which also subclasses the
+builtin :class:`TimeoutError`).
+
+Transient failures are retried with exponential backoff and full jitter:
+
+* HTTP 429 (admission rejected) and 503 (draining / swap in flight) are
+  retried for **every** request, sleeping at least the server's
+  ``Retry-After`` hint when one is present.
+* Network errors and socket timeouts are retried for idempotent requests:
+  all GETs, and mutations (each logical ``insert``/``delete`` call
+  auto-generates one idempotency key that is reused across its retries, so
+  a retried mutation that already landed is deduplicated server-side
+  rather than applied twice).  ``sample``/``sample_batch`` POSTs are *not*
+  retried on network errors — a lost response may mean the server already
+  drew from its sampler RNG, and silently re-drawing would break
+  reproducibility.  Callers who don't care can simply call again.
+
+An optional overall ``deadline`` (seconds, across all attempts of one
+logical call) bounds total latency; when it expires mid-backoff the client
+raises :class:`~repro.exceptions.ServerTimeoutError` instead of sleeping.
+
 Usage::
 
     with FairNNServer(nn) as server:
-        client = FairNNClient(server.url)
+        client = FairNNClient(server.url, timeout=5.0, deadline=20.0)
         client.healthz()["status"]               # "ok"
         client.sample([0.1, 0.2])["index"]
         client.sample_batch([[0.1, 0.2], [0.3, 0.4]], k=3, replacement=False)
@@ -17,14 +44,21 @@ Usage::
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional, Sequence
+import uuid
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.exceptions import ServerTimeoutError
 from repro.server.app import encode_point
 from repro.types import Point
 
 __all__ = ["FairNNClient", "ServerHTTPError"]
+
+#: HTTP statuses that signal a transient server condition worth retrying.
+_RETRY_STATUSES = frozenset({429, 503})
 
 
 class ServerHTTPError(Exception):
@@ -45,15 +79,122 @@ class ServerHTTPError(Exception):
         self.payload = payload if payload is not None else {}
 
 
-class FairNNClient:
-    """Client for one server base URL (e.g. ``http://127.0.0.1:8420``)."""
+def _is_timeout(error: BaseException) -> bool:
+    """Whether ``error`` is a socket timeout (possibly wrapped by urllib)."""
+    if isinstance(error, TimeoutError):
+        return True
+    if isinstance(error, urllib.error.URLError):
+        return isinstance(error.reason, TimeoutError)
+    return False
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+
+class FairNNClient:
+    """Client for one server base URL (e.g. ``http://127.0.0.1:8420``).
+
+    :param base_url: server root, e.g. ``http://127.0.0.1:8420``.
+    :param timeout: per-attempt socket timeout in seconds (default 30.0).
+        Applies to connect and to each blocking read.
+    :param deadline: optional overall budget in seconds for one logical
+        call, across all of its retry attempts and backoff sleeps.  ``None``
+        (the default) bounds each attempt only by ``timeout``.
+    :param retries: how many *additional* attempts to make after the first
+        one fails transiently (so ``retries=2`` means up to 3 attempts).
+    :param backoff: base backoff in seconds; attempt ``n`` sleeps a uniform
+        random amount in ``[0, backoff * 2**n]`` (full jitter), floored by
+        the server's ``Retry-After`` hint and capped at ``backoff_cap``.
+    :param sleep: injectable sleep function (tests pass a recorder).
+    :param rng: injectable :class:`random.Random` for jitter (tests pass a
+        seeded instance).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        deadline: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.2,
+        backoff_cap: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.deadline = None if deadline is None else float(deadline)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        retry_network: Optional[bool] = None,
+    ) -> Dict:
+        """Issue one logical request, retrying transient failures.
+
+        ``retry_network`` controls whether network errors / socket timeouts
+        are retried (HTTP 429/503 always are).  It defaults to ``True`` for
+        GETs and ``False`` for POSTs; mutation methods opt in explicitly
+        because their idempotency keys make blind retries safe.
+        """
+        if retry_network is None:
+            retry_network = method == "GET"
+        deadline_at = (
+            None if self.deadline is None else time.monotonic() + self.deadline
+        )
+        attempt = 0
+        while True:
+            attempt_timeout = self.timeout
+            if deadline_at is not None:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0:
+                    raise ServerTimeoutError(
+                        f"deadline of {self.deadline}s exhausted before "
+                        f"attempt {attempt + 1} of {method} {path}"
+                    )
+                attempt_timeout = min(attempt_timeout, remaining)
+            retry_after: Optional[float] = None
+            try:
+                return self._request_once(method, path, body, attempt_timeout)
+            except ServerHTTPError as exc:
+                if exc.status not in _RETRY_STATUSES or attempt >= self.retries:
+                    raise
+                retry_after = exc.retry_after
+            except (urllib.error.URLError, TimeoutError) as exc:
+                if _is_timeout(exc):
+                    if not retry_network or attempt >= self.retries:
+                        raise ServerTimeoutError(
+                            f"{method} {path} timed out after "
+                            f"{attempt_timeout:.1f}s (attempt {attempt + 1})"
+                        ) from exc
+                elif not retry_network or attempt >= self.retries:
+                    raise
+            # Full jitter: uniform in [0, backoff * 2**attempt], floored by
+            # the server's Retry-After hint, capped, and never past the
+            # deadline.
+            delay = self._rng.uniform(0.0, self.backoff * (2**attempt))
+            if retry_after is not None:
+                delay = max(delay, retry_after)
+            delay = min(delay, self.backoff_cap)
+            if deadline_at is not None:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= delay:
+                    raise ServerTimeoutError(
+                        f"deadline of {self.deadline}s exhausted while backing "
+                        f"off before retrying {method} {path}"
+                    )
+            if delay > 0:
+                self._sleep(delay)
+            attempt += 1
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[Dict], timeout: float
+    ) -> Dict:
         url = f"{self.base_url}{path}"
         data = None if body is None else json.dumps(body).encode("utf-8")
         request = urllib.request.Request(
@@ -63,7 +204,7 @@ class FairNNClient:
             headers={"Content-Type": "application/json"} if data is not None else {},
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
             raw = exc.read()
@@ -137,13 +278,25 @@ class FairNNClient:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def insert(self, points: Sequence[Point]) -> Dict:
-        return self._request(
-            "POST", "/v1/mutate", {"op": "insert", "points": self._encode(points)}
-        )
+    def insert(
+        self, points: Sequence[Point], idempotency_key: Optional[str] = None
+    ) -> Dict:
+        """Insert ``points``; safe to retry thanks to the idempotency key.
 
-    def delete(self, index: int) -> Dict:
-        return self._request("POST", "/v1/mutate", {"op": "delete", "index": int(index)})
+        A fresh ``uuid4`` key is generated when none is given, and the same
+        key is reused across this call's internal retries — a retried insert
+        whose first attempt actually landed returns the original slot
+        indices instead of inserting twice.
+        """
+        key = idempotency_key if idempotency_key is not None else str(uuid.uuid4())
+        body = {"op": "insert", "points": self._encode(points), "idempotency_key": key}
+        return self._request("POST", "/v1/mutate", body, retry_network=True)
+
+    def delete(self, index: int, idempotency_key: Optional[str] = None) -> Dict:
+        """Delete slot ``index``; safe to retry thanks to the idempotency key."""
+        key = idempotency_key if idempotency_key is not None else str(uuid.uuid4())
+        body = {"op": "delete", "index": int(index), "idempotency_key": key}
+        return self._request("POST", "/v1/mutate", body, retry_network=True)
 
     # ------------------------------------------------------------------
     # Admin
@@ -159,3 +312,7 @@ class FairNNClient:
         if probes is not None:
             body["probes"] = self._encode(probes)
         return self._request("POST", "/v1/admin/swap", body)
+
+    def checkpoint(self) -> Dict:
+        """Ask a durable server to write a checkpoint and truncate its WAL."""
+        return self._request("POST", "/v1/admin/checkpoint", {})

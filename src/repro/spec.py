@@ -59,6 +59,12 @@ _PLACEMENTS = ("round_robin", "hash")
 #: shared memory (:class:`repro.engine.procpool.ProcessShardedEngine`).
 _EXECUTORS = ("thread", "process")
 
+#: Write-ahead-log fsync policies an :class:`EngineSpec` may name (kept in
+#: sync with :data:`repro.engine.wal.FSYNC_POLICIES`): ``"always"`` fsyncs
+#: every append, ``"interval"`` flushes every append and fsyncs
+#: opportunistically, ``"off"`` only flushes to the OS page cache.
+_FSYNC_POLICIES = ("always", "interval", "off")
+
 
 def _checked_params(params: Mapping[str, Any], owner: str) -> Dict[str, Any]:
     """Validate and normalize a spec's parameter mapping.
@@ -314,6 +320,14 @@ class EngineSpec(_JsonRoundTrip):
         adds crash isolation and typed
         :class:`~repro.exceptions.WorkerCrashedError` failure semantics.
         Requires ``dynamic=True``.
+    wal_fsync:
+        Fsync policy the write-ahead log uses when :meth:`~repro.api.
+        FairNN.serve` is given a ``data_dir``: ``"always"`` (fsync every
+        append — survives power loss), ``"interval"`` (the default; flush
+        every append, fsync opportunistically — survives process crash) or
+        ``"off"`` (flush only).  Ignored when serving without a data
+        directory; persisted in snapshots so a recovered engine keeps its
+        durability configuration.
     """
 
     samplers: Dict[str, SamplerSpec] = field(default_factory=dict)
@@ -325,6 +339,7 @@ class EngineSpec(_JsonRoundTrip):
     n_shards: int = 1
     placement: str = "round_robin"
     executor: str = "thread"
+    wal_fsync: str = "interval"
 
     def __post_init__(self) -> None:
         if not isinstance(self.samplers, Mapping) or not self.samplers:
@@ -366,6 +381,10 @@ class EngineSpec(_JsonRoundTrip):
                 "EngineSpec.executor='process' requires dynamic=True "
                 "(shard workers replicate the dynamic mutation stream)"
             )
+        if self.wal_fsync not in _FSYNC_POLICIES:
+            raise InvalidParameterError(
+                f"EngineSpec.wal_fsync must be one of {_FSYNC_POLICIES}, got {self.wal_fsync!r}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -392,6 +411,7 @@ class EngineSpec(_JsonRoundTrip):
             "n_shards": self.n_shards,
             "placement": self.placement,
             "executor": self.executor,
+            "wal_fsync": self.wal_fsync,
         }
 
     @classmethod
@@ -409,6 +429,7 @@ class EngineSpec(_JsonRoundTrip):
                 "n_shards",
                 "placement",
                 "executor",
+                "wal_fsync",
             ),
             "EngineSpec",
         )
@@ -425,6 +446,7 @@ class EngineSpec(_JsonRoundTrip):
             n_shards=int(data.get("n_shards", 1)),
             placement=data.get("placement", "round_robin"),
             executor=data.get("executor", "thread"),
+            wal_fsync=data.get("wal_fsync", "interval"),
         )
 
 

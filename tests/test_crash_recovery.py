@@ -1,0 +1,478 @@
+"""Crash recovery: checkpoint + WAL replay is byte-identical to never crashing.
+
+The durability contract of ``FairNN.serve(data_dir=...)`` is pinned here end
+to end, for all three executors (unsharded, thread-sharded, process-sharded):
+
+* apply a random interleaving of insert/delete batches, kill the facade at a
+  random point (simulated crash: the WAL flushes per append, so dropping the
+  process loses nothing), then :meth:`FairNN.recover` — the recovered facade
+  answers **byte-identically** to a reference facade that applied the same
+  mutation prefix and never crashed, and keeps doing so as both sides apply
+  the rest of the history;
+* a **torn final WAL record** (death mid-append) is truncated on recovery:
+  the recovered facade matches a reference that never saw that mutation —
+  which is exactly what the crashed process applied;
+* a real ``SIGKILL``-ed child process leaves a directory the parent recovers
+  from (no simulation shortcuts);
+* mid-history checkpoints only shorten replay, never change the answers;
+* idempotency keys ride inside WAL records, so the retry-dedup window
+  survives the crash;
+* RNG-backed samplers (whose query stream is not journaled) still recover
+  **deterministically**: two recoveries of the same directory are identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import FairNN
+from repro.engine.requests import QueryRequest
+from repro.exceptions import InvalidParameterError, SnapshotCorruptError
+from repro.spec import LSHSpec, SamplerSpec
+from repro.testing import tear_tail
+
+SEED = 7
+PARAMS = {"radius": 0.35, "num_hashes": 2, "num_tables": 6}
+
+
+def _spec(sampler="permutation", seed=SEED):
+    return SamplerSpec(sampler, dict(PARAMS), lsh=LSHSpec("minhash"), seed=seed)
+
+
+def _dataset(seed=2, n=30):
+    rng = np.random.default_rng(seed)
+    return [
+        frozenset(int(x) for x in rng.choice(300, size=rng.integers(8, 20)))
+        for _ in range(n)
+    ]
+
+
+def _gen_ops(rng, pool, n_ops, initial_count):
+    """A valid random mutation history: inserts from ``pool``, live deletes."""
+    count, dead, ops = initial_count, set(), []
+    for _ in range(n_ops):
+        if count - len(dead) > 3 and rng.random() < 0.4:
+            while True:
+                index = int(rng.integers(0, count))
+                if index not in dead:
+                    break
+            dead.add(index)
+            ops.append(("delete", index))
+        else:
+            batch = [pool[int(i)] for i in rng.integers(0, len(pool), size=rng.integers(1, 4))]
+            ops.append(("insert", batch))
+            count += len(batch)
+    return ops
+
+
+def _apply(nn, ops):
+    for op in ops:
+        if op[0] == "insert":
+            nn.insert_many(op[1])
+        else:
+            nn.delete(op[1])
+
+
+def _assert_byte_identical(left, right, queries):
+    requests = [QueryRequest(query=q, k=3, replacement=False) for q in queries]
+    for a, b in zip(left.run(requests), right.run(requests)):
+        assert a.indices == b.indices
+        assert a.value == b.value
+        assert a.stats == b.stats
+
+
+EXECUTOR_KWARGS = {
+    "unsharded": {},
+    "thread": {"shards": 2},
+    "process": {"shards": 2, "executor": "process"},
+}
+
+#: (executor, history seed) — the process executor gets fewer seeds because
+#: each case spawns six worker processes (3 facades x 2 shards).
+CASES = [
+    ("unsharded", 0),
+    ("unsharded", 1),
+    ("unsharded", 2),
+    ("thread", 0),
+    ("thread", 1),
+    ("thread", 2),
+    ("process", 0),
+    ("process", 1),
+]
+
+
+# ----------------------------------------------------------------------
+# The core property: random history x random kill point, every executor
+# ----------------------------------------------------------------------
+class TestRandomKillPoint:
+    @pytest.mark.parametrize("executor,seed", CASES)
+    def test_recovery_is_byte_identical(self, executor, seed, tmp_path):
+        rng = np.random.default_rng(100 + seed)
+        dataset = _dataset(seed=seed)
+        pool = _dataset(seed=1000 + seed, n=20)
+        ops = _gen_ops(rng, pool, n_ops=12, initial_count=len(dataset))
+        kill = int(rng.integers(1, len(ops) + 1))
+        checkpoint_at = int(rng.integers(0, kill))
+        queries = dataset[:5] + pool[:3]
+        kwargs = EXECUTOR_KWARGS[executor]
+
+        nn = FairNN.from_spec(_spec()).serve(
+            dataset, data_dir=tmp_path / "d", fsync="off", **kwargs
+        )
+        try:
+            _apply(nn, ops[:checkpoint_at])
+            nn.checkpoint()
+            _apply(nn, ops[checkpoint_at:kill])
+        finally:
+            # Simulated kill: per-append flush means a dead process loses
+            # nothing the OS already holds; close() only releases resources.
+            nn.close()
+
+        recovered = FairNN.recover(tmp_path / "d")
+        reference = FairNN.from_spec(_spec()).serve(dataset, **kwargs)
+        try:
+            _apply(reference, ops[:kill])
+            _assert_byte_identical(recovered, reference, queries)
+            # The recovered facade is a full serving facade: applying the
+            # rest of the history keeps it in lockstep.
+            _apply(recovered, ops[kill:])
+            _apply(reference, ops[kill:])
+            _assert_byte_identical(recovered, reference, queries)
+        finally:
+            recovered.close()
+            reference.close()
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_property_random_interleavings(self, data):
+        """Hypothesis sweep over histories, kill points and checkpoints."""
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        n_ops = data.draw(st.integers(1, 14), label="n_ops")
+        rng = np.random.default_rng(seed)
+        dataset = _dataset(seed=seed % 97)
+        pool = _dataset(seed=5000 + seed % 97, n=15)
+        ops = _gen_ops(rng, pool, n_ops=n_ops, initial_count=len(dataset))
+        kill = data.draw(st.integers(1, len(ops)), label="kill")
+        checkpoint_at = data.draw(st.integers(0, kill), label="checkpoint_at")
+        queries = dataset[:4] + pool[:2]
+
+        tmp = Path(tempfile.mkdtemp(prefix="crash-recovery-"))
+        recovered = reference = None
+        try:
+            nn = FairNN.from_spec(_spec()).serve(
+                dataset, data_dir=tmp / "d", fsync="off"
+            )
+            try:
+                _apply(nn, ops[:checkpoint_at])
+                nn.checkpoint()
+                _apply(nn, ops[checkpoint_at:kill])
+            finally:
+                nn.close()
+            recovered = FairNN.recover(tmp / "d")
+            reference = FairNN.from_spec(_spec()).serve(dataset)
+            _apply(reference, ops[:kill])
+            _assert_byte_identical(recovered, reference, queries)
+        finally:
+            if recovered is not None:
+                recovered.close()
+            if reference is not None:
+                reference.close()
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Torn final record: the crash residue the WAL exists for
+# ----------------------------------------------------------------------
+class TestTornFinalRecord:
+    @pytest.mark.parametrize("executor", sorted(EXECUTOR_KWARGS))
+    def test_torn_tail_recovers_to_previous_mutation(self, executor, tmp_path):
+        rng = np.random.default_rng(9)
+        dataset = _dataset(seed=4)
+        pool = _dataset(seed=1004, n=20)
+        ops = _gen_ops(rng, pool, n_ops=10, initial_count=len(dataset))
+        queries = dataset[:5] + pool[:3]
+        kwargs = EXECUTOR_KWARGS[executor]
+
+        nn = FairNN.from_spec(_spec()).serve(
+            dataset, data_dir=tmp_path / "d", fsync="off", **kwargs
+        )
+        try:
+            _apply(nn, ops)
+        finally:
+            nn.close()
+        # Die mid-append of the final record: shear a few bytes off the tail.
+        last_segment = sorted((tmp_path / "d" / "wal").iterdir())[-1]
+        tear_tail(last_segment, 5)
+
+        recovered = FairNN.recover(tmp_path / "d")
+        reference = FairNN.from_spec(_spec()).serve(dataset, **kwargs)
+        try:
+            _apply(reference, ops[:-1])  # the torn mutation never applied
+            _assert_byte_identical(recovered, reference, queries)
+            # The repaired WAL accepts new mutations (the torn record's
+            # sequence number is reused) and stays in lockstep.
+            _apply(recovered, ops[-1:])
+            _apply(reference, ops[-1:])
+            _assert_byte_identical(recovered, reference, queries)
+        finally:
+            recovered.close()
+            reference.close()
+
+
+# ----------------------------------------------------------------------
+# A real SIGKILL, not a simulation
+# ----------------------------------------------------------------------
+_CHILD_SCRIPT = """
+import json, os, signal, sys
+from repro import FairNN
+from repro.spec import LSHSpec, SamplerSpec
+
+with open(sys.argv[2]) as handle:
+    job = json.load(handle)
+dataset = [frozenset(point) for point in job["dataset"]]
+spec = SamplerSpec(
+    "permutation", job["params"], lsh=LSHSpec("minhash"), seed=job["seed"]
+)
+nn = FairNN.from_spec(spec).serve(dataset, data_dir=sys.argv[1], fsync="off")
+for op in job["ops"]:
+    if op[0] == "insert":
+        nn.insert_many([frozenset(point) for point in op[1]])
+    else:
+        nn.delete(op[1])
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+
+class TestRealSigkill:
+    def test_parent_recovers_sigkilled_child(self, tmp_path):
+        rng = np.random.default_rng(21)
+        dataset = _dataset(seed=5)
+        pool = _dataset(seed=1005, n=15)
+        ops = _gen_ops(rng, pool, n_ops=8, initial_count=len(dataset))
+        job = {
+            "dataset": [sorted(point) for point in dataset],
+            "ops": [
+                [op[0], [sorted(p) for p in op[1]]] if op[0] == "insert" else list(op)
+                for op in ops
+            ],
+            "params": PARAMS,
+            "seed": SEED,
+        }
+        job_path = tmp_path / "job.json"
+        job_path.write_text(json.dumps(job))
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", _CHILD_SCRIPT, str(tmp_path / "d"), str(job_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+
+        recovered = FairNN.recover(tmp_path / "d")
+        reference = FairNN.from_spec(_spec()).serve(dataset)
+        try:
+            _apply(reference, ops)
+            _assert_byte_identical(recovered, reference, dataset[:5] + pool[:3])
+        finally:
+            recovered.close()
+            reference.close()
+
+
+# ----------------------------------------------------------------------
+# Durable-facade surface: guard rails, idempotency, checkpoints
+# ----------------------------------------------------------------------
+class TestDurableFacade:
+    def test_serve_requires_fresh_directory(self, tmp_path):
+        dataset = _dataset()
+        nn = FairNN.from_spec(_spec()).serve(dataset, data_dir=tmp_path / "d")
+        nn.close()
+        with pytest.raises(InvalidParameterError, match="recover"):
+            FairNN.from_spec(_spec()).serve(dataset, data_dir=tmp_path / "d")
+
+    def test_serve_data_dir_requires_dynamic_tables(self, tmp_path):
+        spec = dataclasses.replace(
+            repro.EngineSpec(samplers={"permutation": _spec()}), dynamic=False
+        )
+        with pytest.raises(InvalidParameterError, match="dynamic"):
+            FairNN.from_spec(spec).serve(_dataset(), data_dir=tmp_path / "d")
+
+    def test_recover_empty_directory_raises(self, tmp_path):
+        with pytest.raises((InvalidParameterError, SnapshotCorruptError)):
+            FairNN.recover(tmp_path / "nothing-here")
+
+    def test_invalid_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="fsync"):
+            FairNN.from_spec(_spec()).serve(
+                _dataset(), data_dir=tmp_path / "d", fsync="sometimes"
+            )
+
+    def test_idempotency_window_survives_recovery(self, tmp_path):
+        dataset = _dataset()
+        extra = _dataset(seed=77, n=3)
+        nn = FairNN.from_spec(_spec()).serve(
+            dataset, data_dir=tmp_path / "d", fsync="off"
+        )
+        try:
+            first = nn.insert_many(extra, idempotency_key="retry-me")
+            assert nn.insert_many(extra, idempotency_key="retry-me") == first
+        finally:
+            nn.close()
+        recovered = FairNN.recover(tmp_path / "d")
+        try:
+            # The ack was lost in the crash; the client retries the same key
+            # and gets the original slots, not a second insert.
+            assert recovered.insert_many(extra, idempotency_key="retry-me") == first
+            assert recovered.num_live_points == len(dataset) + len(extra)
+        finally:
+            recovered.close()
+
+    def test_delete_idempotency_key(self, tmp_path):
+        nn = FairNN.from_spec(_spec()).serve(
+            _dataset(), data_dir=tmp_path / "d", fsync="off"
+        )
+        try:
+            before = nn.num_live_points
+            nn.delete(3, idempotency_key="del-3")
+            nn.delete(3, idempotency_key="del-3")  # deduped, no AlreadyDeleted
+            assert nn.num_live_points == before - 1
+        finally:
+            nn.close()
+
+    def test_doomed_delete_is_never_journaled(self, tmp_path):
+        dataset = _dataset()
+        nn = FairNN.from_spec(_spec()).serve(
+            dataset, data_dir=tmp_path / "d", fsync="off"
+        )
+        try:
+            journaled = nn.wal.appended_records
+            with pytest.raises(repro.SlotOutOfRangeError):
+                nn.delete(10_000)
+            nn.delete(0)
+            with pytest.raises(repro.AlreadyDeletedError):
+                nn.delete(0)
+            assert nn.wal.appended_records == journaled + 1  # only the valid one
+        finally:
+            nn.close()
+
+    def test_checkpoint_truncates_and_rotates(self, tmp_path):
+        dataset = _dataset()
+        pool = _dataset(seed=42, n=10)
+        nn = FairNN.from_spec(_spec()).serve(
+            dataset, data_dir=tmp_path / "d", fsync="off"
+        )
+        try:
+            _apply(nn, _gen_ops(np.random.default_rng(0), pool, 6, len(dataset)))
+            nn.checkpoint()
+            nn.insert_many(pool[:4])
+            nn.checkpoint()
+            report = nn.durability()
+            assert report["durable"] is True
+            assert report["wal_fsync"] == "off"
+            # Only the newest two checkpoints are kept.
+            assert len(report["checkpoints"]) == 2
+            live = nn.num_live_points
+        finally:
+            nn.close()
+        recovered = FairNN.recover(tmp_path / "d")
+        try:
+            assert recovered.num_live_points == live
+        finally:
+            recovered.close()
+
+    def test_durability_reporting_without_data_dir(self):
+        nn = FairNN.from_spec(_spec()).serve(_dataset())
+        try:
+            assert nn.durability()["durable"] is False
+            assert nn.wal is None
+            assert nn.data_dir is None
+        finally:
+            nn.close()
+
+
+# ----------------------------------------------------------------------
+# RNG-backed samplers: determinism of recovery itself
+# ----------------------------------------------------------------------
+class TestRNGSamplerRecovery:
+    def test_two_recoveries_are_identical(self, tmp_path):
+        """The query RNG is not journaled, so an RNG-backed sampler cannot
+        promise byte-identity with an uninterrupted twin that also served
+        queries — but recovery itself must be deterministic: recovering the
+        same directory twice yields facades in the exact same state."""
+        dataset = _dataset(seed=6)
+        pool = _dataset(seed=1006, n=10)
+        ops = _gen_ops(np.random.default_rng(3), pool, 8, len(dataset))
+        nn = FairNN.from_spec(_spec(sampler="independent")).serve(
+            dataset, data_dir=tmp_path / "d", fsync="off"
+        )
+        try:
+            _apply(nn, ops[:5])
+            nn.checkpoint()
+            _apply(nn, ops[5:])
+            nn.run(dataset[:4])  # consumes query RNG; not journaled, on purpose
+        finally:
+            nn.close()
+
+        queries = dataset[:6] + pool[:2]
+        first = FairNN.recover(tmp_path / "d")
+        try:
+            first_answers = [r.indices for r in first.run(
+                [QueryRequest(query=q, k=3, replacement=True) for q in queries]
+            )]
+        finally:
+            first.close()
+        second = FairNN.recover(tmp_path / "d")
+        try:
+            second_answers = [r.indices for r in second.run(
+                [QueryRequest(query=q, k=3, replacement=True) for q in queries]
+            )]
+        finally:
+            second.close()
+        assert first_answers == second_answers
+
+    def test_rng_sampler_matches_reference_when_queries_follow_recovery(
+        self, tmp_path
+    ):
+        """With no pre-crash queries, even an RNG-backed sampler recovers
+        byte-identically: mutations are replayed from the journal and the
+        query RNG stream starts from the persisted state."""
+        dataset = _dataset(seed=8)
+        pool = _dataset(seed=1008, n=10)
+        ops = _gen_ops(np.random.default_rng(4), pool, 8, len(dataset))
+        nn = FairNN.from_spec(_spec(sampler="independent")).serve(
+            dataset, data_dir=tmp_path / "d", fsync="off"
+        )
+        try:
+            _apply(nn, ops)
+        finally:
+            nn.close()
+        recovered = FairNN.recover(tmp_path / "d")
+        reference = FairNN.from_spec(_spec(sampler="independent")).serve(dataset)
+        try:
+            _apply(reference, ops)
+            _assert_byte_identical(recovered, reference, dataset[:5])
+        finally:
+            recovered.close()
+            reference.close()

@@ -203,7 +203,11 @@ class TestServerMapsCrashTo503:
         engine = nn.engine("permutation")
         assert isinstance(engine, ProcessShardedEngine)
         with FairNNServer(nn) as server:
-            client = FairNNClient(server.url)
+            # The default client would *retry* the 503 (it is sent with
+            # Retry-After: 1 precisely because the supervisor has already
+            # restarted the shard) and succeed transparently; observe the
+            # raw status with retries off.
+            client = FairNNClient(server.url, retries=0)
             queries = list(small_set_dataset)[:3]
             baseline = client.sample_batch(queries)
             engine.inject_fault(FaultPlan(shard_index=0, kill_after_queries=1))

@@ -1,0 +1,321 @@
+"""HTTP durability surface + client retry/timeout semantics.
+
+Server side: a durable facade behind :class:`FairNNServer` journals every
+``/v1/mutate``, honors idempotency keys over the wire, checkpoints on
+``POST /v1/admin/checkpoint``, reboots byte-identically via
+:meth:`FairNNServer.from_data_dir`, and maps a full disk
+(:class:`~repro.exceptions.WALWriteError`) to **507** — with the mutation
+guaranteed unapplied.
+
+Client side: every request carries an explicit socket timeout (default 30 s
+— no more indefinite hangs), socket timeouts surface as the typed
+:class:`~repro.exceptions.ServerTimeoutError`, transient statuses (429/503)
+are retried with jittered exponential backoff floored by ``Retry-After``,
+network-error retries are restricted to idempotent requests (GETs and keyed
+mutations — never sample POSTs, which may have consumed server RNG), and an
+overall ``deadline`` bounds one logical call across all its attempts.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro import FairNN, FairNNClient, FairNNServer
+from repro.exceptions import ServerTimeoutError
+from repro.server.client import ServerHTTPError
+from repro.spec import LSHSpec, SamplerSpec
+from repro.testing import FaultInjector, raise_disk_full
+
+SEED = 7
+PARAMS = {"radius": 0.35, "num_hashes": 2, "num_tables": 6}
+SPEC = SamplerSpec("permutation", PARAMS, lsh=LSHSpec("minhash"), seed=SEED)
+
+
+def _dataset(seed=2, n=30):
+    rng = np.random.default_rng(seed)
+    return [
+        frozenset(int(x) for x in rng.choice(300, size=rng.integers(8, 20)))
+        for _ in range(n)
+    ]
+
+
+def _encode(point):
+    return sorted(point)
+
+
+@pytest.fixture
+def durable_server(tmp_path):
+    nn = FairNN.from_spec(SPEC).serve(
+        _dataset(), data_dir=tmp_path / "d", fsync="off"
+    )
+    with FairNNServer(nn) as server:
+        yield server, FairNNClient(server.url), tmp_path / "d"
+    nn.close()
+
+
+# ----------------------------------------------------------------------
+# Durable serving over HTTP
+# ----------------------------------------------------------------------
+class TestDurableServer:
+    def test_healthz_reports_durable(self, durable_server):
+        _, client, _ = durable_server
+        assert client.healthz()["durable"] is True
+
+    def test_healthz_reports_not_durable_without_data_dir(self):
+        nn = FairNN.from_spec(SPEC).serve(_dataset())
+        with FairNNServer(nn) as server:
+            assert FairNNClient(server.url).healthz()["durable"] is False
+        nn.close()
+
+    def test_mutate_idempotency_over_the_wire(self, durable_server):
+        _, client, _ = durable_server
+        extra = _dataset(seed=50, n=2)
+        first = client.insert(extra, idempotency_key="wire-key")
+        second = client.insert(extra, idempotency_key="wire-key")
+        assert first["indices"] == second["indices"]
+        client.delete(first["indices"][0], idempotency_key="wire-del")
+        client.delete(first["indices"][0], idempotency_key="wire-del")  # no 410
+
+    def test_invalid_idempotency_key_is_400(self, durable_server):
+        server, _, _ = durable_server
+        import json
+        import urllib.request
+
+        for bad in ["", 7]:
+            body = json.dumps(
+                {"op": "delete", "index": 0, "idempotency_key": bad}
+            ).encode()
+            request = urllib.request.Request(
+                f"{server.url}/v1/mutate",
+                data=body,
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_checkpoint_endpoint(self, durable_server):
+        _, client, data_dir = durable_server
+        client.insert(_dataset(seed=51, n=2))
+        report = client.checkpoint()
+        assert report["status"] == "completed"
+        assert report["durability"]["durable"] is True
+        assert (data_dir / "snapshots").is_dir()
+
+    def test_checkpoint_on_non_durable_server_is_400(self):
+        nn = FairNN.from_spec(SPEC).serve(_dataset())
+        with FairNNServer(nn) as server:
+            with pytest.raises(ServerHTTPError) as excinfo:
+                FairNNClient(server.url).checkpoint()
+            assert excinfo.value.status == 400
+        nn.close()
+
+    def test_disk_full_maps_to_507_and_mutation_not_applied(self, durable_server):
+        server, client, _ = durable_server
+        faults = FaultInjector()
+        with server.handle.acquire() as nn:
+            live_before = nn.num_live_points
+            nn.wal.fault_injector = faults
+        faults.arm("wal.flush", raise_disk_full)
+        with pytest.raises(ServerHTTPError) as excinfo:
+            client.insert(_dataset(seed=52, n=1))
+        assert excinfo.value.status == 507
+        with server.handle.acquire() as nn:
+            nn.wal.fault_injector = None
+            assert nn.num_live_points == live_before
+        # The disk recovered; the same insert now lands.
+        client.insert(_dataset(seed=52, n=1))
+
+    def test_reboot_from_data_dir_is_byte_identical(self, tmp_path):
+        dataset = _dataset()
+        extra = _dataset(seed=60, n=5)
+        queries = dataset[:4] + extra[:2]
+        requests = [
+            {"query": _encode(q), "k": 3, "replacement": False} for q in queries
+        ]
+
+        nn = FairNN.from_spec(SPEC).serve(
+            dataset, data_dir=tmp_path / "d", fsync="off"
+        )
+        with FairNNServer(nn) as server:
+            client = FairNNClient(server.url)
+            client.insert(extra[:3])
+            client.delete(1)
+            client.checkpoint()
+            client.insert(extra[3:])  # past the checkpoint: WAL-replayed
+            before = client.sample_batch(queries, k=3, replacement=False)["results"]
+        nn.close()
+
+        with FairNNServer.from_data_dir(tmp_path / "d") as rebooted:
+            client = FairNNClient(rebooted.url)
+            assert client.healthz()["durable"] is True
+            after = client.sample_batch(queries, k=3, replacement=False)["results"]
+            with rebooted.handle.acquire() as facade:
+                recovered = facade
+        recovered.close()
+        assert before == after
+
+
+# ----------------------------------------------------------------------
+# Client: typed timeouts
+# ----------------------------------------------------------------------
+class TestClientTimeout:
+    def test_socket_timeout_is_typed(self):
+        """A server that accepts and never answers must not hang the client."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        done = threading.Event()
+
+        def black_hole():
+            try:
+                conn, _ = listener.accept()
+                done.wait(5.0)
+                conn.close()
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=black_hole, daemon=True)
+        thread.start()
+        try:
+            client = FairNNClient(
+                f"http://127.0.0.1:{port}", timeout=0.2, retries=0
+            )
+            with pytest.raises(ServerTimeoutError):
+                client.healthz()
+        finally:
+            done.set()
+            listener.close()
+            thread.join(timeout=5.0)
+
+    def test_server_timeout_error_is_a_timeout_error(self):
+        assert issubclass(ServerTimeoutError, TimeoutError)
+
+    def test_default_timeout_is_documented_30s(self):
+        assert FairNNClient("http://x").timeout == 30.0
+
+
+# ----------------------------------------------------------------------
+# Client: retry loop (no server needed — the transport is stubbed)
+# ----------------------------------------------------------------------
+def _stubbed(client, responses):
+    """Replace the transport with a scripted one; returns the call log."""
+    calls = []
+
+    def fake(method, path, body, timeout):
+        calls.append({"method": method, "path": path, "body": body, "timeout": timeout})
+        action = responses[min(len(calls) - 1, len(responses) - 1)]
+        if isinstance(action, Exception):
+            raise action
+        return action
+
+    client._request_once = fake
+    return calls
+
+
+class TestClientRetries:
+    def _client(self, **kwargs):
+        kwargs.setdefault("rng", random.Random(0))
+        kwargs.setdefault("sleep", lambda _s: None)
+        return FairNNClient("http://stub", **kwargs)
+
+    def test_429_retried_honoring_retry_after(self):
+        sleeps = []
+        client = self._client(sleep=sleeps.append, retries=2, backoff=0.001)
+        _stubbed(
+            client,
+            [
+                ServerHTTPError(429, "busy", retry_after=0.75),
+                ServerHTTPError(429, "busy", retry_after=0.75),
+                {"ok": True},
+            ],
+        )
+        assert client.healthz() == {"ok": True}
+        # Retry-After floors the jittered backoff.
+        assert sleeps == [0.75, 0.75]
+
+    def test_503_retried_for_sample_posts(self):
+        """Transient statuses are safe for samples: the server rejected the
+        request before drawing anything."""
+        client = self._client(retries=1, backoff=0.0)
+        calls = _stubbed(
+            client, [ServerHTTPError(503, "draining"), {"index": 4}]
+        )
+        assert client.sample([1, 2, 3])["index"] == 4
+        assert len(calls) == 2
+
+    def test_retries_exhausted_reraises(self):
+        client = self._client(retries=1, backoff=0.0)
+        _stubbed(client, [ServerHTTPError(429, "busy")])
+        with pytest.raises(ServerHTTPError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 429
+
+    def test_non_transient_status_never_retried(self):
+        client = self._client(retries=3, backoff=0.0)
+        calls = _stubbed(client, [ServerHTTPError(404, "gone")])
+        with pytest.raises(ServerHTTPError):
+            client.healthz()
+        assert len(calls) == 1
+
+    def test_get_retries_network_errors(self):
+        client = self._client(retries=1, backoff=0.0)
+        calls = _stubbed(client, [TimeoutError("socket"), {"status": "ok"}])
+        assert client.healthz() == {"status": "ok"}
+        assert len(calls) == 2
+
+    def test_sample_post_does_not_retry_network_errors(self):
+        """A lost sample response may mean the server already drew from its
+        RNG — a blind retry would silently skew reproducibility."""
+        client = self._client(retries=3, backoff=0.0)
+        calls = _stubbed(client, [TimeoutError("socket")])
+        with pytest.raises(ServerTimeoutError):
+            client.sample([1, 2, 3])
+        assert len(calls) == 1
+
+    def test_mutations_retry_with_one_idempotency_key(self):
+        client = self._client(retries=2, backoff=0.0)
+        calls = _stubbed(client, [TimeoutError("socket"), {"indices": [9]}])
+        result = client.insert([[1, 2, 3]])
+        assert result == {"indices": [9]}
+        keys = {c["body"]["idempotency_key"] for c in calls}
+        assert len(calls) == 2 and len(keys) == 1  # same key on the retry
+
+    def test_explicit_idempotency_key_passes_through(self):
+        client = self._client(retries=0)
+        calls = _stubbed(client, [{"status": "deleted"}])
+        client.delete(3, idempotency_key="mine")
+        assert calls[0]["body"]["idempotency_key"] == "mine"
+
+    def test_deadline_expiry_is_typed(self):
+        client = self._client(retries=50, backoff=0.05, deadline=0.15)
+        _stubbed(client, [ServerHTTPError(503, "draining", retry_after=1.0)])
+        client._sleep = lambda s: None  # sleeps are virtual; the clock is real
+        with pytest.raises(ServerTimeoutError, match="deadline"):
+            client._request("GET", "/healthz")
+
+    def test_backoff_is_jittered_and_capped(self):
+        sleeps = []
+        client = self._client(
+            sleep=sleeps.append, retries=4, backoff=0.1, backoff_cap=0.3,
+            rng=random.Random(123),
+        )
+        _stubbed(client, [ServerHTTPError(429, "busy")] * 4 + [{"ok": 1}])
+        client.healthz()
+        assert len(sleeps) == 4
+        for attempt, delay in enumerate(sleeps):
+            assert 0.0 <= delay <= min(0.1 * 2**attempt, 0.3)
+
+    def test_checkpoint_method_posts_admin_checkpoint(self):
+        client = self._client(retries=0)
+        calls = _stubbed(client, [{"status": "completed"}])
+        assert client.checkpoint() == {"status": "completed"}
+        assert calls[0]["method"] == "POST"
+        assert calls[0]["path"] == "/v1/admin/checkpoint"

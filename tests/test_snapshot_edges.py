@@ -12,16 +12,27 @@ the unsharded (v3) and sharded (v4) formats:
 * **mid-undrained delta** — the tables mutated directly (no engine sync), so
   an unconsumed :class:`MutationDelta` must survive the round-trip and reach
   the restored sampler's next ``notify_update``.
+
+Damaged artifacts are pinned too: a snapshot with missing, truncated or
+bit-rotted files must raise the typed
+:class:`~repro.exceptions.SnapshotCorruptError` (never a raw ``KeyError`` /
+``UnpicklingError`` / ``JSONDecodeError``), for both formats — recovery
+(:meth:`FairNN.recover`) relies on the typed signal to fall back to an
+older checkpoint.
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.core import IndependentFairSampler, PermutationFairSampler
 from repro.engine import BatchQueryEngine, ShardedEngine, load_engine, save_engine
+from repro.exceptions import InvalidParameterError, SnapshotCorruptError
 from repro.lsh import MinHashFamily
+from repro.testing import flip_byte, tear_tail
 
 PARAMS = {"radius": 0.35, "far_radius": 0.1, "num_hashes": 2, "num_tables": 6}
 
@@ -130,3 +141,72 @@ class TestDegenerateSnapshots:
         clone = load_engine(tmp_path / "snap")
         assert clone.tables.peek_delta().is_empty
         _assert_identical_runs(engine, clone, dataset[:10])
+
+
+@pytest.mark.parametrize("sharded", [False, True], ids=["v3", "v4"])
+class TestCorruptSnapshots:
+    """Every flavour of on-disk damage surfaces as SnapshotCorruptError."""
+
+    def _snapshot(self, tmp_path, sharded):
+        engine = _build(_dataset(), sharded)
+        save_engine(engine, tmp_path / "snap")
+        return tmp_path / "snap"
+
+    @pytest.mark.parametrize("victim", ["manifest.json", "arrays.npz", "objects.pkl"])
+    def test_missing_file(self, sharded, tmp_path, victim):
+        snap = self._snapshot(tmp_path, sharded)
+        (snap / victim).unlink()
+        with pytest.raises(SnapshotCorruptError):
+            load_engine(snap)
+
+    @pytest.mark.parametrize("victim", ["arrays.npz", "objects.pkl"])
+    def test_truncated_file(self, sharded, tmp_path, victim):
+        snap = self._snapshot(tmp_path, sharded)
+        size = (snap / victim).stat().st_size
+        tear_tail(snap / victim, size // 2)
+        with pytest.raises(SnapshotCorruptError):
+            load_engine(snap)
+
+    def test_unparseable_manifest(self, sharded, tmp_path):
+        snap = self._snapshot(tmp_path, sharded)
+        (snap / "manifest.json").write_text("{not json")
+        with pytest.raises(SnapshotCorruptError):
+            load_engine(snap)
+
+    def test_manifest_missing_keys(self, sharded, tmp_path):
+        snap = self._snapshot(tmp_path, sharded)
+        (snap / "manifest.json").write_text(json.dumps({"format_version": 3}))
+        with pytest.raises(SnapshotCorruptError):
+            load_engine(snap)
+
+    def test_bit_rot_in_objects(self, sharded, tmp_path):
+        snap = self._snapshot(tmp_path, sharded)
+        # The pickle opcode stream starts at the front; rot it there so
+        # unpickling fails structurally rather than by luck.
+        flip_byte(snap / "objects.pkl", 1)
+        with pytest.raises(SnapshotCorruptError):
+            load_engine(snap)
+
+    def test_error_is_typed_and_chained(self, sharded, tmp_path):
+        snap = self._snapshot(tmp_path, sharded)
+        (snap / "arrays.npz").unlink()
+        with pytest.raises(SnapshotCorruptError) as excinfo:
+            load_engine(snap)
+        assert excinfo.value.__cause__ is not None
+        assert str(snap) in str(excinfo.value)
+
+    def test_unsupported_version_stays_invalid_parameter(self, sharded, tmp_path):
+        """A *well-formed* snapshot from the future is a usage error, not
+        corruption — recovery must not silently fall back past it."""
+        snap = self._snapshot(tmp_path, sharded)
+        manifest = json.loads((snap / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (snap / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(InvalidParameterError):
+            load_engine(snap)
+
+    def test_intact_snapshot_still_loads(self, sharded, tmp_path):
+        engine = _build(_dataset(), sharded)
+        save_engine(engine, tmp_path / "snap")
+        clone = load_engine(tmp_path / "snap")
+        _assert_identical_runs(engine, clone, _dataset()[:6])

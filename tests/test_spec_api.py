@@ -225,6 +225,16 @@ class TestSpecRoundTrip:
         with pytest.raises(InvalidParameterError, match="non-empty"):
             EngineSpec(samplers={})
 
+    def test_engine_spec_wal_fsync_round_trips_and_validates(self):
+        fair = CANONICAL_SPECS["permutation"][0]
+        spec = EngineSpec(samplers={"a": fair}, wal_fsync="always")
+        assert EngineSpec.from_dict(spec.to_dict()) == spec
+        # Snapshots written before the WAL existed have no wal_fsync key.
+        legacy = {k: v for k, v in spec.to_dict().items() if k != "wal_fsync"}
+        assert EngineSpec.from_dict(legacy).wal_fsync == "interval"
+        with pytest.raises(InvalidParameterError, match="fsync"):
+            EngineSpec(samplers={"a": fair}, wal_fsync="sometimes")
+
     def test_spec_from_dict_dispatch(self):
         assert isinstance(spec_from_dict({"name": "jaccard"}), DistanceSpec)
         assert isinstance(spec_from_dict({"family": "minhash"}), LSHSpec)

@@ -1,0 +1,393 @@
+"""Unit contract of the write-ahead log and the chaos-injection harness.
+
+The WAL (:mod:`repro.engine.wal`) is the durability spine of the serving
+stack, so its mechanics are pinned file-format-first:
+
+* append/replay round-trips, segment rotation and naming, scan reports;
+* **torn tail** (a final record cut short by a crash) is truncated on open
+  and its sequence number reused — never an error;
+* **mid-log damage** (bit rot before valid data, bad magic, a missing
+  segment) raises :class:`~repro.exceptions.WALCorruptError` — replaying
+  past it could apply a divergent history;
+* a failed append (disk full) raises
+  :class:`~repro.exceptions.WALWriteError`, consumes no sequence number,
+  and the partial write it may have left is repaired before the next
+  append lands;
+* fsync policies: ``always`` syncs per append, ``interval`` by an
+  injectable clock, ``off`` only flushes;
+* ``truncate_through`` removes exactly the whole segments a checkpoint
+  covers.
+
+The :class:`~repro.testing.FaultInjector` used to manufacture these
+failures is itself under test here (arm/after/times semantics).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import pytest
+
+from repro.engine.wal import FSYNC_POLICIES, WALRecord, WriteAheadLog, _MAGIC
+from repro.exceptions import InvalidParameterError, WALCorruptError, WALWriteError
+from repro.testing import FaultInjector, flip_byte, raise_disk_full, tear_tail
+
+
+def _payloads(n):
+    return [{"op": "insert", "points": [i], "key": None} for i in range(n)]
+
+
+def _fill(directory, n, **kwargs):
+    wal = WriteAheadLog.open(directory, **kwargs)
+    for payload in _payloads(n):
+        wal.append(payload)
+    wal.close()
+    return wal
+
+
+def _replayed(directory, after_seq=-1):
+    wal = WriteAheadLog.open(directory)
+    try:
+        return list(wal.replay(after_seq=after_seq))
+    finally:
+        wal.close()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# Round trips, format, rotation
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_append_replay_round_trip(self, tmp_path):
+        _fill(tmp_path / "wal", 5)
+        records = _replayed(tmp_path / "wal")
+        assert [r.seq for r in records] == [0, 1, 2, 3, 4]
+        assert records == [WALRecord(seq=i, payload=p) for i, p in enumerate(_payloads(5))]
+
+    def test_replay_after_seq_skips_prefix(self, tmp_path):
+        _fill(tmp_path / "wal", 6)
+        assert [r.seq for r in _replayed(tmp_path / "wal", after_seq=3)] == [4, 5]
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        _fill(tmp_path / "wal", 3)
+        wal = WriteAheadLog.open(tmp_path / "wal")
+        assert wal.next_seq == 3
+        assert wal.last_seq == 2
+        wal.append({"op": "delete", "index": 0, "key": None})
+        wal.close()
+        assert [r.seq for r in _replayed(tmp_path / "wal")] == [0, 1, 2, 3]
+
+    def test_segment_magic_and_naming(self, tmp_path):
+        _fill(tmp_path / "wal", 2)
+        (segment,) = sorted((tmp_path / "wal").iterdir())
+        assert segment.name == f"segment-{0:020d}.wal"
+        assert segment.read_bytes().startswith(_MAGIC)
+
+    def test_rotation_splits_segments_and_replays_across(self, tmp_path):
+        _fill(tmp_path / "wal", 10, segment_max_bytes=64)
+        segments = sorted(p.name for p in (tmp_path / "wal").iterdir())
+        assert len(segments) > 1
+        # Segment names are the first sequence number they hold.
+        assert segments[0] == f"segment-{0:020d}.wal"
+        assert [r.seq for r in _replayed(tmp_path / "wal")] == list(range(10))
+
+    def test_scan_report(self, tmp_path):
+        _fill(tmp_path / "wal", 7, segment_max_bytes=64)
+        wal = WriteAheadLog(tmp_path / "wal")
+        report = wal.scan()
+        assert report.records == 7
+        assert report.last_seq == 6
+        assert report.torn_tail is None
+        assert len(report.segments) > 1
+
+    def test_empty_wal(self, tmp_path):
+        wal = WriteAheadLog.open(tmp_path / "wal")
+        assert wal.next_seq == 0
+        assert wal.last_seq == -1
+        assert list(wal.replay()) == []
+        wal.close()
+
+    def test_append_counters(self, tmp_path):
+        wal = WriteAheadLog.open(tmp_path / "wal")
+        wal.append({"op": "insert", "points": [1], "key": None})
+        wal.append({"op": "insert", "points": [2], "key": None})
+        assert wal.appended_records == 2
+        assert wal.appended_bytes > 0
+        wal.close()
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            WriteAheadLog(tmp_path / "wal", fsync="sometimes")
+        with pytest.raises(InvalidParameterError):
+            WriteAheadLog(tmp_path / "wal", fsync_interval=0.0)
+        with pytest.raises(InvalidParameterError):
+            WriteAheadLog(tmp_path / "wal", segment_max_bytes=4)
+
+
+# ----------------------------------------------------------------------
+# Torn tails: expected crash residue, repaired on open
+# ----------------------------------------------------------------------
+class TestTornTail:
+    @pytest.mark.parametrize("drop_bytes", [1, 3, 9])
+    def test_torn_tail_truncated_and_seq_reused(self, tmp_path, drop_bytes):
+        _fill(tmp_path / "wal", 4)
+        (segment,) = (tmp_path / "wal").iterdir()
+        tear_tail(segment, drop_bytes)
+
+        wal = WriteAheadLog(tmp_path / "wal")
+        report = wal.scan()
+        assert report.torn_tail is not None
+        assert report.last_seq == 2  # record 3 is the torn one
+
+        wal = WriteAheadLog.open(tmp_path / "wal")
+        assert wal.next_seq == 3  # the torn record's seq is reused
+        wal.append({"op": "insert", "points": ["replacement"], "key": None})
+        wal.close()
+        records = _replayed(tmp_path / "wal")
+        assert [r.seq for r in records] == [0, 1, 2, 3]
+        assert records[-1].payload["points"] == ["replacement"]
+
+    def test_torn_header_only_record(self, tmp_path):
+        _fill(tmp_path / "wal", 2)
+        (segment,) = (tmp_path / "wal").iterdir()
+        # Leave just 4 bytes of the final record's 16-byte header.
+        blob = pickle.dumps(_payloads(2)[1], protocol=pickle.HIGHEST_PROTOCOL)
+        tear_tail(segment, drop_bytes=len(blob) + struct.calcsize(">QII") - 4)
+        wal = WriteAheadLog.open(tmp_path / "wal")
+        assert wal.next_seq == 1
+        wal.close()
+
+    def test_replay_tolerates_torn_tail_without_repair(self, tmp_path):
+        """A read-only replay (no open()) stops cleanly before the tear."""
+        _fill(tmp_path / "wal", 3)
+        (segment,) = (tmp_path / "wal").iterdir()
+        tear_tail(segment, 2)
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert [r.seq for r in wal.replay()] == [0, 1]
+
+    def test_torn_first_record_of_fresh_segment(self, tmp_path):
+        """Tear everything back to the magic: zero records, seq 0 reused."""
+        _fill(tmp_path / "wal", 1)
+        (segment,) = (tmp_path / "wal").iterdir()
+        tear_tail(segment, segment.stat().st_size - len(_MAGIC))
+        wal = WriteAheadLog.open(tmp_path / "wal")
+        assert wal.next_seq == 0
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# Mid-log damage: typed corruption, never silent
+# ----------------------------------------------------------------------
+class TestCorruption:
+    def test_bit_flip_before_valid_data_is_fatal(self, tmp_path):
+        _fill(tmp_path / "wal", 4)
+        (segment,) = (tmp_path / "wal").iterdir()
+        # Flip a byte inside the *first* record's payload: damage followed
+        # by more data is not a torn tail.
+        flip_byte(segment, len(_MAGIC) + struct.calcsize(">QII") + 2)
+        wal = WriteAheadLog(tmp_path / "wal")
+        with pytest.raises(WALCorruptError, match="not a torn tail"):
+            wal.scan()
+        with pytest.raises(WALCorruptError):
+            list(wal.replay())
+
+    def test_bad_magic_is_fatal(self, tmp_path):
+        _fill(tmp_path / "wal", 2)
+        (segment,) = (tmp_path / "wal").iterdir()
+        flip_byte(segment, 0)
+        with pytest.raises(WALCorruptError, match="magic"):
+            WriteAheadLog(tmp_path / "wal").scan()
+
+    def test_missing_segment_is_fatal(self, tmp_path):
+        _fill(tmp_path / "wal", 10, segment_max_bytes=64)
+        segments = sorted((tmp_path / "wal").iterdir())
+        assert len(segments) >= 3
+        segments[1].unlink()
+        with pytest.raises(WALCorruptError, match="missing or renamed"):
+            WriteAheadLog(tmp_path / "wal").scan()
+
+    def test_corrupt_error_carries_location(self, tmp_path):
+        _fill(tmp_path / "wal", 3)
+        (segment,) = (tmp_path / "wal").iterdir()
+        flip_byte(segment, len(_MAGIC) + 1)
+        with pytest.raises(WALCorruptError) as excinfo:
+            WriteAheadLog(tmp_path / "wal").scan()
+        assert excinfo.value.path == str(segment)
+        assert excinfo.value.offset == len(_MAGIC)
+
+    def test_torn_tail_on_non_final_segment_is_fatal(self, tmp_path):
+        _fill(tmp_path / "wal", 10, segment_max_bytes=64)
+        segments = sorted((tmp_path / "wal").iterdir())
+        tear_tail(segments[0], 2)
+        with pytest.raises(WALCorruptError):
+            WriteAheadLog(tmp_path / "wal").scan()
+
+
+# ----------------------------------------------------------------------
+# Write failures: disk full mid-append
+# ----------------------------------------------------------------------
+class TestWriteFailure:
+    def test_disk_full_raises_wal_write_error_and_repairs(self, tmp_path):
+        faults = FaultInjector()
+        wal = WriteAheadLog.open(tmp_path / "wal", fault_injector=faults)
+        wal.append(_payloads(1)[0])
+        faults.arm("wal.flush", raise_disk_full)  # header+payload written, flush fails
+        with pytest.raises(WALWriteError):
+            wal.append({"op": "insert", "points": ["lost"], "key": None})
+        # The failed append consumed no sequence number...
+        assert wal.next_seq == 1
+        # ...and the next append repairs the torn bytes the failure left.
+        wal.append({"op": "insert", "points": ["kept"], "key": None})
+        wal.close()
+        records = _replayed(tmp_path / "wal")
+        assert [r.payload["points"] for r in records] == [[0], ["kept"]]
+
+    def test_append_on_closed_wal_raises(self, tmp_path):
+        wal = WriteAheadLog.open(tmp_path / "wal")
+        wal.close()
+        with pytest.raises(WALWriteError, match="closed"):
+            wal.append(_payloads(1)[0])
+
+
+# ----------------------------------------------------------------------
+# Fsync policies
+# ----------------------------------------------------------------------
+class TestFsyncPolicies:
+    def test_policy_tuple(self):
+        assert FSYNC_POLICIES == ("always", "interval", "off")
+
+    def _syncs_for(self, tmp_path, n, **kwargs):
+        faults = FaultInjector()
+        faults.arm("wal.fsync", lambda: None, times=None)
+        wal = WriteAheadLog.open(tmp_path / "wal", fault_injector=faults, **kwargs)
+        for payload in _payloads(n):
+            wal.append(payload)
+        appended = faults.fired("wal.fsync")
+        wal.close()
+        return appended
+
+    def test_always_syncs_every_append(self, tmp_path):
+        assert self._syncs_for(tmp_path, 5, fsync="always") == 5
+
+    def test_off_never_syncs_on_append(self, tmp_path):
+        assert self._syncs_for(tmp_path, 5, fsync="off") == 0
+
+    def test_interval_syncs_by_clock(self, tmp_path):
+        clock = FakeClock()
+        faults = FaultInjector()
+        faults.arm("wal.fsync", lambda: None, times=None)
+        wal = WriteAheadLog.open(
+            tmp_path / "wal",
+            fsync="interval",
+            fsync_interval=10.0,
+            fault_injector=faults,
+            _clock=clock,
+        )
+        wal.append(_payloads(1)[0])
+        assert faults.fired("wal.fsync") == 0  # within the interval
+        clock.now += 11.0
+        wal.append(_payloads(1)[0])
+        assert faults.fired("wal.fsync") == 1  # interval elapsed
+        wal.append(_payloads(1)[0])
+        assert faults.fired("wal.fsync") == 1  # timer re-anchored
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# Truncation after checkpoints
+# ----------------------------------------------------------------------
+class TestTruncation:
+    def test_truncate_through_removes_whole_segments(self, tmp_path):
+        _fill(tmp_path / "wal", 10, segment_max_bytes=64)
+        before = len(sorted((tmp_path / "wal").iterdir()))
+        wal = WriteAheadLog.open(tmp_path / "wal", segment_max_bytes=64)
+        removed = wal.truncate_through(6)
+        wal.close()
+        assert removed > 0
+        # Everything after seq 6 must still replay.
+        assert [r.seq for r in _replayed(tmp_path / "wal", after_seq=6)] == [7, 8, 9]
+        assert len(sorted((tmp_path / "wal").iterdir())) == before - removed
+
+    def test_truncate_keeps_straddling_segment(self, tmp_path):
+        # ~3 records per segment, so the first segment straddles seq 0.
+        _fill(tmp_path / "wal", 10, segment_max_bytes=200)
+        wal = WriteAheadLog.open(tmp_path / "wal", segment_max_bytes=200)
+        first = sorted(p.name for p in (tmp_path / "wal").iterdir())[0]
+        assert first == f"segment-{0:020d}.wal"
+        wal.truncate_through(0)  # first segment holds seqs beyond 0: kept
+        wal.close()
+        assert [r.seq for r in _replayed(tmp_path / "wal")] == list(range(10))
+
+    def test_truncate_everything_then_append_continues(self, tmp_path):
+        _fill(tmp_path / "wal", 6, segment_max_bytes=64)
+        wal = WriteAheadLog.open(tmp_path / "wal", segment_max_bytes=64)
+        wal.truncate_through(5)
+        assert wal.next_seq == 6
+        wal.append({"op": "insert", "points": ["post"], "key": None})
+        wal.close()
+        assert [r.seq for r in _replayed(tmp_path / "wal")] == [6]
+
+
+# ----------------------------------------------------------------------
+# The fault injector itself
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_unarmed_site_is_noop(self):
+        FaultInjector().fire("anything")
+
+    def test_after_skips_then_fires_times(self):
+        hits = []
+        faults = FaultInjector()
+        faults.arm("site", lambda: hits.append(1), after=2, times=2)
+        for _ in range(6):
+            faults.fire("site")
+        assert len(hits) == 2
+        assert faults.fired("site") == 2
+
+    def test_times_none_is_unlimited(self):
+        faults = FaultInjector()
+        faults.arm("site", lambda: None, times=None)
+        for _ in range(7):
+            faults.fire("site")
+        assert faults.fired("site") == 7
+
+    def test_disarm(self):
+        faults = FaultInjector()
+        faults.arm("site", raise_disk_full)
+        faults.disarm("site")
+        faults.fire("site")  # no raise
+
+    def test_armed_action_raises_through(self):
+        faults = FaultInjector()
+        faults.arm("site", raise_disk_full)
+        with pytest.raises(OSError):
+            faults.fire("site")
+
+    def test_invalid_arm_parameters(self):
+        faults = FaultInjector()
+        with pytest.raises(InvalidParameterError):
+            faults.arm("site", "not-callable")
+        with pytest.raises(InvalidParameterError):
+            faults.arm("site", lambda: None, after=-1)
+        with pytest.raises(InvalidParameterError):
+            faults.arm("site", lambda: None, times=0)
+
+
+class TestFileHelpers:
+    def test_tear_tail_and_flip_byte(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"abcdef")
+        assert tear_tail(path, 2) == 4
+        assert path.read_bytes() == b"abcd"
+        flip_byte(path, 0)
+        assert path.read_bytes()[0] == ord("a") ^ 0xFF
+        flip_byte(path, -1)  # negative offsets index from the end
+        assert path.read_bytes()[-1] == ord("d") ^ 0xFF
