@@ -81,6 +81,7 @@ from repro.engine import (
 from repro.fairness import FairnessAuditor, total_variation_from_uniform
 from repro.exceptions import (
     AlreadyDeletedError,
+    BlockFetchError,
     CapacityExceededError,
     EmptyDatasetError,
     InvalidParameterError,
@@ -111,8 +112,22 @@ from repro.registry import (
     sampler_names,
 )
 from repro.spec import DistanceSpec, EngineSpec, LSHSpec, SamplerSpec, spec_from_dict
+from repro.store import (
+    DatasetStore,
+    DenseStore,
+    HTTPBlockClient,
+    LocalBlockClient,
+    MemmapDenseStore,
+    MemmapSetStore,
+    RemoteDenseStore,
+    RemoteSetStore,
+    SetStore,
+    StoreSpec,
+    make_store,
+)
 from repro.api import FairNN
 from repro.server import (
+    BlockServer,
     CapacityModel,
     FairNNClient,
     FairNNServer,
@@ -124,7 +139,7 @@ from repro.server import (
     TokenBucket,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -199,6 +214,7 @@ __all__ = [
     "WALCorruptError",
     "WALWriteError",
     "SnapshotCorruptError",
+    "BlockFetchError",
     "ServerTimeoutError",
     # registries (repro.registry)
     "SAMPLERS",
@@ -219,9 +235,22 @@ __all__ = [
     "SamplerSpec",
     "EngineSpec",
     "spec_from_dict",
+    # storage backends (repro.store)
+    "StoreSpec",
+    "DatasetStore",
+    "DenseStore",
+    "SetStore",
+    "MemmapDenseStore",
+    "MemmapSetStore",
+    "RemoteDenseStore",
+    "RemoteSetStore",
+    "LocalBlockClient",
+    "HTTPBlockClient",
+    "make_store",
     # facade (repro.api)
     "FairNN",
     # serving (repro.server)
+    "BlockServer",
     "FairNNServer",
     "FairNNClient",
     "CapacityModel",

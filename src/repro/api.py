@@ -63,6 +63,7 @@ from repro.exceptions import (
 )
 from repro.lsh.tables import LSHTables
 from repro.spec import EngineSpec, SamplerSpec, spec_from_dict
+from repro.store import StoreSpec
 from repro.types import Dataset, Point
 
 __all__ = ["FairNN"]
@@ -269,18 +270,30 @@ class FairNN:
             total_slots = live
             pending = 0
         memory_bytes = None
-        if tables is not None:
-            store = getattr(tables, "point_store", None)
-            if store is not None:
-                memory_bytes = int(store.nbytes)
-                ranks = tables.ranks
-                if ranks is not None:
-                    memory_bytes += int(ranks.nbytes)
+        store_backend = None
+        store = getattr(tables, "point_store", None) if tables is not None else None
+        if store is None:
+            # Static facades have no dynamic table store; the engines still
+            # know the active store (cached slots only — never forces a
+            # lazy columnar build just to report capacity).
+            engine = self._engines.get(self.primary)
+            if engine is not None:
+                store = engine._current_store()
+        if store is not None:
+            # Backend-aware accounting: in-RAM stores charge their full
+            # buffers, out-of-core stores only their resident overlay and
+            # caches (mapped/fetched corpus pages are not index memory).
+            memory_bytes = int(store.nbytes)
+            store_backend = store.backend
+            ranks = tables.ranks if tables is not None else None
+            if ranks is not None:
+                memory_bytes += int(ranks.nbytes)
         return {
             "live_points": int(live),
             "total_slots": int(total_slots),
             "pending_tombstones": int(pending),
             "memory_bytes": memory_bytes,
+            "store_backend": store_backend,
             "n_shards": self.n_shards,
         }
 
@@ -319,6 +332,7 @@ class FairNN:
         executor: Optional[str] = None,
         data_dir: Optional[Union[str, pathlib.Path]] = None,
         fsync: Optional[str] = None,
+        store: Union[StoreSpec, str, None] = None,
     ) -> "FairNN":
         """Promote to a serving setup over shared (by default dynamic) tables.
 
@@ -362,6 +376,15 @@ class FairNN:
         suffix.  ``data_dir`` must be fresh (no prior WAL/checkpoints) —
         resuming an existing directory is :meth:`recover`'s job, so a typo
         cannot silently fork a mutation history.  Requires dynamic tables.
+
+        ``serve(store="memmap")`` (or ``EngineSpec.store``) demotes the
+        freshly built dataset to the **out-of-core tier**: the columnar
+        store is spilled to raw ``.npy`` files (under ``data_dir/store``, or
+        a temporary directory without one) and re-mapped, so the corpus'
+        resident footprint drops to the OS page cache and subsequent
+        checkpoints are written in the mappable v5 format.  The ``remote``
+        backend cannot be *built* locally — load a v5 snapshot with
+        :meth:`load(..., store="remote") <load>` instead.
         """
         if dataset is None:
             dataset = self._dataset
@@ -375,6 +398,14 @@ class FairNN:
                 executor=self._spec.executor if executor is None else executor,
                 wal_fsync=self._spec.wal_fsync if fsync is None else fsync,
             )
+        store_spec = StoreSpec.coerce(store if store is not None else self._spec.store)
+        if store_spec.backend == "remote":
+            raise InvalidParameterError(
+                "serve() builds the index locally and cannot serve from a remote "
+                "store; save a v5 snapshot and use FairNN.load(..., store='remote')"
+            )
+        if store is not None:
+            self._spec = replace(self._spec, store=store_spec)
         if data_dir is not None and not self._spec.dynamic:
             raise InvalidParameterError(
                 "serve(data_dir=...) journals mutations; it requires dynamic tables "
@@ -389,10 +420,57 @@ class FairNN:
                 sampler.fit(dataset)
         self._dataset = dataset
         self._serving = True
+        if store_spec.backend == "memmap":
+            self._demote_to_memmap(data_dir)
         self._make_engines()
         if data_dir is not None:
             self._init_data_dir(pathlib.Path(data_dir))
         return self
+
+    def _demote_to_memmap(self, data_dir: Optional[Union[str, pathlib.Path]]) -> None:
+        """Spill the built columnar store to ``.npy`` files and re-map it."""
+        import tempfile
+
+        from repro.store import MemmapDenseStore, MemmapSetStore, StoreBackedPoints
+
+        tables = self._tables
+        if not isinstance(tables, DynamicLSHTables):
+            raise InvalidParameterError(
+                "serve(store='memmap') requires dynamic tables "
+                "(EngineSpec.dynamic=True)"
+            )
+        built = tables.point_store
+        if built is None:
+            raise InvalidParameterError(
+                "serve(store='memmap') needs a columnar dataset (dense vectors "
+                "or integer sets); this dataset has no columnar form"
+            )
+        if data_dir is not None:
+            store_dir = pathlib.Path(data_dir) / "store"
+        else:
+            store_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-store-"))
+        store_dir.mkdir(parents=True, exist_ok=True)
+        if built.kind == "dense":
+            np.save(store_dir / "dataset__dense.npy", np.ascontiguousarray(built.matrix))
+            mapped = MemmapDenseStore(store_dir / "dataset__dense.npy")
+        else:
+            np.save(store_dir / "dataset__indptr.npy", np.ascontiguousarray(built.indptr))
+            np.save(store_dir / "dataset__items.npy", np.ascontiguousarray(built.items))
+            mapped = MemmapSetStore(
+                store_dir / "dataset__indptr.npy", store_dir / "dataset__items.npy"
+            )
+        released = [i for i, p in enumerate(tables._points) if p is None]
+        container = StoreBackedPoints(mapped, released)
+        # Swap the table layer onto the mapped tier: the container replaces
+        # the in-RAM point list (freeing the original rows) and every
+        # attached sampler re-anchors its dataset reference onto it.
+        tables._points = container
+        tables._store = mapped
+        for sampler in self._samplers.values():
+            if getattr(sampler, "tables", None) is tables:
+                sampler._dataset = container
+                sampler._store = None
+        self._dataset = container
 
     def add_sampler(self, name: str, spec: SamplerSpec) -> "FairNN":
         """Attach one more named sampler, sharing the existing table set.
@@ -594,26 +672,45 @@ class FairNN:
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
-    def save(self, directory) -> None:
-        """Snapshot the primary sampler's engine (format v3, spec included).
+    def save(self, directory, format_version: Optional[int] = None) -> None:
+        """Snapshot the primary sampler's engine (spec included).
 
         The persisted manifest carries the full :class:`~repro.spec.EngineSpec`,
         so :meth:`load` can rebuild the whole facade — secondary samplers are
         reconstructed from their specs and re-attached (their query RNG
         streams restart; the primary is restored bit-identically).
+
+        *format_version* selects the on-disk layout (see
+        :func:`~repro.engine.snapshot.save_engine`): pass ``5`` to write the
+        raw-``.npy`` layout that out-of-core loading
+        (``load(..., store="memmap"/"remote")``) requires; the default keeps
+        the legacy zipped format unless the facade is already serving
+        out-of-core.
         """
         self._check_built()
-        save_engine(self.engine(self.primary), directory)
+        save_engine(self.engine(self.primary), directory, format_version=format_version)
 
     @classmethod
-    def load(cls, directory) -> "FairNN":
+    def load(
+        cls,
+        directory,
+        store: Union[StoreSpec, str, None] = None,
+        block_client=None,
+    ) -> "FairNN":
         """Rebuild a facade from a snapshot written by :meth:`save`.
 
         Also accepts any :func:`~repro.engine.snapshot.save_engine` snapshot
         whose manifest carries a spec (format v3); for spec-less (v2 and
         older) snapshots use :func:`~repro.engine.snapshot.load_engine`.
+
+        *store* selects the dataset's storage tier (see
+        :func:`~repro.engine.snapshot.load_engine`): ``"memmap"`` maps a v5
+        snapshot's arrays in place — cold start reads file headers, not the
+        corpus — and ``"remote"`` fetches vector blocks from a block server
+        (*block_client*, or an HTTP client built from the spec's endpoint).
+        Every sampler serves byte-identical answers on every tier.
         """
-        engine = load_engine(directory)
+        engine = load_engine(directory, store=store, block_client=block_client)
         spec = engine.spec
         if isinstance(spec, SamplerSpec):
             name = engine.sampler_name or "default"

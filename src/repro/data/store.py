@@ -1,35 +1,29 @@
-"""Columnar dataset stores backing the vectorized candidate-evaluation pipeline.
+"""Compatibility shim — the columnar stores moved to :mod:`repro.store`.
 
-Samplers score candidates through :meth:`repro.distances.base.Measure.values_at`,
-which needs the dataset in a form numpy kernels can gather from:
-
-* **dense vector data** lives in a single C-contiguous ``float64`` matrix
-  (:class:`DenseStore`), so a batch of candidate rows is one fancy-indexing
-  gather away from a distance kernel;
-* **set-valued data** is packed CSR-style (:class:`SetStore`): one flat
-  ``int64`` item array plus an ``indptr`` offset array, items sorted within
-  each row, so set intersections reduce to ``searchsorted`` membership tests
-  and segment sums.
-
-Both stores are built once — at ``fit``/``attach`` time, or lazily on the
-first batched evaluation — and support dynamic growth (``append``) and
-tombstoning (``release``) so :class:`~repro.engine.dynamic.DynamicLSHTables`
-can keep one shared store in sync with its mutable point container instead of
-forcing a rebuild per mutation batch.
-
-Datasets that fit neither layout (ragged arrays, exotic objects) get no
-store: :func:`make_store` returns ``None`` and the evaluation layer falls
-back to the per-pair scalar loop, which remains the semantic reference.
+The :class:`DatasetStore` contract and the in-RAM backends
+(:class:`DenseStore` / :class:`SetStore`) grew into a full storage subsystem
+with out-of-core and remote tiers; the implementation now lives in
+:mod:`repro.store` (``repro.store.base`` for the contract,
+``repro.store.inram`` for the resident backends).  This module re-exports
+the original names so existing imports keep working; new code should import
+from :mod:`repro.store` directly.
 """
 
-from __future__ import annotations
-
-import abc
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
-
-from repro.exceptions import InvalidParameterError
+from repro.store.base import (
+    DatasetStore,
+    SharedStoreExport,
+    _attach_segment,
+    _create_segment,
+)
+from repro.store.inram import (
+    DenseStore,
+    SetStore,
+    _AttachedDenseStore,
+    _AttachedSetStore,
+    _dense_rows,
+    _pack_sets,
+    make_store,
+)
 
 __all__ = [
     "DatasetStore",
@@ -38,465 +32,3 @@ __all__ = [
     "SharedStoreExport",
     "make_store",
 ]
-
-
-class DatasetStore(abc.ABC):
-    """Columnar snapshot of a dataset, indexable by dataset slot.
-
-    Row ``i`` of a store always corresponds to dataset slot ``i`` — including
-    tombstoned slots, whose payload is retained (or zeroed) but never queried,
-    so memo arrays and bucket indices stay valid without renumbering.
-    """
-
-    #: Layout tag the distance kernels dispatch on (``"dense"`` / ``"sets"``).
-    kind: str = "abstract"
-
-    @abc.abstractmethod
-    def __len__(self) -> int:
-        """Number of stored slots (live and tombstoned)."""
-
-    @abc.abstractmethod
-    def get_point(self, index: int):
-        """The point at slot *index* in a representation ``Measure.value`` accepts."""
-
-    @abc.abstractmethod
-    def append(self, points: Sequence) -> None:
-        """Add new slots for *points* at the end of the store."""
-
-    @property
-    def nbytes(self) -> int:
-        """Resident bytes of the store's columnar buffers (capacity included).
-
-        The number the serving layer's capacity accounting
-        (:meth:`FairNN.capacity <repro.api.FairNN.capacity>` /
-        ``GET /v1/capacity``) reports as index memory.  Counts the allocated
-        buffers — including capacity-doubling headroom and tombstoned slots —
-        because that is what the process actually holds.
-        """
-        return 0
-
-    def release(self, index: int) -> None:
-        """Mark slot *index* tombstoned.
-
-        The slot keeps its position (dataset indices are stable); the payload
-        may be dropped.  The base implementation is a no-op because queries
-        never evaluate dead slots — subclasses override only when retaining
-        the payload costs real memory.
-        """
-
-    def to_shared(self) -> "SharedStoreExport":
-        """Export the store's columnar buffers into shared memory.
-
-        Returns a :class:`SharedStoreExport` whose ``descriptor`` is a small
-        picklable dict another process can hand to :meth:`from_shared` to
-        attach the same buffers zero-copy.  The export is a one-time snapshot
-        of the current rows; the owner keeps the handle alive for as long as
-        attachers need it and must call :meth:`SharedStoreExport.unlink` when
-        done (segments otherwise outlive the process).
-        """
-        raise InvalidParameterError(
-            f"{type(self).__name__} has no shared-memory export"
-        )
-
-    @staticmethod
-    def from_shared(descriptor: Dict) -> "DatasetStore":
-        """Attach the store described by a :meth:`to_shared` descriptor.
-
-        The returned store is **read-only** (``append`` raises) and views the
-        exporter's shared-memory segments without copying.  Call
-        :meth:`detach` on it to drop the mappings; attachers never ``unlink``
-        — segment lifetime belongs to the exporting process.
-        """
-        kind = descriptor.get("kind")
-        if kind == "dense":
-            return _AttachedDenseStore(descriptor)
-        if kind == "sets":
-            return _AttachedSetStore(descriptor)
-        raise InvalidParameterError(f"unknown shared store kind: {kind!r}")
-
-    def detach(self) -> None:
-        """Close shared-memory mappings held by an attached store (no-op otherwise)."""
-
-
-class DenseStore(DatasetStore):
-    """Dense vector data as one contiguous ``float64`` matrix.
-
-    The matrix lives in a capacity-doubled buffer so a stream of appends is
-    amortized O(1) per row; :attr:`matrix` is a view of the live prefix.
-    Per-row l2 norms (used by the cosine/angular kernels) are computed with
-    the same ``einsum`` recipe as the scalar measure and cached incrementally.
-    """
-
-    kind = "dense"
-
-    def __init__(self, rows: np.ndarray):
-        rows = np.ascontiguousarray(rows, dtype=np.float64)
-        if rows.ndim != 2:
-            raise InvalidParameterError(f"DenseStore requires 2-D data, got shape {rows.shape}")
-        self._buf = rows
-        self._n = rows.shape[0]
-        self.dim = rows.shape[1]
-        self._norms_buf: Optional[np.ndarray] = None
-
-    def __len__(self) -> int:
-        return self._n
-
-    @property
-    def matrix(self) -> np.ndarray:
-        """The ``(n, dim)`` float64 matrix of all stored rows."""
-        return self._buf[: self._n]
-
-    @property
-    def row_norms(self) -> np.ndarray:
-        """Per-row l2 norms, ``sqrt(einsum('ij,ij->i', M, M))`` (cached).
-
-        Maintained incrementally: after an append only the new rows' norms
-        are computed (each row's norm is independent, so the block boundary
-        cannot change the values).
-        """
-        if self._norms_buf is None:
-            rows = self.matrix
-            self._norms_buf = np.sqrt(np.einsum("ij,ij->i", rows, rows))
-        elif self._norms_buf.shape[0] < self._n:
-            fresh = self._buf[self._norms_buf.shape[0] : self._n]
-            self._norms_buf = np.concatenate(
-                [self._norms_buf, np.sqrt(np.einsum("ij,ij->i", fresh, fresh))]
-            )
-        return self._norms_buf[: self._n]
-
-    @property
-    def nbytes(self) -> int:
-        total = self._buf.nbytes
-        if self._norms_buf is not None:
-            total += self._norms_buf.nbytes
-        return int(total)
-
-    def get_point(self, index: int) -> np.ndarray:
-        return self._buf[index]
-
-    def gather(self, indices: np.ndarray) -> np.ndarray:
-        """The rows at *indices* as a dense ``(len(indices), dim)`` matrix."""
-        return self._buf[indices]
-
-    def append(self, points: Sequence) -> None:
-        rows = _dense_rows(points, self.dim)
-        if rows.size == 0:
-            return
-        needed = self._n + rows.shape[0]
-        if needed > self._buf.shape[0]:
-            capacity = max(8, 2 * self._buf.shape[0], needed)
-            grown = np.zeros((capacity, self.dim), dtype=np.float64)
-            grown[: self._n] = self._buf[: self._n]
-            self._buf = grown
-        self._buf[self._n : needed] = rows
-        self._n = needed
-        # Norms for the appended rows are filled lazily on next access.
-
-    def to_shared(self) -> "SharedStoreExport":
-        matrix = self.matrix
-        segment = _create_segment(matrix.nbytes)
-        if matrix.size:
-            view = np.ndarray(matrix.shape, dtype=np.float64, buffer=segment.buf)
-            view[...] = matrix
-        descriptor = {
-            "kind": "dense",
-            "segment": segment.name,
-            "rows": int(matrix.shape[0]),
-            "dim": int(matrix.shape[1]),
-        }
-        return SharedStoreExport(descriptor, [segment])
-
-
-class SetStore(DatasetStore):
-    """Set-valued data packed CSR-style: flat sorted item rows + offsets."""
-
-    kind = "sets"
-
-    def __init__(self, points: Sequence):
-        points = list(points)
-        self._points: List = points
-        self._indptr, self._items = _pack_sets(points)
-        self._n = len(points)
-
-    def __len__(self) -> int:
-        return self._n
-
-    @property
-    def indptr(self) -> np.ndarray:
-        """Row offsets into :attr:`items` (``int64``, length ``n + 1``)."""
-        return self._indptr[: self._n + 1]
-
-    @property
-    def items(self) -> np.ndarray:
-        """All rows' items, concatenated, sorted within each row."""
-        return self._items[: self._indptr[self._n]]
-
-    @property
-    def nbytes(self) -> int:
-        return int(self._indptr.nbytes + self._items.nbytes)
-
-    def get_point(self, index: int):
-        return self._points[index]
-
-    def gather(self, indices: np.ndarray):
-        """``(lengths, flat_items)`` of the rows at *indices* (concatenated)."""
-        starts = self._indptr[indices]
-        ends = self._indptr[indices + 1]
-        lengths = ends - starts
-        total = int(lengths.sum())
-        if total == 0:
-            return lengths, np.empty(0, dtype=np.int64)
-        offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-        positions = np.repeat(starts - offsets, lengths) + np.arange(total)
-        return lengths, self._items[positions]
-
-    def append(self, points: Sequence) -> None:
-        points = list(points)
-        if not points:
-            return
-        indptr, items = _pack_sets(points)
-        self._items = np.concatenate([self._items, items])
-        self._indptr = np.concatenate([self._indptr, self._indptr[-1] + indptr[1:]])
-        self._points.extend(points)
-        self._n += len(points)
-
-    def to_shared(self) -> "SharedStoreExport":
-        indptr = self.indptr
-        items = self.items
-        indptr_segment = _create_segment(indptr.nbytes)
-        np.ndarray(indptr.shape, dtype=np.int64, buffer=indptr_segment.buf)[...] = indptr
-        items_segment = _create_segment(items.nbytes)
-        if items.size:
-            np.ndarray(items.shape, dtype=np.int64, buffer=items_segment.buf)[...] = items
-        descriptor = {
-            "kind": "sets",
-            "indptr_segment": indptr_segment.name,
-            "items_segment": items_segment.name,
-            "rows": int(self._n),
-            "items_len": int(items.shape[0]),
-        }
-        return SharedStoreExport(descriptor, [indptr_segment, items_segment])
-
-
-class SharedStoreExport:
-    """Owner-side handle of a store exported via :meth:`DatasetStore.to_shared`.
-
-    Holds the shared-memory segments alive and carries the picklable
-    ``descriptor`` attachers feed to :meth:`DatasetStore.from_shared`.  The
-    exporting process is the segments' owner: it must eventually call
-    :meth:`unlink` exactly once (idempotent here) or the segments leak past
-    process exit.  Attachers only ever map and close.
-    """
-
-    def __init__(self, descriptor: Dict, segments: List):
-        self.descriptor = descriptor
-        self._segments = segments
-        self._closed = False
-        self._unlinked = False
-
-    def close(self) -> None:
-        """Drop this process's mappings (safe to call repeatedly)."""
-        if self._closed:
-            return
-        self._closed = True
-        for segment in self._segments:
-            try:
-                segment.close()
-            except OSError:  # pragma: no cover - already torn down
-                pass
-
-    def unlink(self) -> None:
-        """Destroy the segments (owner only; safe to call repeatedly)."""
-        self.close()
-        if self._unlinked:
-            return
-        self._unlinked = True
-        for segment in self._segments:
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already removed
-                pass
-
-
-def _create_segment(nbytes: int):
-    from multiprocessing import shared_memory
-
-    # Zero-size segments are rejected by the OS; a 1-byte floor keeps empty
-    # stores (no rows yet) exportable with the same code path.
-    return shared_memory.SharedMemory(create=True, size=max(1, int(nbytes)))
-
-
-def _attach_segment(name: str):
-    from multiprocessing import shared_memory
-
-    # Attaching registers the name with the resource tracker a second time.
-    # That is harmless — and must NOT be "fixed" with an unregister — as long
-    # as attachers share the exporter's tracker daemon: the tracker's cache
-    # is a set, so the re-register is a no-op and the owner's ``unlink()``
-    # performs the single removal.  Same-process attachment and fork-started
-    # workers (what :mod:`repro.engine.procpool` uses) both satisfy this;
-    # spawn-started attachers would need Python 3.13's ``track=False``.
-    return shared_memory.SharedMemory(name=name)
-
-
-class _AttachedDenseStore(DenseStore):
-    """Read-only :class:`DenseStore` viewing another process's shared matrix."""
-
-    def __init__(self, descriptor: Dict):
-        segment = _attach_segment(descriptor["segment"])
-        rows, dim = int(descriptor["rows"]), int(descriptor["dim"])
-        buf = np.ndarray((rows, dim), dtype=np.float64, buffer=segment.buf)
-        buf.flags.writeable = False
-        self._buf = buf
-        self._n = rows
-        self.dim = dim
-        self._norms_buf = None
-        self._segments = [segment]
-
-    def append(self, points: Sequence) -> None:
-        raise InvalidParameterError("shared-memory attached stores are read-only")
-
-    def detach(self) -> None:
-        for segment in self._segments:
-            try:
-                segment.close()
-            except OSError:  # pragma: no cover
-                pass
-        self._segments = []
-
-
-class _AttachedSetStore(SetStore):
-    """Read-only :class:`SetStore` viewing another process's CSR buffers.
-
-    Point objects are not shipped; :meth:`get_point` reconstructs each row's
-    frozenset lazily from the CSR slice and caches it.  Tombstoned slots come
-    back as empty frozensets — callers that track liveness (the dynamic
-    tables' alive mask) never ask for them.
-    """
-
-    def __init__(self, descriptor: Dict):
-        indptr_segment = _attach_segment(descriptor["indptr_segment"])
-        items_segment = _attach_segment(descriptor["items_segment"])
-        rows = int(descriptor["rows"])
-        items_len = int(descriptor["items_len"])
-        indptr = np.ndarray((rows + 1,), dtype=np.int64, buffer=indptr_segment.buf)
-        items = np.ndarray((items_len,), dtype=np.int64, buffer=items_segment.buf)
-        indptr.flags.writeable = False
-        items.flags.writeable = False
-        self._indptr = indptr
-        self._items = items
-        self._n = rows
-        self._points = [None] * rows
-        self._segments = [indptr_segment, items_segment]
-
-    def get_point(self, index: int):
-        cached = self._points[index]
-        if cached is None:
-            start = int(self._indptr[index])
-            end = int(self._indptr[index + 1])
-            cached = frozenset(int(item) for item in self._items[start:end])
-            self._points[index] = cached
-        return cached
-
-    def append(self, points: Sequence) -> None:
-        raise InvalidParameterError("shared-memory attached stores are read-only")
-
-    def detach(self) -> None:
-        for segment in self._segments:
-            try:
-                segment.close()
-            except OSError:  # pragma: no cover
-                pass
-        self._segments = []
-
-
-def _dense_rows(points: Sequence, dim: Optional[int] = None) -> np.ndarray:
-    """Coerce a sequence of vectors (``None`` = tombstoned slot) to float64 rows."""
-    if isinstance(points, np.ndarray) and points.ndim == 2:
-        rows = np.ascontiguousarray(points, dtype=np.float64)
-    else:
-        points = list(points)
-        if dim is None:
-            probe = next((p for p in points if p is not None), None)
-            if probe is None:
-                raise InvalidParameterError("cannot infer a row shape from all-dead slots")
-            dim = len(np.asarray(probe).reshape(-1))
-        rows = np.zeros((len(points), dim), dtype=np.float64)
-        for position, point in enumerate(points):
-            if point is None:
-                continue  # released slot: keep a zero placeholder row
-            rows[position] = np.asarray(point, dtype=np.float64).reshape(-1)
-    if dim is not None and rows.shape[1] != dim:
-        raise InvalidParameterError(
-            f"appended rows have dimension {rows.shape[1]}, store holds {dim}"
-        )
-    return rows
-
-
-def _pack_sets(points: Sequence) -> tuple:
-    """CSR-pack set points (``None`` = tombstoned slot) into (indptr, items)."""
-    lengths = np.asarray(
-        [0 if p is None else len(p) for p in points], dtype=np.int64
-    )
-    indptr = np.concatenate(([0], np.cumsum(lengths)))
-    total = int(indptr[-1])
-    items = np.empty(total, dtype=np.int64)
-    cursor = 0
-    for point in points:
-        if not point:
-            continue
-        if not isinstance(next(iter(point)), (int, np.integer)):
-            # Non-integer items (strings, floats) have no exact int64
-            # packing — np.fromiter would raise for strings but silently
-            # truncate floats.  Refuse; callers fall back to the scalar path.
-            raise TypeError(f"set items must be integers to pack, got {point!r}")
-        size = len(point)
-        items[cursor : cursor + size] = np.fromiter(point, dtype=np.int64, count=size)
-        cursor += size
-    if total:
-        # Sort within rows in one vectorized pass: stable sort by (row, item).
-        row_ids = np.repeat(np.arange(len(points), dtype=np.int64), lengths)
-        order = np.lexsort((items, row_ids))
-        items = items[order]
-    return indptr, items
-
-
-def make_store(dataset) -> Optional[DatasetStore]:
-    """Build the columnar store matching *dataset*'s representation.
-
-    Returns ``None`` when no columnar layout applies (the evaluation layer
-    then falls back to the scalar per-pair loop).  ``None`` entries inside
-    *dataset* are treated as tombstoned slots and stored as placeholders.
-    """
-    if isinstance(dataset, np.ndarray):
-        if dataset.ndim == 2 and dataset.dtype.kind in "iufb":
-            return DenseStore(dataset)
-        return None
-    try:
-        n = len(dataset)
-    except TypeError:
-        return None
-    if n == 0:
-        return None
-    probe = next((p for p in dataset if p is not None), None)
-    if probe is None:
-        return None
-    if isinstance(probe, (set, frozenset)):
-        if all(p is None or isinstance(p, (set, frozenset)) for p in dataset):
-            try:
-                return SetStore(dataset)
-            except (ValueError, TypeError, OverflowError):
-                # Non-integer items (e.g. sets of strings) have no CSR
-                # packing; the scalar evaluation path handles them.
-                return None
-        return None
-    if isinstance(probe, np.ndarray) and probe.ndim == 1 and probe.dtype.kind in "iufb":
-        dim = probe.shape[0]
-        if all(
-            p is None
-            or (isinstance(p, np.ndarray) and p.ndim == 1 and p.shape[0] == dim and p.dtype.kind in "iufb")
-            for p in dataset
-        ):
-            return DenseStore(_dense_rows(dataset, dim))
-        return None
-    return None

@@ -246,6 +246,15 @@ class BatchQueryEngine:
         endpoint returns per sampler and the benchmark writers persist.
         """
         tables = self.tables
+        store = self._current_store()
+        if store is not None:
+            # Mirror the block cache's lifetime counters into EngineStats
+            # before serializing, so ``counters`` and ``store.cache`` agree.
+            cache = store.cache_stats()
+            if cache is not None:
+                self.stats.store_cache_hits = int(cache["hits"])
+                self.stats.store_cache_misses = int(cache["misses"])
+                self.stats.store_bytes_fetched = int(cache["bytes_fetched"])
         payload = {
             "sampler": self.sampler_name,
             "sampler_class": type(self.sampler).__name__,
@@ -253,9 +262,24 @@ class BatchQueryEngine:
             "live_points": int(self.num_live_points),
             "counters": self.stats.to_dict(),
         }
+        if store is not None:
+            payload["store"] = store.stats_dict()
         if isinstance(tables, DynamicLSHTables):
             payload["pending_tombstones"] = int(tables.pending_tombstones)
         return payload
+
+    def _current_store(self):
+        """The already-built columnar store serving this engine, or ``None``.
+
+        Deliberately reads the cached slots (``tables._store`` /
+        ``sampler._store``) instead of the lazy-building accessors: stats
+        reporting must never force a columnar pack of the dataset.
+        """
+        tables = self.tables
+        store = getattr(tables, "_store", None) if tables is not None else None
+        if store in (None, False):
+            store = getattr(self.sampler, "_store", None)
+        return store or None
 
     # ------------------------------------------------------------------
     # Index mutation

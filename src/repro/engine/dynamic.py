@@ -58,6 +58,7 @@ from typing import Dict, Hashable, List, Optional, Set
 import numpy as np
 
 from repro.data.store import DatasetStore, make_store
+from repro.store.points import points_share_store
 from repro.exceptions import (
     AlreadyDeletedError,
     EmptyDatasetError,
@@ -476,7 +477,11 @@ class DynamicLSHTables(LSHTables):
                         else np.concatenate([bucket.ranks, added_ranks]),
                     )
         self._points.extend(points)
-        if self._store not in (None, False):
+        # A store-backed point container (out-of-core tiers) routes extend()
+        # into the store itself; appending again would duplicate the rows.
+        if self._store not in (None, False) and not points_share_store(
+            self._points, self._store
+        ):
             try:
                 self._store.append(points)
             except Exception:

@@ -168,6 +168,12 @@ class EngineStats:
     ipc_bytes_sent, ipc_bytes_received:
         Total protocol bytes shipped to / received from shard worker
         processes (length-prefixed frames; counts payload plus prefix).
+    store_cache_hits, store_cache_misses, store_bytes_fetched:
+        Mirrors of the active dataset store's block-cache lifetime counters
+        (remote backend only; 0 for stores without a cache).  Refreshed —
+        overwritten, not accumulated — every time the engine reports stats,
+        so they always equal the store's own
+        :meth:`~repro.store.base.DatasetStore.cache_stats` numbers.
     """
 
     queries_served: int = 0
@@ -187,6 +193,9 @@ class EngineStats:
     mutations_replayed: int = 0
     ipc_bytes_sent: int = 0
     ipc_bytes_received: int = 0
+    store_cache_hits: int = 0
+    store_cache_misses: int = 0
+    store_bytes_fetched: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """The counters as a plain JSON-serializable dict.

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.engine.batch import BatchQueryEngine, build_tables
 from repro.engine.dynamic import DynamicLSHTables, MutationDelta
+from repro.store.points import points_share_store
 from repro.engine.requests import QueryRequest, QueryResponse
 from repro.exceptions import (
     AlreadyDeletedError,
@@ -522,7 +523,9 @@ class ShardedLSHTables(DynamicLSHTables):
             self._notify_shard_op(shard_index, "insert", (subset, shard_ranks, was_fit))
 
         self._points.extend(points)
-        if self._store not in (None, False):
+        if self._store not in (None, False) and not points_share_store(
+            self._points, self._store
+        ):
             try:
                 self._store.append(points)
             except Exception:

@@ -31,11 +31,12 @@ returned.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 import pickle
 import zipfile
-from typing import Dict, Hashable, List, Union
+from typing import Dict, Hashable, List, Optional, Union
 
 import numpy as np
 
@@ -47,6 +48,14 @@ from repro.engine.sharded import ShardedEngine, ShardedLSHTables
 from repro.exceptions import InvalidParameterError, ReproError, SnapshotCorruptError
 from repro.lsh.tables import Bucket, LSHTables
 from repro.spec import EngineSpec, SamplerSpec
+from repro.store import (
+    DenseStore,
+    MemmapDenseStore,
+    MemmapSetStore,
+    SetStore,
+    StoreBackedPoints,
+    StoreSpec,
+)
 
 #: Version 2 added the pending :class:`~repro.engine.dynamic.MutationDelta`
 #: to ``objects.pkl`` so a restored engine keeps maintaining derived sampler
@@ -61,28 +70,88 @@ FORMAT_VERSION = 3
 #: Format written for engines over :class:`~repro.engine.sharded.ShardedLSHTables`.
 SHARDED_FORMAT_VERSION = 4
 
+#: Version 5 is the *out-of-core* layout: every array is written as its own
+#: raw uncompressed ``.npy`` file under ``arrays/`` (instead of one zipped
+#: ``arrays.npz``), and a columnar dataset is persisted as arrays too —
+#: ``dataset__dense`` or ``dataset__indptr``/``dataset__items`` plus a
+#: ``dataset__released`` mask — with ``objects.pkl`` carrying ``None`` for
+#: the dataset.  Raw ``.npy`` payloads can be ``np.memmap``-ed directly, so
+#: a v5 snapshot is servable without reading the corpus
+#: (``load_engine(..., store="memmap")``) or with the corpus on a different
+#: machine entirely (``store="remote"``).  Sharding is orthogonal in v5: the
+#: manifest records it as the ``sharded`` flag rather than a distinct
+#: version.
+NPY_FORMAT_VERSION = 5
+
 #: Formats ``load_engine`` reads.  Version 1 merely lacks the pending delta
 #: (the loader substitutes an empty one); version 2 lacks the spec and
 #: serving name (the loader leaves the spec ``None`` and derives the name
-#: from the sampler class); version 4 adds shards.
-COMPATIBLE_VERSIONS = (1, 2, FORMAT_VERSION, SHARDED_FORMAT_VERSION)
+#: from the sampler class); version 4 adds shards; version 5 stores raw
+#: ``.npy`` arrays and enables the out-of-core storage backends.
+COMPATIBLE_VERSIONS = (1, 2, FORMAT_VERSION, SHARDED_FORMAT_VERSION, NPY_FORMAT_VERSION)
 
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"
 _OBJECTS = "objects.pkl"
+_ARRAYS_DIR = "arrays"
+
+#: Dataset persistence layouts a v5 manifest can declare.
+_DATASET_LAYOUTS = ("dense", "sets", "pickled")
 
 
-def _pack_tables(tables, prefix: str, arrays: Dict[str, np.ndarray]) -> List[List[Hashable]]:
+def _encode_keys(keys, name: str, arrays: Dict[str, np.ndarray]):
+    """Store int / fixed-width int-tuple key lists as an int64 array.
+
+    Unpickling hundreds of thousands of small tuples dominates the cold
+    path of large snapshots; the common LSH key shapes (a concatenated
+    hash is a K-tuple of ints, a single hash an int) round-trip through
+    one rectangular array instead.  Returns a sentinel dict referencing
+    the array, or the original list when the keys don't fit the shape.
+    """
+    if keys and all(type(k) is int for k in keys):
+        arrays[name] = np.asarray(keys, dtype=np.int64)
+        return {"__bucket_keys__": "ints", "array": name}
+    if (
+        keys
+        and all(type(k) is tuple for k in keys)
+        and len({len(k) for k in keys}) == 1
+        and all(type(v) is int for v in keys[0])
+    ):
+        try:
+            arrays[name] = np.asarray(keys, dtype=np.int64)
+        except (ValueError, OverflowError, TypeError):
+            return keys
+        return {"__bucket_keys__": "int_tuples", "array": name}
+    return keys
+
+
+def _decode_keys(entry, arrays) -> List[Hashable]:
+    """Inverse of :func:`_encode_keys` (lists pass through untouched)."""
+    if not isinstance(entry, dict) or "__bucket_keys__" not in entry:
+        return entry
+    packed = np.asarray(arrays[entry["array"]])
+    if entry["__bucket_keys__"] == "ints":
+        return packed.tolist()
+    return [tuple(row) for row in packed.tolist()]
+
+
+def _pack_tables(
+    tables, prefix: str, arrays: Dict[str, np.ndarray], npy: bool = False
+) -> List[List[Hashable]]:
     """Flatten one table set's buckets into *arrays* under *prefix*.
 
     Returns the per-table bucket key lists (pickled separately — keys are
-    ints or tuples, not rectangular arrays).
+    ints or tuples, not rectangular arrays).  Under the v5 layout (*npy*),
+    int-shaped key lists are diverted into ``{prefix}t{i}_keys`` arrays and
+    replaced by sentinels (see :func:`_encode_keys`).
     """
     bucket_keys: List[List[Hashable]] = []
     has_ranks = tables.ranks is not None
     for table_index, table in enumerate(tables._tables):
         keys = list(table.keys())
-        bucket_keys.append(keys)
+        bucket_keys.append(
+            _encode_keys(keys, f"{prefix}t{table_index}_keys", arrays) if npy else keys
+        )
         buckets = [table[key] for key in keys]
         sizes = np.asarray([len(bucket) for bucket in buckets], dtype=np.int64)
         arrays[f"{prefix}t{table_index}_offsets"] = np.concatenate(
@@ -102,7 +171,11 @@ def _pack_tables(tables, prefix: str, arrays: Dict[str, np.ndarray]) -> List[Lis
     return bucket_keys
 
 
-def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+def save_engine(
+    engine: BatchQueryEngine,
+    directory: Union[str, pathlib.Path],
+    format_version: Optional[int] = None,
+) -> pathlib.Path:
     """Write *engine* to *directory* (created if needed); returns the path.
 
     Engines over :class:`~repro.engine.sharded.ShardedLSHTables` are written
@@ -110,6 +183,13 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
     separately together with the recorded placement, so the restored engine
     resumes with the same partitioning — and the same byte-identical
     responses — as the saved one.
+
+    *format_version* selects the on-disk layout: ``None`` (default) writes
+    the legacy zipped format (v3, or v4 when sharded) — unless the engine is
+    already serving from an out-of-core store, in which case checkpoints
+    auto-upgrade to v5 so they stay servable out-of-core.  Pass ``5``
+    explicitly to write the raw-``.npy`` layout that ``store="memmap"`` /
+    ``store="remote"`` loading requires.
     """
     sampler = engine.sampler
     if not isinstance(sampler, LSHNeighborSampler) or sampler.tables is None:
@@ -127,6 +207,21 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
     sharded = isinstance(tables, ShardedLSHTables)
     dynamic = isinstance(tables, DynamicLSHTables)
 
+    legacy_version = SHARDED_FORMAT_VERSION if sharded else FORMAT_VERSION
+    if format_version is None:
+        # Engines already serving out-of-core auto-upgrade their checkpoints
+        # to v5: a crash-recovery load must be able to come back on the same
+        # storage tier, which the zipped formats cannot provide.
+        active = getattr(tables, "_store", None)
+        backend = getattr(active, "backend", "inram") if active not in (None, False) else "inram"
+        format_version = NPY_FORMAT_VERSION if backend != "inram" else legacy_version
+    if format_version not in (legacy_version, NPY_FORMAT_VERSION):
+        raise InvalidParameterError(
+            f"format_version must be {legacy_version} or {NPY_FORMAT_VERSION} for "
+            f"this engine, got {format_version!r}"
+        )
+    npy = format_version == NPY_FORMAT_VERSION
+
     arrays: Dict[str, np.ndarray] = {}
     shard_manifests = None
     if sharded:
@@ -134,7 +229,7 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
         shard_manifests = []
         for shard_index, shard in enumerate(tables.shards):
             if tables._shard_fitted[shard_index]:
-                bucket_keys.append(_pack_tables(shard, f"s{shard_index}_", arrays))
+                bucket_keys.append(_pack_tables(shard, f"s{shard_index}_", arrays, npy=npy))
                 arrays[f"s{shard_index}_pending"] = np.asarray(
                     sorted(shard._pending), dtype=np.intp
                 )
@@ -150,7 +245,7 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
         arrays["shard_of"] = np.asarray(tables._shard_of, dtype=np.int64)
         arrays["local_of"] = np.asarray(tables._local_of, dtype=np.int64)
     else:
-        bucket_keys = _pack_tables(tables, "", arrays)
+        bucket_keys = _pack_tables(tables, "", arrays, npy=npy)
     if tables.ranks is not None:
         arrays["ranks"] = tables.ranks
     if dynamic:
@@ -163,11 +258,19 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
     # along for bit-identical post-load behaviour.
     sampler_copy = sampler._stripped_for_snapshot()
 
+    # v5 persists a columnar dataset as raw arrays ("dense"/"sets" layout)
+    # and pickles nothing for it — the dominant load cost of the zipped
+    # formats, and what makes the snapshot mappable/fetchable.  Datasets with
+    # no columnar form fall back to the "pickled" layout inside a v5 shell.
+    dataset_layout = "pickled"
+    if npy:
+        dataset_layout = _pack_dataset(sampler, tables, arrays)
+
     objects = {
         "family": tables.family,
         "functions": tables._functions,
         "bucket_keys": bucket_keys,
-        "dataset": list(sampler.dataset),
+        "dataset": None if dataset_layout != "pickled" else list(sampler.dataset),
         "sampler": sampler_copy,
         "mut_rng": tables._mut_rng if dynamic else None,
         # Mutations recorded but not yet consumed by a sampler sync (possible
@@ -185,7 +288,9 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
         )
 
     manifest = {
-        "format_version": SHARDED_FORMAT_VERSION if sharded else FORMAT_VERSION,
+        "format_version": format_version,
+        "sharded": sharded,
+        "dataset_layout": dataset_layout if npy else None,
         "sampler_class": type(sampler).__name__,
         "sampler_name": engine.sampler_name,
         "spec": None if spec is None else spec.to_dict(),
@@ -216,12 +321,52 @@ def save_engine(engine: BatchQueryEngine, directory: Union[str, pathlib.Path]) -
             "process" if type(engine).__name__ == "ProcessShardedEngine" else "thread"
         )
 
-    np.savez(directory / _ARRAYS, **arrays)
+    if npy:
+        arrays_dir = directory / _ARRAYS_DIR
+        arrays_dir.mkdir(parents=True, exist_ok=True)
+        for name, value in arrays.items():
+            np.save(arrays_dir / f"{name}.npy", np.ascontiguousarray(value))
+    else:
+        np.savez(directory / _ARRAYS, **arrays)
     with open(directory / _OBJECTS, "wb") as handle:
         pickle.dump(objects, handle)
     with open(directory / _MANIFEST, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
     return directory
+
+
+def _pack_dataset(sampler, tables, arrays: Dict[str, np.ndarray]) -> str:
+    """Add the dataset's columnar payload to *arrays*; returns the layout tag.
+
+    The rows come from the engine's active columnar store (built lazily here
+    if need be), so released slots carry the same placeholder payload the
+    store holds — loaded stores on any backend read back byte-identical rows.
+    The slot-aligned ``dataset__released`` mask records which slots read back
+    as ``None`` in the point container.
+    """
+    points = sampler.dataset
+    try:
+        store = sampler._active_store()
+    except Exception:
+        store = None
+    if store is None or len(store) != len(points):
+        return "pickled"
+    if isinstance(points, StoreBackedPoints):
+        released_slots = points.released
+        released = np.zeros(len(points), dtype=bool)
+        for index in released_slots:
+            released[index] = True
+    else:
+        released = np.asarray([p is None for p in points], dtype=bool)
+    if store.kind == "dense":
+        arrays["dataset__dense"] = np.ascontiguousarray(store.matrix, dtype=np.float64)
+    elif store.kind == "sets":
+        arrays["dataset__indptr"] = np.ascontiguousarray(store.indptr, dtype=np.int64)
+        arrays["dataset__items"] = np.ascontiguousarray(store.items, dtype=np.int64)
+    else:  # pragma: no cover - no other columnar kinds exist
+        return "pickled"
+    arrays["dataset__released"] = released
+    return store.kind
 
 
 #: Exception types a damaged snapshot surfaces as: missing/unreadable files
@@ -244,24 +389,78 @@ _CORRUPT_SIGNALS = (
 )
 
 
-def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
+class _NpyDir:
+    """Dict-style accessor over a v5 snapshot's ``arrays/`` directory.
+
+    Presents the same ``arrays[key]`` interface as an open ``NpzFile`` so
+    the table-restore code is format-agnostic.  With ``mapped=True`` every
+    array comes back as a read-only ``np.memmap`` — loading touches only
+    ``.npy`` headers and the OS pages data in on first access.  A missing or
+    damaged per-array file raises
+    :class:`~repro.exceptions.SnapshotCorruptError` carrying the file's
+    ``path``, mirroring what a truncated ``arrays.npz`` raises for the
+    zipped formats.
+    """
+
+    def __init__(self, directory: pathlib.Path, mapped: bool = False):
+        self._directory = pathlib.Path(directory)
+        self._mapped = mapped
+
+    def path(self, key: str) -> pathlib.Path:
+        return self._directory / f"{key}.npy"
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        path = self.path(key)
+        try:
+            return np.load(
+                path, mmap_mode="r" if self._mapped else None, allow_pickle=False
+            )
+        except (OSError, ValueError, EOFError) as error:
+            raise SnapshotCorruptError(
+                f"cannot read snapshot array {path}: {type(error).__name__}: {error}",
+                path=path,
+            ) from error
+
+    def __enter__(self) -> "_NpyDir":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+def load_engine(
+    directory: Union[str, pathlib.Path],
+    store: Union[StoreSpec, str, None] = None,
+    block_client=None,
+) -> BatchQueryEngine:
     """Reconstruct a :class:`BatchQueryEngine` saved by :func:`save_engine`.
 
     All compatible formats load: v1–v3 unsharded snapshots restore exactly
-    as before, and v4 snapshots come back as
+    as before, v4 snapshots come back as
     :class:`~repro.engine.sharded.ShardedEngine` instances over the same
-    partitioning.
+    partitioning, and v5 snapshots additionally choose their storage tier.
+
+    *store* selects the dataset backend: a backend name (``"inram"``,
+    ``"memmap"``, ``"remote"``), a full :class:`~repro.store.StoreSpec`, or
+    ``None`` to follow the snapshot's own spec (falling back to ``inram``).
+    ``memmap`` maps the v5 snapshot's raw arrays in place — cold start reads
+    headers, not the corpus; ``remote`` fetches vector blocks from a block
+    server (*block_client*, or an HTTP client built from the spec's
+    ``endpoint``).  Out-of-core backends require a v5 snapshot with a
+    columnar dataset layout; anything else raises
+    :class:`~repro.exceptions.InvalidParameterError`.
 
     A snapshot that cannot be loaded — missing files, truncated or
     bit-rotted arrays, invalid JSON, pickle damage — raises
     :class:`~repro.exceptions.SnapshotCorruptError` (with the underlying
-    failure as ``__cause__``) rather than leaking raw ``numpy``/``pickle``/
-    ``json`` exceptions; a *valid* snapshot in an unsupported format still
-    raises :class:`~repro.exceptions.InvalidParameterError`.
+    failure as ``__cause__``, and the damaged file as ``path`` when one is
+    identifiable) rather than leaking raw ``numpy``/``pickle``/``json``
+    exceptions; a *valid* snapshot in an unsupported format still raises
+    :class:`~repro.exceptions.InvalidParameterError`.
     """
     directory = pathlib.Path(directory)
     try:
-        return _load_engine(directory)
+        return _load_engine(directory, store, block_client)
     except ReproError:
         raise
     except _CORRUPT_SIGNALS as error:
@@ -271,21 +470,61 @@ def load_engine(directory: Union[str, pathlib.Path]) -> BatchQueryEngine:
         ) from error
 
 
-def _load_engine(directory: pathlib.Path) -> BatchQueryEngine:
+def _load_engine(
+    directory: pathlib.Path,
+    store_request: Union[StoreSpec, str, None] = None,
+    block_client=None,
+) -> BatchQueryEngine:
     with open(directory / _MANIFEST, "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
-    if manifest["format_version"] not in COMPATIBLE_VERSIONS:
+    version = manifest["format_version"]
+    if version not in COMPATIBLE_VERSIONS:
         raise InvalidParameterError(
-            f"snapshot format {manifest['format_version']} not supported "
+            f"snapshot format {version} not supported "
             f"(expected one of {COMPATIBLE_VERSIONS})"
         )
+    npy = version == NPY_FORMAT_VERSION
+    sharded = bool(manifest.get("sharded", version == SHARDED_FORMAT_VERSION))
+
+    # Format v3 manifests are self-describing; v2 and older lack the spec and
+    # serving name, so the spec stays None and the name is derived from the
+    # sampler class.
+    spec_data = manifest.get("spec")
+    spec = None
+    if spec_data is not None:
+        spec_cls = EngineSpec if manifest.get("spec_kind") == "engine" else SamplerSpec
+        spec = spec_cls.from_dict(spec_data)
+
+    # Resolve the storage tier: explicit request > snapshot spec > inram.
+    if store_request is not None:
+        store_spec = StoreSpec.coerce(store_request)
+    elif isinstance(spec, EngineSpec) and spec.store is not None:
+        store_spec = spec.store
+    else:
+        store_spec = StoreSpec()
+    if store_spec.backend != "inram":
+        if not npy:
+            raise InvalidParameterError(
+                f"store backend {store_spec.backend!r} requires a format-"
+                f"{NPY_FORMAT_VERSION} snapshot (this one is format {version}); "
+                f"re-save it with save_engine(..., format_version={NPY_FORMAT_VERSION})"
+            )
+        if manifest.get("dataset_layout") == "pickled":
+            raise InvalidParameterError(
+                f"store backend {store_spec.backend!r} requires a columnar "
+                "dataset layout; this snapshot's dataset is pickled"
+            )
+    if store_request is not None and isinstance(spec, EngineSpec):
+        # The explicitly requested tier becomes part of the engine's spec, so
+        # subsequent checkpoints and recoveries stay on it.
+        spec = dataclasses.replace(spec, store=store_spec)
+
     with open(directory / _OBJECTS, "rb") as handle:
         objects = pickle.load(handle)
     num_tables = int(manifest["num_tables"])
     num_points = int(manifest["num_points"])
     has_ranks = bool(manifest["has_ranks"])
     dynamic = bool(manifest["dynamic"])
-    sharded = manifest["format_version"] == SHARDED_FORMAT_VERSION
 
     if sharded:
         tables = ShardedLSHTables(
@@ -311,13 +550,31 @@ def _load_engine(directory: pathlib.Path) -> BatchQueryEngine:
         tables = LSHTables(objects["family"], num_tables, seed=0, _functions=objects["functions"])
     # All array accesses happen inside the with block (NpzFile materializes
     # plain ndarrays on access), so the file handle is released on exit.
-    with np.load(directory / _ARRAYS, allow_pickle=False) as arrays:
+    # Memmap-backed loads map the per-array ``.npy`` files instead: bucket
+    # arrays stay lazy views and the corpus is never read up front.
+    if npy:
+        arrays_source = _NpyDir(
+            directory / _ARRAYS_DIR, mapped=store_spec.backend == "memmap"
+        )
+    else:
+        arrays_source = np.load(directory / _ARRAYS, allow_pickle=False)
+    with arrays_source as arrays:
+        points, prebuilt_store = _restore_dataset(
+            directory, manifest, objects, arrays, store_spec, block_client
+        )
         if sharded:
-            _restore_sharded_tables(tables, manifest, arrays, objects)
+            _restore_sharded_tables(tables, manifest, arrays, objects, points)
+            if prebuilt_store is not None:
+                tables._store = prebuilt_store
             dataset = tables.dataset
         else:
             tables._tables = [
-                _restore_table(arrays, table_index, objects["bucket_keys"][table_index], has_ranks)
+                _restore_table(
+                    arrays,
+                    table_index,
+                    _decode_keys(objects["bucket_keys"][table_index], arrays),
+                    has_ranks,
+                )
                 for table_index in range(num_tables)
             ]
             tables._n = num_points
@@ -325,7 +582,9 @@ def _load_engine(directory: pathlib.Path) -> BatchQueryEngine:
             tables._fitted = True
 
             if dynamic:
-                tables._points = list(objects["dataset"])
+                tables._points = points
+                if prebuilt_store is not None:
+                    tables._store = prebuilt_store
                 if has_ranks:
                     # Re-establish the capacity buffer the rank view grows inside.
                     tables._ranks_buf = np.array(tables._ranks, dtype=np.int64)
@@ -345,25 +604,20 @@ def _load_engine(directory: pathlib.Path) -> BatchQueryEngine:
                 tables._delta.start_epoch = tables.mutation_epoch
                 dataset = tables.dataset
             else:
-                dataset = list(objects["dataset"])
+                dataset = points
 
     sampler = objects["sampler"]
     sampler.tables = tables
     sampler._dataset = dataset
     sampler.ranks = tables.ranks if sampler._use_ranks else None
+    if prebuilt_store is not None and not hasattr(tables, "point_store"):
+        # Static tables have no shared store; seed the sampler's own cache so
+        # vectorized scoring starts on the reconstructed store immediately.
+        sampler._store = prebuilt_store
     # Restored tables restart their mutation epoch; re-anchor the sampler so
     # its next empty drain is not mistaken for a missed (stolen) delta.  Any
     # delta persisted above round-trips and is applied on the next sync.
     sampler._synced_epoch = tables.mutation_epoch
-
-    # Format v3 manifests are self-describing; v2 and older lack the spec and
-    # serving name, so the spec stays None and the name is derived from the
-    # sampler class.
-    spec_data = manifest.get("spec")
-    spec = None
-    if spec_data is not None:
-        spec_cls = EngineSpec if manifest.get("spec_kind") == "engine" else SamplerSpec
-        spec = spec_cls.from_dict(spec_data)
 
     if sharded and manifest.get("executor") == "process":
         from repro.engine.procpool import ProcessShardedEngine
@@ -384,15 +638,94 @@ def _load_engine(directory: pathlib.Path) -> BatchQueryEngine:
     return engine
 
 
+def _restore_dataset(
+    directory: pathlib.Path,
+    manifest: dict,
+    objects: dict,
+    arrays,
+    store_spec: StoreSpec,
+    block_client,
+):
+    """Rebuild the point container for the requested backend.
+
+    Returns ``(points, store)`` — the dataset container the tables/sampler
+    will hold, plus a ready columnar store over it (``None`` when the
+    dataset has no columnar form and scoring falls back to the scalar loop).
+    ``inram`` materializes a plain list (of matrix row views / frozensets);
+    ``memmap`` and ``remote`` return a
+    :class:`~repro.store.StoreBackedPoints` facade whose rows come straight
+    from the backing store, so nothing is read up front.
+    """
+    layout = manifest.get("dataset_layout") or "pickled"
+    if manifest["format_version"] != NPY_FORMAT_VERSION or layout == "pickled":
+        return list(objects["dataset"]), None
+    if layout not in _DATASET_LAYOUTS:
+        raise InvalidParameterError(f"unknown snapshot dataset layout {layout!r}")
+    released_mask = np.asarray(arrays["dataset__released"], dtype=bool)
+
+    if store_spec.backend == "inram":
+        if layout == "dense":
+            matrix = np.ascontiguousarray(arrays["dataset__dense"], dtype=np.float64)
+            points = [
+                None if released_mask[index] else matrix[index]
+                for index in range(matrix.shape[0])
+            ]
+            return points, DenseStore(matrix)
+        indptr = np.ascontiguousarray(arrays["dataset__indptr"], dtype=np.int64)
+        items = np.ascontiguousarray(arrays["dataset__items"], dtype=np.int64)
+        points = [
+            None
+            if released_mask[index]
+            else frozenset(int(item) for item in items[indptr[index] : indptr[index + 1]])
+            for index in range(indptr.shape[0] - 1)
+        ]
+        return points, SetStore._from_csr(points, indptr, items)
+
+    released = np.nonzero(released_mask)[0].tolist()
+    if store_spec.backend == "memmap":
+        arrays_dir = directory / _ARRAYS_DIR
+        if layout == "dense":
+            store = MemmapDenseStore(arrays_dir / "dataset__dense.npy")
+        else:
+            store = MemmapSetStore(
+                arrays_dir / "dataset__indptr.npy", arrays_dir / "dataset__items.npy"
+            )
+    else:  # remote
+        client = block_client
+        if client is None:
+            if store_spec.endpoint is None:
+                raise InvalidParameterError(
+                    "the remote backend needs a block server: pass block_client= "
+                    "or a StoreSpec carrying an endpoint"
+                )
+            from repro.store import HTTPBlockClient
+
+            client = HTTPBlockClient(store_spec.endpoint)
+        from repro.store import RemoteDenseStore, RemoteSetStore
+
+        store_cls = RemoteDenseStore if layout == "dense" else RemoteSetStore
+        store = store_cls(
+            client,
+            cache_blocks=store_spec.cache_blocks,
+            block_size=store_spec.block_size,
+        )
+    if len(store) != int(manifest["num_points"]):
+        raise SnapshotCorruptError(
+            f"snapshot dataset holds {len(store)} rows but the manifest "
+            f"records {manifest['num_points']}"
+        )
+    return StoreBackedPoints(store, released), store
+
+
 def _restore_sharded_tables(
-    tables: ShardedLSHTables, manifest: dict, arrays, objects: dict
+    tables: ShardedLSHTables, manifest: dict, arrays, objects: dict, points
 ) -> None:
-    """Rebuild a :class:`ShardedLSHTables` (and its shards) from a v4 snapshot."""
+    """Rebuild a :class:`ShardedLSHTables` (and its shards) from a v4/v5 snapshot."""
     num_tables = int(manifest["num_tables"])
     num_points = int(manifest["num_points"])
     has_ranks = bool(manifest["has_ranks"])
 
-    tables._points = list(objects["dataset"])
+    tables._points = points
     tables._n = num_points
     tables._alive = arrays["alive"].astype(bool)
     tables._num_live = int(manifest["num_live"])
@@ -423,7 +756,13 @@ def _restore_sharded_tables(
         keys = objects["bucket_keys"][shard_index]
         prefix = f"s{shard_index}_"
         shard._tables = [
-            _restore_table(arrays, table_index, keys[table_index], has_ranks, prefix=prefix)
+            _restore_table(
+                arrays,
+                table_index,
+                _decode_keys(keys[table_index], arrays),
+                has_ranks,
+                prefix=prefix,
+            )
             for table_index in range(num_tables)
         ]
         globals_ = np.asarray(tables._globals_list[shard_index], dtype=np.intp)
@@ -455,9 +794,14 @@ def _restore_table(
     arrays, table_index: int, keys: List[Hashable], has_ranks: bool, prefix: str = ""
 ) -> dict:
     """Rebuild one table's ``key -> Bucket`` dict from the flattened arrays."""
-    offsets = arrays[f"{prefix}t{table_index}_offsets"]
-    indices = arrays[f"{prefix}t{table_index}_indices"].astype(np.intp)
-    ranks = arrays[f"{prefix}t{table_index}_ranks"] if has_ranks else None
+    # np.asarray demotes memmap-loaded arrays to base-ndarray views over the
+    # same mapping: the data stays lazy, but the thousands of per-bucket
+    # slices below are cheap ndarray views instead of memmap subclass
+    # instances.  copy=False keeps the intp cast lazy too (int64 == intp on
+    # 64-bit platforms).
+    offsets = np.asarray(arrays[f"{prefix}t{table_index}_offsets"]).tolist()
+    indices = np.asarray(arrays[f"{prefix}t{table_index}_indices"]).astype(np.intp, copy=False)
+    ranks = np.asarray(arrays[f"{prefix}t{table_index}_ranks"]) if has_ranks else None
     table = {}
     for position, key in enumerate(keys):
         lo, hi = int(offsets[position]), int(offsets[position + 1])

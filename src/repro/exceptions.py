@@ -150,7 +150,40 @@ class SnapshotCorruptError(ReproError):
     path can treat "this checkpoint is bad, try the previous one" as a
     single condition instead of catching raw ``numpy``/``pickle``/``json``
     exceptions.  The original exception is preserved as ``__cause__``.
+
+    Attributes
+    ----------
+    path:
+        The damaged file inside the snapshot directory, when the failure
+        could be pinned to one (a missing or truncated per-array ``.npy``
+        in the v5 layout, the ``arrays.npz`` of older formats); ``None``
+        for directory-level damage.
     """
+
+    def __init__(self, message: str, path=None):
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+
+
+class BlockFetchError(ReproError):
+    """Raised when a remote vector-block fetch fails or returns torn data.
+
+    The remote dataset store (:class:`repro.store.RemoteDenseStore` /
+    :class:`repro.store.RemoteSetStore`) fetches vector blocks over the
+    narrow :class:`repro.store.BlockClient` protocol; a block server that is
+    unreachable, answers with an HTTP error, or returns fewer bytes than the
+    block geometry requires surfaces as this one typed error instead of raw
+    ``urllib``/``socket`` exceptions.
+
+    Attributes
+    ----------
+    name:
+        The logical array whose blocks were requested, when known.
+    """
+
+    def __init__(self, message: str, name=None):
+        super().__init__(message)
+        self.name = name
 
 
 class ServerTimeoutError(ReproError, TimeoutError):

@@ -10,10 +10,13 @@ facade, each usable on its own:
   atomic snapshot swaps under live traffic.
 - :mod:`repro.server.app` / :mod:`repro.server.client` — the stdlib
   ``http.server`` front-end and its ``urllib`` client.
+- :mod:`repro.server.blocks` — the block server feeding the ``remote``
+  store tier (:mod:`repro.store`).
 """
 
 from repro.exceptions import ServerTimeoutError
 from repro.server.app import FairNNServer, decode_point, encode_point
+from repro.server.blocks import BlockServer
 from repro.server.capacity import CapacityModel, TokenBucket
 from repro.server.client import FairNNClient, ServerHTTPError
 from repro.server.swap import (
@@ -26,6 +29,7 @@ from repro.server.swap import (
 )
 
 __all__ = [
+    "BlockServer",
     "CapacityModel",
     "FairNNClient",
     "FairNNServer",

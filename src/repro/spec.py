@@ -37,6 +37,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.exceptions import InvalidParameterError
 from repro.registry import SAMPLERS, get_distance, get_lsh_family, get_sampler
+from repro.store.spec import StoreSpec
 
 __all__ = [
     "DistanceSpec",
@@ -328,6 +329,13 @@ class EngineSpec(_JsonRoundTrip):
         ``"off"`` (flush only).  Ignored when serving without a data
         directory; persisted in snapshots so a recovered engine keeps its
         durability configuration.
+    store:
+        Which storage tier serves the dataset
+        (:class:`~repro.store.StoreSpec`): ``None`` (the default) means the
+        in-RAM columnar stores; a spec with ``backend="memmap"`` or
+        ``backend="remote"`` serves the corpus out-of-core from a format-v5
+        snapshot.  Persisted in snapshots so checkpoints and
+        :meth:`~repro.api.FairNN.recover` come back on the same tier.
     """
 
     samplers: Dict[str, SamplerSpec] = field(default_factory=dict)
@@ -340,6 +348,7 @@ class EngineSpec(_JsonRoundTrip):
     placement: str = "round_robin"
     executor: str = "thread"
     wal_fsync: str = "interval"
+    store: Optional[StoreSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.samplers, Mapping) or not self.samplers:
@@ -385,6 +394,14 @@ class EngineSpec(_JsonRoundTrip):
             raise InvalidParameterError(
                 f"EngineSpec.wal_fsync must be one of {_FSYNC_POLICIES}, got {self.wal_fsync!r}"
             )
+        if self.store is not None:
+            if isinstance(self.store, (str, dict)):
+                object.__setattr__(self, "store", StoreSpec.coerce(self.store))
+            elif not isinstance(self.store, StoreSpec):
+                raise InvalidParameterError(
+                    f"EngineSpec.store must be a StoreSpec, backend name, or None, "
+                    f"got {type(self.store).__name__}"
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -412,6 +429,7 @@ class EngineSpec(_JsonRoundTrip):
             "placement": self.placement,
             "executor": self.executor,
             "wal_fsync": self.wal_fsync,
+            "store": None if self.store is None else self.store.to_dict(),
         }
 
     @classmethod
@@ -430,6 +448,7 @@ class EngineSpec(_JsonRoundTrip):
                 "placement",
                 "executor",
                 "wal_fsync",
+                "store",
             ),
             "EngineSpec",
         )
@@ -447,6 +466,11 @@ class EngineSpec(_JsonRoundTrip):
             placement=data.get("placement", "round_robin"),
             executor=data.get("executor", "thread"),
             wal_fsync=data.get("wal_fsync", "interval"),
+            store=(
+                None
+                if data.get("store") is None
+                else StoreSpec.from_dict(data["store"])
+            ),
         )
 
 

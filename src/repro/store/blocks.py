@@ -1,0 +1,221 @@
+"""The narrow block-fetch protocol between remote stores and block servers.
+
+A remote dataset store needs exactly two operations from wherever the bytes
+live, mirroring the feature-store/graph-store split of PyG (the index
+structure stays local; vectors are fetched in batches):
+
+``meta()``
+    The dtype and shape of every published array — enough to compute block
+    geometry client-side.
+``fetch(name, block_ids, block_size)``
+    The raw bytes of the requested blocks of one array, concatenated in
+    request order.  A *block* is ``block_size`` consecutive entries along
+    axis 0 (rows of a dense matrix, elements of a flat item array); the last
+    block may be short.  One call fetches arbitrarily many blocks — the
+    batching lever that keeps a gather at one round-trip.
+
+Implementations here:
+
+:class:`LocalBlockClient`
+    In-process fake over a dict of arrays or a v5 snapshot directory.  Used
+    by tests (with :class:`~repro.testing.faults.FaultInjector` sites
+    ``"blocks.meta"`` and ``"blocks.fetch"`` for torn/absent-server cases)
+    and by :class:`repro.server.blocks.BlockServer` as its storage layer.
+:class:`HTTPBlockClient`
+    stdlib ``urllib`` client of the HTTP endpoints ``GET /v1/blocks/meta``
+    and ``GET /v1/blocks/fetch`` served by
+    :class:`repro.server.blocks.BlockServer`.
+
+Every failure mode — unreachable server, HTTP error status, short (torn)
+payload, unknown array — surfaces as the one typed
+:class:`~repro.exceptions.BlockFetchError`.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import pathlib
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import BlockFetchError, InvalidParameterError
+
+__all__ = ["BlockClient", "HTTPBlockClient", "LocalBlockClient", "block_count"]
+
+
+def block_count(rows: int, block_size: int) -> int:
+    """Number of blocks an array of *rows* entries splits into."""
+    return max(1, -(-int(rows) // int(block_size)))
+
+
+class BlockClient(abc.ABC):
+    """The two-method protocol remote stores fetch vector blocks through."""
+
+    @abc.abstractmethod
+    def meta(self) -> Dict:
+        """``{"arrays": {name: {"dtype": <numpy str>, "shape": [...]}}}``."""
+
+    @abc.abstractmethod
+    def fetch(self, name: str, block_ids: Sequence[int], block_size: int) -> bytes:
+        """Raw bytes of the requested blocks, concatenated in request order.
+
+        Must return exactly the bytes the block geometry implies (row size ×
+        rows covered); anything shorter is *torn* and the caller raises
+        :class:`~repro.exceptions.BlockFetchError`.
+        """
+
+    def close(self) -> None:
+        """Release client resources (idempotent; default no-op)."""
+
+
+def _array_meta(arrays: Mapping[str, np.ndarray]) -> Dict:
+    return {
+        "arrays": {
+            name: {"dtype": array.dtype.str, "shape": [int(s) for s in array.shape]}
+            for name, array in arrays.items()
+        }
+    }
+
+
+def _slice_blocks(
+    array: np.ndarray, block_ids: Sequence[int], block_size: int, name: str
+) -> bytes:
+    rows = int(array.shape[0])
+    pieces = []
+    for block_id in block_ids:
+        block_id = int(block_id)
+        start = block_id * int(block_size)
+        if block_id < 0 or start >= max(rows, 1):
+            raise BlockFetchError(
+                f"block {block_id} out of range for array {name!r} "
+                f"({rows} rows / block_size {block_size})",
+                name=name,
+            )
+        stop = min(start + int(block_size), rows)
+        pieces.append(np.ascontiguousarray(array[start:stop]).tobytes())
+    return b"".join(pieces)
+
+
+class LocalBlockClient(BlockClient):
+    """In-process :class:`BlockClient` over arrays or a v5 snapshot directory.
+
+    *source* is either a mapping of array name → ``np.ndarray`` (tests) or a
+    v5 snapshot directory, whose ``arrays/dataset__*.npy`` payloads are
+    opened lazily with ``mmap_mode="r"`` (so the "server side" is itself
+    out-of-core).
+
+    *fault_injector* arms the chaos sites: ``"blocks.meta"`` fires inside
+    :meth:`meta`, ``"blocks.fetch"`` inside :meth:`fetch` — an armed action
+    raising :class:`ConnectionError`/``OSError`` models an absent server.
+    *torn_bytes* (set via :meth:`tear_next_fetch`) truncates the next
+    fetch's payload to model a torn transfer.
+    """
+
+    #: The dataset arrays a v5 snapshot publishes over the block protocol.
+    SNAPSHOT_ARRAYS = ("dataset__dense", "dataset__indptr", "dataset__items")
+
+    def __init__(self, source, fault_injector=None):
+        if isinstance(source, Mapping):
+            self._arrays: Dict[str, np.ndarray] = dict(source)
+        else:
+            directory = pathlib.Path(source) / "arrays"
+            self._arrays = {}
+            for name in self.SNAPSHOT_ARRAYS:
+                path = directory / f"{name}.npy"
+                if path.exists():
+                    self._arrays[name] = np.load(path, mmap_mode="r", allow_pickle=False)
+            if not self._arrays:
+                raise InvalidParameterError(
+                    f"{source} holds no v5 dataset arrays to serve blocks from"
+                )
+        self.fault_injector = fault_injector
+        self._torn_next: Optional[int] = None
+        self.fetch_calls = 0
+
+    def tear_next_fetch(self, keep_bytes: int) -> None:
+        """Truncate the next fetch's payload to *keep_bytes* (torn transfer)."""
+        self._torn_next = int(keep_bytes)
+
+    def _fire(self, site: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.fire(site)
+
+    def meta(self) -> Dict:
+        try:
+            self._fire("blocks.meta")
+        except BlockFetchError:
+            raise
+        except Exception as error:
+            raise BlockFetchError(f"block metadata fetch failed: {error}") from error
+        return _array_meta(self._arrays)
+
+    def fetch(self, name: str, block_ids: Sequence[int], block_size: int) -> bytes:
+        self.fetch_calls += 1
+        try:
+            self._fire("blocks.fetch")
+        except BlockFetchError:
+            raise
+        except Exception as error:
+            raise BlockFetchError(
+                f"block fetch failed for {name!r}: {error}", name=name
+            ) from error
+        array = self._arrays.get(name)
+        if array is None:
+            raise BlockFetchError(f"unknown block array {name!r}", name=name)
+        payload = _slice_blocks(array, block_ids, block_size, name)
+        if self._torn_next is not None:
+            payload, self._torn_next = payload[: self._torn_next], None
+        return payload
+
+
+class HTTPBlockClient(BlockClient):
+    """stdlib HTTP client of a :class:`repro.server.blocks.BlockServer`.
+
+    One ``GET /v1/blocks/fetch`` round-trip per :meth:`fetch` call, however
+    many blocks it names — batching lives in the query string, not in
+    connection count.
+    """
+
+    def __init__(self, endpoint: str, timeout: float = 10.0):
+        if not isinstance(endpoint, str) or not endpoint.startswith(("http://", "https://")):
+            raise InvalidParameterError(
+                f"BlockClient endpoint must be an http(s) URL, got {endpoint!r}"
+            )
+        self.endpoint = endpoint.rstrip("/")
+        self.timeout = float(timeout)
+        self.fetch_calls = 0
+
+    def _get(self, path: str) -> bytes:
+        url = f"{self.endpoint}{path}"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            raise BlockFetchError(
+                f"block server returned HTTP {error.code} for {url}"
+            ) from error
+        except (urllib.error.URLError, ConnectionError, OSError, TimeoutError) as error:
+            raise BlockFetchError(f"block server unreachable at {url}: {error}") from error
+
+    def meta(self) -> Dict:
+        payload = self._get("/v1/blocks/meta")
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise BlockFetchError(f"malformed block metadata: {error}") from error
+
+    def fetch(self, name: str, block_ids: Sequence[int], block_size: int) -> bytes:
+        self.fetch_calls += 1
+        query = urllib.parse.urlencode(
+            {
+                "name": name,
+                "blocks": ",".join(str(int(b)) for b in block_ids),
+                "block_size": int(block_size),
+            }
+        )
+        return self._get(f"/v1/blocks/fetch?{query}")

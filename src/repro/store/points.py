@@ -1,0 +1,119 @@
+"""A list-like point container served directly by a :class:`DatasetStore`.
+
+The dynamic table layer (:class:`~repro.engine.dynamic.DynamicLSHTables`)
+keeps its dataset as a mutable container samplers index into: slot ``i``
+holds the point object, or ``None`` once a compaction sweep released a
+tombstoned slot.  In-RAM engines use a plain ``list``.  Out-of-core engines
+use :class:`StoreBackedPoints` instead: the container holds **no point
+objects at all** — ``points[i]`` materializes the row from the backing
+memmap/remote store on demand (a lazy ``np.memmap`` row view for dense data,
+a cached frozenset for set data), so loading a snapshot never pages the
+corpus in.
+
+The container speaks the exact subset of the ``list`` protocol the table
+layer uses:
+
+* ``len`` / iteration / ``points[i]`` — reads (``None`` for released slots);
+* ``points.extend(batch)`` — the insert path; appends to the backing store,
+  so the table layer must not append to the store a second time
+  (:func:`points_share_store` is the guard it uses);
+* ``points[i] = None`` — the compaction sweep's release; anything else is
+  rejected (slots are append-only and tombstone-only, like the list they
+  replace).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.store.base import DatasetStore
+
+__all__ = ["StoreBackedPoints", "points_share_store"]
+
+
+class StoreBackedPoints:
+    """List-protocol facade over a :class:`~repro.store.base.DatasetStore`."""
+
+    __slots__ = ("_store", "_released")
+
+    def __init__(self, store: DatasetStore, released: Iterable[int] = ()):
+        self._store = store
+        self._released = {int(i) for i in released}
+
+    @property
+    def store(self) -> DatasetStore:
+        """The backing store rows are materialized from."""
+        return self._store
+
+    @property
+    def released(self) -> frozenset:
+        """Slots whose payload was released (read back as ``None``)."""
+        return frozenset(self._released)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _resolve(self, index: int) -> int:
+        n = len(self._store)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"point index {index} out of range [0, {n})")
+        return index
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        index = self._resolve(int(index))
+        if index in self._released:
+            return None
+        return self._store.get_point(index)
+
+    def __setitem__(self, index: int, value) -> None:
+        if value is not None:
+            raise InvalidParameterError(
+                "StoreBackedPoints slots are append-only; only tombstoning "
+                "(points[i] = None) is supported"
+            )
+        index = self._resolve(int(index))
+        self._released.add(index)
+        self._store.release(index)
+
+    def __iter__(self) -> Iterator:
+        for index in range(len(self)):
+            yield self[index]
+
+    def __contains__(self, point) -> bool:
+        return any(p is point or _points_equal(p, point) for p in self)
+
+    def extend(self, points: Sequence) -> None:
+        """Append new slots (the insert path); rows land in the backing store."""
+        self._store.append(list(points))
+
+    def append(self, point) -> None:
+        self.extend([point])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoreBackedPoints({type(self._store).__name__}, rows={len(self)}, "
+            f"released={len(self._released)})"
+        )
+
+
+def points_share_store(points, store: Optional[DatasetStore]) -> bool:
+    """Whether *points* is a container already backed by *store*.
+
+    The dynamic table layer appends an insert batch to both its point
+    container and its columnar store; when the container *is* store-backed
+    those are the same object and the second append would duplicate rows.
+    """
+    return store is not None and getattr(points, "store", None) is store
+
+
+def _points_equal(a, b) -> bool:
+    try:
+        result = a == b
+    except Exception:  # pragma: no cover - exotic point types
+        return False
+    return bool(getattr(result, "all", lambda: result)())

@@ -1,0 +1,492 @@
+"""The remote backend: batched block fetch through a bounded LRU cache.
+
+A remote store keeps no corpus locally.  It learns the dataset's geometry
+from :meth:`BlockClient.meta <repro.store.blocks.BlockClient.meta>` at
+construction, then materializes rows on demand by fetching fixed-size
+*blocks* (``block_size`` consecutive rows/items) over
+:meth:`BlockClient.fetch <repro.store.blocks.BlockClient.fetch>`.  Each
+gather batches **all** of its missing blocks into one fetch call — a bucket
+probe costs at most one round-trip however many candidate rows it touches.
+
+Fetched blocks land in a bounded :class:`BlockCache` (LRU over
+``cache_blocks`` blocks) whose ``hits`` / ``misses`` / ``evictions`` /
+``bytes_fetched`` counters are surfaced through
+:meth:`DatasetStore.cache_stats <repro.store.base.DatasetStore.cache_stats>`,
+mirrored into :class:`~repro.engine.requests.EngineStats`, and reported by
+``/v1/stats``.  The counters are deterministic: per gather, every *unique*
+block the gather needs scores exactly one hit or one miss, so tests can pin
+them perf-guard style.
+
+Mutations behave as on the memmap tier: appended rows are promoted to an
+in-RAM overlay store, and released slots are tracked by the point container.
+Values are byte-identical to the other backends — raw ``float64`` /
+``int64`` bytes travel unmodified end to end.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BlockFetchError, InvalidParameterError
+from repro.store.base import DatasetStore
+from repro.store.blocks import BlockClient, block_count
+from repro.store.inram import DenseStore, SetStore
+from repro.store.memmap import _LazyRowNorms
+
+__all__ = ["BlockCache", "RemoteDenseStore", "RemoteSetStore"]
+
+
+class BlockCache:
+    """Bounded LRU cache of fetched blocks, keyed ``(array_name, block_id)``.
+
+    Lifetime counters (never reset):
+
+    ``hits`` / ``misses``
+        Per gather, each unique block the gather needs scores exactly one of
+        the two — deterministic for a fixed access pattern.
+    ``evictions``
+        Blocks dropped to respect ``capacity_blocks``.
+    ``bytes_fetched``
+        Raw payload bytes pulled over the wire (cache misses plus unblocked
+        metadata reads the owning store routes through the cache's account).
+    """
+
+    def __init__(self, capacity_blocks: int):
+        capacity_blocks = int(capacity_blocks)
+        if capacity_blocks < 1:
+            raise InvalidParameterError(
+                f"cache_blocks must be >= 1, got {capacity_blocks}"
+            )
+        self.capacity_blocks = capacity_blocks
+        self._blocks: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_fetched = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, key: Tuple[str, int]) -> Optional[np.ndarray]:
+        block = self._blocks.get(key)
+        if block is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return block
+
+    def put(self, key: Tuple[str, int], block: np.ndarray) -> None:
+        self._blocks[key] = block
+        self._blocks.move_to_end(key)
+        while len(self._blocks) > self.capacity_blocks:
+            self._blocks.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(block.nbytes for block in self._blocks.values()))
+
+    def stats(self) -> Dict:
+        return {
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "evictions": int(self.evictions),
+            "bytes_fetched": int(self.bytes_fetched),
+            "cached_blocks": len(self._blocks),
+            "capacity_blocks": int(self.capacity_blocks),
+        }
+
+
+def _require_array(meta: Dict, name: str, dtype: np.dtype, ndim: int) -> Tuple[int, ...]:
+    info = meta.get("arrays", {}).get(name)
+    if info is None:
+        raise BlockFetchError(
+            f"block server publishes no array {name!r} "
+            f"(has: {sorted(meta.get('arrays', {}))})",
+            name=name,
+        )
+    if np.dtype(info["dtype"]) != dtype or len(info["shape"]) != ndim:
+        raise BlockFetchError(
+            f"array {name!r} must be {ndim}-D {dtype}, server publishes "
+            f"shape {info['shape']} dtype {info['dtype']}",
+            name=name,
+        )
+    return tuple(int(s) for s in info["shape"])
+
+
+def _split_payload(
+    payload: bytes,
+    block_ids: Sequence[int],
+    rows: int,
+    block_size: int,
+    row_nbytes: int,
+    name: str,
+) -> List[bytes]:
+    """Split a multi-block fetch payload back into per-block byte runs.
+
+    Raises :class:`~repro.exceptions.BlockFetchError` when the payload is
+    shorter than the block geometry implies (a torn transfer).
+    """
+    pieces = []
+    offset = 0
+    for block_id in block_ids:
+        start = int(block_id) * block_size
+        covered = min(start + block_size, rows) - start
+        nbytes = covered * row_nbytes
+        piece = payload[offset : offset + nbytes]
+        if len(piece) != nbytes:
+            raise BlockFetchError(
+                f"torn block fetch for {name!r}: block {int(block_id)} needs "
+                f"{nbytes} bytes, payload has {len(piece)} left",
+                name=name,
+            )
+        pieces.append(piece)
+        offset += nbytes
+    if offset != len(payload):
+        raise BlockFetchError(
+            f"oversized block fetch for {name!r}: {len(payload) - offset} "
+            f"trailing bytes beyond the requested blocks",
+            name=name,
+        )
+    return pieces
+
+
+class _RemoteArray:
+    """One server-published array read block-at-a-time through a shared cache."""
+
+    def __init__(
+        self,
+        client: BlockClient,
+        cache: BlockCache,
+        name: str,
+        rows: int,
+        block_size: int,
+        dtype: np.dtype,
+        row_shape: Tuple[int, ...],
+    ):
+        self.client = client
+        self.cache = cache
+        self.name = name
+        self.rows = int(rows)
+        self.block_size = int(block_size)
+        self.dtype = np.dtype(dtype)
+        self.row_shape = tuple(int(s) for s in row_shape)
+        self.row_elems = int(np.prod(self.row_shape)) if self.row_shape else 1
+        self.row_nbytes = self.row_elems * self.dtype.itemsize
+
+    def _block_rows(self, block_id: int) -> int:
+        start = int(block_id) * self.block_size
+        return min(start + self.block_size, self.rows) - start
+
+    def ensure_blocks(self, block_ids: np.ndarray) -> Dict[int, np.ndarray]:
+        """Return the requested blocks, fetching all misses in ONE call."""
+        resolved: Dict[int, np.ndarray] = {}
+        missing: List[int] = []
+        for block_id in block_ids:
+            block_id = int(block_id)
+            block = self.cache.get((self.name, block_id))
+            if block is None:
+                missing.append(block_id)
+            else:
+                resolved[block_id] = block
+        if missing:
+            payload = self.client.fetch(self.name, missing, self.block_size)
+            self.cache.bytes_fetched += len(payload)
+            pieces = _split_payload(
+                payload, missing, self.rows, self.block_size, self.row_nbytes, self.name
+            )
+            for block_id, piece in zip(missing, pieces):
+                block = np.frombuffer(piece, dtype=self.dtype).reshape(
+                    (self._block_rows(block_id),) + self.row_shape
+                )
+                self.cache.put((self.name, block_id), block)
+                resolved[block_id] = block
+        return resolved
+
+    def read_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Gather rows by index (one fetch round-trip for all cache misses)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        out = np.empty((indices.size,) + self.row_shape, dtype=self.dtype)
+        if indices.size == 0:
+            return out
+        block_ids = indices // self.block_size
+        blocks = self.ensure_blocks(np.unique(block_ids))
+        for block_id in np.unique(block_ids):
+            block_id = int(block_id)
+            mask = block_ids == block_id
+            out[mask] = blocks[block_id][indices[mask] - block_id * self.block_size]
+        return out
+
+    def read_range(self, start: int, stop: int) -> np.ndarray:
+        """Read the contiguous element run ``[start, stop)`` (1-D arrays)."""
+        if stop <= start:
+            return np.empty((0,) + self.row_shape, dtype=self.dtype)
+        first = start // self.block_size
+        last = (stop - 1) // self.block_size
+        blocks = self.ensure_blocks(np.arange(first, last + 1))
+        pieces = []
+        for block_id in range(first, last + 1):
+            lo = block_id * self.block_size
+            block = blocks[block_id]
+            pieces.append(block[max(start - lo, 0) : stop - lo])
+        return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+
+
+class RemoteDenseStore(DatasetStore):
+    """Dense vectors fetched in blocks from a :class:`BlockClient` + overlay."""
+
+    kind = "dense"
+    backend = "remote"
+
+    ARRAY = "dataset__dense"
+
+    def __init__(self, client: BlockClient, cache_blocks: int = 64, block_size: int = 256):
+        block_size = int(block_size)
+        if block_size < 1:
+            raise InvalidParameterError(f"block_size must be >= 1, got {block_size}")
+        self.client = client
+        self.cache = BlockCache(cache_blocks)
+        shape = _require_array(client.meta(), self.ARRAY, np.dtype(np.float64), 2)
+        self._base_n = shape[0]
+        self.dim = shape[1]
+        self._array = _RemoteArray(
+            client, self.cache, self.ARRAY, self._base_n, block_size,
+            np.dtype(np.float64), (self.dim,),
+        )
+        self.block_size = block_size
+        self._overlay = DenseStore(np.empty((0, self.dim), dtype=np.float64))
+        self._norms_buf: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return self._base_n + len(self._overlay)
+
+    @property
+    def row_norms(self) -> _LazyRowNorms:
+        return _LazyRowNorms(self)
+
+    def _norms_at(self, indices) -> np.ndarray:
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.intp))
+        n = len(self)
+        if self._norms_buf is None:
+            self._norms_buf = np.full(n, np.nan, dtype=np.float64)
+        elif self._norms_buf.shape[0] < n:
+            grown = np.full(n, np.nan, dtype=np.float64)
+            grown[: self._norms_buf.shape[0]] = self._norms_buf
+            self._norms_buf = grown
+        missing = np.unique(indices[np.isnan(self._norms_buf[indices])])
+        if missing.size:
+            rows = self.gather(missing)
+            self._norms_buf[missing] = np.sqrt(np.einsum("ij,ij->i", rows, rows))
+        return self._norms_buf[indices]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes: the bounded block cache, overlay, and norm cache."""
+        total = self.cache.nbytes + self._overlay.nbytes
+        if self._norms_buf is not None:
+            total += self._norms_buf.nbytes
+        return int(total)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """All rows as one matrix (fetches the full corpus; snapshot writer only)."""
+        base = self._array.read_rows(np.arange(self._base_n, dtype=np.intp))
+        base = np.asarray(base, dtype=np.float64)
+        if len(self._overlay) == 0:
+            return base
+        return np.concatenate([base, self._overlay.matrix])
+
+    def get_point(self, index: int) -> np.ndarray:
+        index = int(index)
+        if index >= self._base_n:
+            return self._overlay.get_point(index - self._base_n)
+        return self._array.read_rows(np.asarray([index], dtype=np.intp))[0]
+
+    def gather(self, indices) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.intp)
+        if len(self._overlay) == 0:
+            return np.asarray(self._array.read_rows(indices), dtype=np.float64)
+        out = np.empty((indices.size, self.dim), dtype=np.float64)
+        base_mask = indices < self._base_n
+        if base_mask.any():
+            out[base_mask] = self._array.read_rows(indices[base_mask])
+        if not base_mask.all():
+            out[~base_mask] = self._overlay.gather(indices[~base_mask] - self._base_n)
+        return out
+
+    def append(self, points: Sequence) -> None:
+        self._overlay.append(points)
+
+    def cache_stats(self) -> Dict:
+        return self.cache.stats()
+
+    def close(self) -> None:
+        self.client.close()
+
+    def stats_dict(self) -> Dict:
+        payload = super().stats_dict()
+        payload["block_size"] = self.block_size
+        payload["overlay_rows"] = len(self._overlay)
+        return payload
+
+
+class RemoteSetStore(DatasetStore):
+    """CSR set data with items fetched in blocks from a :class:`BlockClient`.
+
+    The row-offset array (``dataset__indptr``, 8 bytes per row) is fetched
+    once, whole, at construction — gathers need random access to it and it is
+    tiny next to the payload.  The flat ``dataset__items`` payload is blocked
+    through the shared LRU cache, one contiguous range read per gathered row.
+    """
+
+    kind = "sets"
+    backend = "remote"
+
+    INDPTR_ARRAY = "dataset__indptr"
+    ITEMS_ARRAY = "dataset__items"
+
+    def __init__(self, client: BlockClient, cache_blocks: int = 64, block_size: int = 256):
+        block_size = int(block_size)
+        if block_size < 1:
+            raise InvalidParameterError(f"block_size must be >= 1, got {block_size}")
+        self.client = client
+        self.cache = BlockCache(cache_blocks)
+        meta = client.meta()
+        indptr_shape = _require_array(meta, self.INDPTR_ARRAY, np.dtype(np.int64), 1)
+        items_shape = _require_array(meta, self.ITEMS_ARRAY, np.dtype(np.int64), 1)
+        # One batched fetch of every indptr block; accounted as bytes_fetched
+        # but not cached — the offsets live here for the store's lifetime.
+        n_blocks = block_count(indptr_shape[0], block_size)
+        payload = client.fetch(self.INDPTR_ARRAY, list(range(n_blocks)), block_size)
+        self.cache.bytes_fetched += len(payload)
+        expected = indptr_shape[0] * 8
+        if len(payload) != expected:
+            raise BlockFetchError(
+                f"torn indptr fetch: expected {expected} bytes, got {len(payload)}",
+                name=self.INDPTR_ARRAY,
+            )
+        self._indptr = np.frombuffer(payload, dtype=np.int64)
+        if self._indptr.shape[0] < 1 or int(self._indptr[-1]) > items_shape[0]:
+            raise BlockFetchError(
+                f"inconsistent CSR metadata: indptr addresses "
+                f"{int(self._indptr[-1]) if self._indptr.shape[0] else '?'} items, "
+                f"server publishes {items_shape[0]}",
+                name=self.INDPTR_ARRAY,
+            )
+        self._base_n = int(self._indptr.shape[0] - 1)
+        self._items = _RemoteArray(
+            client, self.cache, self.ITEMS_ARRAY, items_shape[0], block_size,
+            np.dtype(np.int64), (),
+        )
+        self.block_size = block_size
+        self._overlay = SetStore([])
+        self._point_cache: Dict[int, frozenset] = {}
+
+    def __len__(self) -> int:
+        return self._base_n + len(self._overlay)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        if len(self._overlay) == 0:
+            return self._indptr
+        shifted = self._overlay.indptr[1:] + self._indptr[-1]
+        return np.concatenate([self._indptr, shifted])
+
+    @property
+    def items(self) -> np.ndarray:
+        """All items, concatenated (fetches the full payload; snapshot writer only)."""
+        base = self._items.read_range(0, int(self._indptr[-1]))
+        base = np.asarray(base, dtype=np.int64)
+        if len(self._overlay) == 0:
+            return base
+        return np.concatenate([base, self._overlay.items])
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes: offsets, block cache, overlay, and point cache."""
+        total = self._indptr.nbytes + self.cache.nbytes + self._overlay.nbytes
+        total += sum(64 + 28 * len(s) for s in self._point_cache.values())
+        return int(total)
+
+    def get_point(self, index: int):
+        index = int(index)
+        if index >= self._base_n:
+            return self._overlay.get_point(index - self._base_n)
+        cached = self._point_cache.get(index)
+        if cached is None:
+            row = self._items.read_range(
+                int(self._indptr[index]), int(self._indptr[index + 1])
+            )
+            cached = frozenset(int(item) for item in row)
+            self._point_cache[index] = cached
+        return cached
+
+    def gather(self, indices):
+        indices = np.asarray(indices, dtype=np.intp)
+        lengths = np.empty(indices.size, dtype=np.int64)
+        if indices.size == 0:
+            return lengths, np.empty(0, dtype=np.int64)
+        # Prefetch every needed items block in one round-trip (one hit or
+        # miss per unique block), then assemble rows from the returned dict —
+        # NOT by re-probing the cache, which would inflate the hit counter.
+        blocks: Dict[int, np.ndarray] = {}
+        base = indices[indices < self._base_n]
+        if base.size:
+            starts = self._indptr[base]
+            ends = self._indptr[base + 1]
+            needed = [
+                block_id
+                for start, end in zip(starts, ends)
+                if end > start
+                for block_id in range(
+                    int(start) // self.block_size, (int(end) - 1) // self.block_size + 1
+                )
+            ]
+            if needed:
+                blocks = self._items.ensure_blocks(np.unique(np.asarray(needed)))
+        pieces = []
+        for position, index in enumerate(indices):
+            index = int(index)
+            if index < self._base_n:
+                row = self._range_from_blocks(
+                    blocks, int(self._indptr[index]), int(self._indptr[index + 1])
+                )
+            else:
+                _, row = self._overlay.gather(
+                    np.asarray([index - self._base_n], dtype=np.intp)
+                )
+            lengths[position] = row.shape[0]
+            pieces.append(row)
+        flat = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        return lengths, flat.astype(np.int64, copy=False)
+
+    def _range_from_blocks(
+        self, blocks: Dict[int, np.ndarray], start: int, stop: int
+    ) -> np.ndarray:
+        if stop <= start:
+            return np.empty(0, dtype=np.int64)
+        pieces = []
+        for block_id in range(start // self.block_size, (stop - 1) // self.block_size + 1):
+            lo = block_id * self.block_size
+            block = blocks[block_id]
+            pieces.append(block[max(start - lo, 0) : stop - lo])
+        return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+
+    def append(self, points: Sequence) -> None:
+        self._overlay.append(points)
+
+    def cache_stats(self) -> Dict:
+        return self.cache.stats()
+
+    def close(self) -> None:
+        self.client.close()
+
+    def stats_dict(self) -> Dict:
+        payload = super().stats_dict()
+        payload["block_size"] = self.block_size
+        payload["overlay_rows"] = len(self._overlay)
+        return payload

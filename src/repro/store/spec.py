@@ -1,0 +1,125 @@
+"""Declarative storage-backend configuration (:class:`StoreSpec`).
+
+A :class:`StoreSpec` rides on :class:`~repro.spec.EngineSpec` as its
+``store`` field, is persisted in snapshot manifests, and round-trips through
+JSON — so a snapshot remembers which tier it was serving from and
+:meth:`FairNN.recover <repro.api.FairNN.recover>` restores the same tier
+without re-stating it.
+
+This module must stay import-light: :mod:`repro.spec` imports it, so it
+cannot import :mod:`repro.spec` (or any engine module) back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Optional
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["StoreSpec", "STORE_BACKENDS"]
+
+#: The storage tiers a dataset can be served from.
+STORE_BACKENDS = ("inram", "memmap", "remote")
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreSpec:
+    """Which storage tier serves the dataset, and how it is tuned.
+
+    Fields
+    ------
+    backend:
+        ``"inram"`` (everything resident — the default), ``"memmap"``
+        (corpus mapped from a v5 snapshot's raw ``.npy`` payloads, paged in
+        on demand), or ``"remote"`` (vector blocks fetched in batches from a
+        block server through a bounded LRU cache).
+    cache_blocks:
+        Remote tier only — LRU capacity, in blocks.
+    block_size:
+        Remote tier only — rows (dense) or items (sets) per fetched block.
+    endpoint:
+        Remote tier only — the block server's base URL
+        (``http://host:port``).  May stay ``None`` when a
+        :class:`~repro.store.blocks.BlockClient` is passed programmatically
+        to :meth:`FairNN.load <repro.api.FairNN.load>`.
+    """
+
+    backend: str = "inram"
+    cache_blocks: int = 64
+    block_size: int = 256
+    endpoint: Optional[str] = None
+
+    def __post_init__(self):
+        if self.backend not in STORE_BACKENDS:
+            raise InvalidParameterError(
+                f"store backend must be one of {STORE_BACKENDS}, got {self.backend!r}"
+            )
+        if not isinstance(self.cache_blocks, int) or self.cache_blocks < 1:
+            raise InvalidParameterError(
+                f"cache_blocks must be a positive int, got {self.cache_blocks!r}"
+            )
+        if not isinstance(self.block_size, int) or self.block_size < 1:
+            raise InvalidParameterError(
+                f"block_size must be a positive int, got {self.block_size!r}"
+            )
+        if self.endpoint is not None:
+            if self.backend != "remote":
+                raise InvalidParameterError(
+                    f"endpoint only applies to the remote backend, not {self.backend!r}"
+                )
+            if not isinstance(self.endpoint, str) or not self.endpoint.startswith(
+                ("http://", "https://")
+            ):
+                raise InvalidParameterError(
+                    f"endpoint must be an http(s) URL, got {self.endpoint!r}"
+                )
+
+    @classmethod
+    def coerce(cls, value) -> "StoreSpec":
+        """Normalize user input: a :class:`StoreSpec`, a backend name, or ``None``."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(backend=value)
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise InvalidParameterError(
+            f"store must be a StoreSpec, backend name, or dict, got {type(value).__name__}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "backend": self.backend,
+            "cache_blocks": self.cache_blocks,
+            "block_size": self.block_size,
+            "endpoint": self.endpoint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "StoreSpec":
+        if not isinstance(payload, dict):
+            raise InvalidParameterError(
+                f"StoreSpec payload must be a dict, got {type(payload).__name__}"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown StoreSpec keys: {unknown} (known: {sorted(known)})"
+            )
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "StoreSpec":
+        try:
+            data = json.loads(payload)
+        except ValueError as error:
+            raise InvalidParameterError(f"invalid StoreSpec JSON: {error}") from error
+        return cls.from_dict(data)
