@@ -7,7 +7,6 @@ nearly linear.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import (
     CollectAllFairSampler,

@@ -8,7 +8,6 @@ small c, and are monotone in the gap.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import write_result

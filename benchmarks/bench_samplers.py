@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import write_result, write_result_json
@@ -206,7 +205,6 @@ def test_vectorized_pipeline_speedup_on_candidate_heavy_workload():
 
 def test_query_filter_fair_section5(benchmark):
     """Section 5 sampler on an inner-product workload (unit vectors)."""
-    import numpy as np
 
     from repro.core import FilterFairSampler
     from repro.data import planted_inner_product_neighborhood

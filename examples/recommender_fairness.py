@@ -28,7 +28,6 @@ from repro.distances.inner_product import normalize_rows
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
 
     # 1. Ratings + ALS factorization (both part of this library's substrate).
     num_users, num_items = 60, 400

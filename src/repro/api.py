@@ -56,7 +56,6 @@ from repro.exceptions import (
     AlreadyDeletedError,
     InvalidParameterError,
     NotFittedError,
-    ReproError,
     SlotOutOfRangeError,
     SnapshotCorruptError,
     WALCorruptError,
@@ -1042,6 +1041,7 @@ class FairNN:
         self._tables = tables
 
     def _new_engine(self, name: str, sampler: NeighborSampler) -> BatchQueryEngine:
+        kwargs = {}
         if isinstance(getattr(sampler, "tables", None), ShardedLSHTables):
             if self._spec.executor == "process":
                 from repro.engine.procpool import ProcessShardedEngine
@@ -1049,6 +1049,9 @@ class FairNN:
                 engine_cls = ProcessShardedEngine
             else:
                 engine_cls = ShardedEngine
+            # Gather-budget knobs only exist on the sharded engines.
+            kwargs["prefix_budget"] = self._spec.prefix_budget
+            kwargs["prefix_budget_cap"] = self._spec.prefix_budget_cap
         else:
             engine_cls = BatchQueryEngine
         return engine_cls(
@@ -1057,6 +1060,7 @@ class FairNN:
             coalesce_duplicates=self._spec.coalesce_duplicates,
             sampler_name=name,
             spec=self._spec if name == self.primary else self._spec.samplers[name],
+            **kwargs,
         )
 
     def _make_engines(self) -> None:

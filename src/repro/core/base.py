@@ -11,19 +11,18 @@ from __future__ import annotations
 
 import abc
 import copy
-import math
 from typing import List, Optional
 
 import numpy as np
 
 from repro.core.evaluator import CandidateEvaluator
-from repro.data.store import DatasetStore, make_store
+from repro.store import DatasetStore, make_store
 from repro.distances.base import Measure
 from repro.exceptions import EmptyDatasetError, InvalidParameterError, NotFittedError
 from repro.lsh.family import LSHFamily
 from repro.lsh.params import LSHParameters, select_parameters
 from repro.lsh.tables import LSHTables
-from repro.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.rng import SeedLike, spawn_rngs
 from repro.core.result import QueryResult
 from repro.types import Dataset, Point
 
@@ -447,6 +446,40 @@ class LSHNeighborSampler(NeighborSampler):
         the prefix cannot prove that (the caller then retries with a longer
         prefix, or falls back to the full view).  The default returns
         ``None`` (no prefix support).
+        """
+        return None
+
+    #: Whether this sampler's prefix methods need per-table metadata on the
+    #: view — per-reference probing-table ids and full per-table colliding
+    #: bucket sizes (``view.table_ids`` / ``view.table_sizes`` on a
+    #: :class:`~repro.engine.gather.PrefixView`).  Samplers that replay a
+    #: bucket-by-bucket scan (rather than a rank-ordered one) set this True
+    #: so the sharded gather ships the metadata along; rank-ordered scanners
+    #: leave it False and keep the wire payload minimal.
+    prefix_scan_needs_tables: bool = False
+
+    def sample_k_from_prefix(
+        self,
+        query: Point,
+        view: tuple,
+        complete: bool,
+        k: int,
+        replacement: bool = True,
+    ) -> Optional[List[int]]:
+        """Answer one multi-draw request from a rank-prefix view, or ``None``.
+
+        The k-aware form of :meth:`sample_detailed_from_prefix`, with the
+        same certification contract: *view* is a true rank prefix of the
+        full colliding view (the whole view iff *complete*), and
+        implementations must return **exactly** the list
+        :meth:`~repro.core.base.NeighborSampler.sample_k` would return —
+        same indices, same order — or ``None`` when the prefix cannot prove
+        that (the caller then retries with a longer prefix, or falls back to
+        the merged view).  Only samplers whose ``sample_k`` is a
+        deterministic function of the colliding multiset can implement this;
+        the default returns ``None`` (no k-aware prefix support), which the
+        sharded engines also use as the eligibility signal — requests with
+        ``k > 1`` only take the prefix path when this method is overridden.
         """
         return None
 

@@ -32,7 +32,6 @@ unaffected; only the counters inflate for such degenerate inputs.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Optional
 
 import numpy as np
 
@@ -75,7 +74,7 @@ class CandidateEvaluator:
     query:
         The query point (fixed for the evaluator's lifetime).
     store:
-        Columnar :class:`~repro.data.store.DatasetStore` over the dataset, or
+        Columnar :class:`~repro.store.base.DatasetStore` over the dataset, or
         ``None`` to force the scalar fallback.
     dataset:
         The raw dataset container (indexed by slot) for the scalar fallback.

@@ -373,7 +373,6 @@ class IndependentFairSampler(LSHNeighborSampler):
         view_ranks, view_indices = view
         evaluator = self._evaluator(query)
         num_tables = self.tables.num_tables
-        domain = self.tables.rank_domain
         within_mask = self.measure.within_mask
         radius = self.radius
         while k >= 1 and stats.rounds < self.max_rounds:

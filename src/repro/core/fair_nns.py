@@ -189,6 +189,60 @@ class PermutationFairSampler(LSHNeighborSampler):
             chunk *= 4
         return None
 
+    def sample_k_from_prefix(
+        self,
+        query: Point,
+        view: tuple,
+        complete: bool,
+        k: int,
+        replacement: bool = True,
+    ) -> Optional[List[int]]:
+        """Answer :meth:`sample_k` from a rank-prefix view, when provable.
+
+        With replacement the sampler is query-deterministic, so the request
+        reduces to one certified single draw repeated ``k`` times.  Without
+        replacement this runs the exact Section 3.1 chunk schedule of
+        :meth:`_k_lowest_rank_neighbors` over the (deduplicated) prefix:
+        hits accumulate in rank order and later chunks only append, so once
+        a fully-contained chunk run has produced ``k`` hits the result is
+        final.  Returns ``None`` when an incomplete prefix would cut a
+        chunk short, or runs out before ``k`` hits — the full view might
+        hold more candidates, so nothing short of a longer prefix can prove
+        the answer.
+        """
+        if k < 0:
+            raise InvalidParameterError(f"k must be non-negative, got {k}")
+        if k == 0:
+            return []
+        if replacement:
+            result = self.sample_detailed_from_prefix(query, view, complete)
+            if result is None:
+                return None
+            if result.index is None:
+                return []
+            return [int(result.index)] * k
+        _, indices = view
+        evaluator = self._evaluator(query)
+        unique, first_seen = np.unique(indices, return_index=True)
+        candidates = unique[np.argsort(first_seen, kind="stable")]
+
+        found: List[int] = []
+        start = 0
+        chunk = max(self._SCAN_CHUNK, 2 * k)
+        while start < candidates.size and len(found) < k:
+            if not complete and start + chunk > candidates.size:
+                return None
+            batch = slice(start, start + chunk)
+            near_mask = self.measure.within_mask(
+                evaluator.values(candidates[batch]), self.radius
+            )
+            found.extend(int(index) for index in candidates[batch][near_mask])
+            start += chunk
+            chunk *= 4
+        if len(found) < k and not complete:
+            return None
+        return found[:k]
+
     def sample_k(self, query: Point, k: int, replacement: bool = True) -> List[int]:
         """Sample ``k`` near neighbors.
 

@@ -26,7 +26,7 @@ from repro.core.base import LSHNeighborSampler
 from repro.core.result import QueryResult, QueryStats
 from repro.lsh.family import LSHFamily
 from repro.rng import SeedLike
-from repro.types import Dataset, Point
+from repro.types import Point
 from repro.registry import register_sampler
 
 

@@ -23,7 +23,7 @@ from repro.data.sets import (
 from repro.data.adversarial import clustered_neighborhood_instance, AdversarialInstance
 from repro.data.queries import select_interesting_queries
 from repro.data.mf import MatrixFactorizationModel, generate_ratings, factorize
-from repro.data.store import DatasetStore, DenseStore, SetStore, make_store
+from repro.store import DatasetStore, DenseStore, SetStore, make_store
 
 __all__ = [
     "DatasetStore",

@@ -12,7 +12,6 @@ vectors for the inner-product samplers without any external data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

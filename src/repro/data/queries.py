@@ -8,7 +8,7 @@ is implemented here for any measure, so vector experiments can use it too.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

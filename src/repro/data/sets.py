@@ -26,7 +26,6 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.rng import SeedLike, ensure_rng
-from repro.types import SetDataset
 
 
 @dataclass(frozen=True)

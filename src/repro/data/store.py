@@ -1,13 +1,22 @@
-"""Compatibility shim — the columnar stores moved to :mod:`repro.store`.
+"""Deprecated shim — the columnar stores moved to :mod:`repro.store`.
 
 The :class:`DatasetStore` contract and the in-RAM backends
 (:class:`DenseStore` / :class:`SetStore`) grew into a full storage subsystem
 with out-of-core and remote tiers; the implementation now lives in
 :mod:`repro.store` (``repro.store.base`` for the contract,
 ``repro.store.inram`` for the resident backends).  This module re-exports
-the original names so existing imports keep working; new code should import
-from :mod:`repro.store` directly.
+the original names so existing imports keep working, but importing it emits
+a :class:`DeprecationWarning`; import from :mod:`repro.store` instead.
 """
+
+import warnings
+
+warnings.warn(
+    "repro.data.store is deprecated; import from repro.store instead "
+    "(the implementation moved to repro.store.base / repro.store.inram)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.store.base import (
     DatasetStore,

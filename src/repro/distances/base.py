@@ -53,7 +53,7 @@ class Measure(abc.ABC):
     def values_at(self, store, indices: np.ndarray, query: Point) -> np.ndarray:
         """Batch kernel: measure values between the store rows *indices* and *query*.
 
-        *store* is a :class:`~repro.data.store.DatasetStore` whose slot ``i``
+        *store* is a :class:`~repro.store.base.DatasetStore` whose slot ``i``
         holds dataset point ``i``; *indices* is an integer array of slots to
         score.  This is the hot-path entry point of the vectorized
         candidate-evaluation pipeline: samplers score a whole candidate array

@@ -37,7 +37,7 @@ class JaccardSimilarity(Measure):
         # Pack the dataset CSR-style once and reuse the batch kernel: one
         # vectorized membership pass instead of a Python set operation per
         # point.  Non-set datasets fall back to the scalar loop.
-        from repro.data.store import make_store
+        from repro.store import make_store
 
         store = make_store(dataset)
         if store is not None and store.kind == "sets":

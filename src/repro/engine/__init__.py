@@ -20,6 +20,12 @@ system:
   placement, batches executed across shards through a thread pool, and
   per-shard candidates merged into answers byte-identical to unsharded
   serving (the exchangeable ``2^62`` rank domain makes the merge exact);
+* :mod:`~repro.engine.gather` — the bounded rank-prefix gather core both
+  sharded executors share: per-shard bottom-``B``-by-rank slices
+  (:func:`~repro.engine.gather.bounded_shard_prefix`), the
+  provably-complete prefix merge
+  (:func:`~repro.engine.gather.merge_prefix_parts`) and the self-tuning
+  :class:`~repro.engine.gather.PrefixBudgetController`;
 * :class:`~repro.engine.procpool.ProcessShardedEngine` — the sharded layer
   over worker **processes**: each shard's dynamic tables replicated in a
   supervised worker reading the dataset's columnar buffers zero-copy through
@@ -51,6 +57,7 @@ True
 
 from repro.engine.batch import BatchQueryEngine
 from repro.engine.dynamic import RANK_DOMAIN, DynamicLSHTables, MutationDelta
+from repro.engine.gather import PrefixBudgetController, PrefixView
 from repro.engine.procpool import FaultPlan, ProcessShardedEngine, WorkerSupervisor
 from repro.engine.requests import EngineStats, QueryRequest, QueryResponse
 from repro.engine.sharded import PLACEMENTS, ShardedEngine, ShardedLSHTables
@@ -63,6 +70,8 @@ __all__ = [
     "MutationDelta",
     "RANK_DOMAIN",
     "PLACEMENTS",
+    "PrefixBudgetController",
+    "PrefixView",
     "FaultPlan",
     "ProcessShardedEngine",
     "WorkerSupervisor",

@@ -57,7 +57,7 @@ from typing import Dict, Hashable, List, Optional, Set
 
 import numpy as np
 
-from repro.data.store import DatasetStore, make_store
+from repro.store import DatasetStore, make_store
 from repro.store.points import points_share_store
 from repro.exceptions import (
     AlreadyDeletedError,

@@ -1,0 +1,416 @@
+"""The shared bounded-gather core of sharded serving.
+
+Both sharded executors — the thread pool (:class:`~repro.engine.sharded.
+ShardedEngine`) and the process pool (:class:`~repro.engine.procpool.
+ProcessShardedEngine`) — answer prefix-capable queries from the same three
+primitives, defined once here:
+
+* :func:`bounded_shard_prefix` — one shard's bottom-``B``-by-rank slice of
+  its colliding multiset, computed in O(tables × B) by exploiting the
+  :class:`~repro.lsh.tables.Bucket` invariant that ranked buckets are stored
+  sorted ascending by rank (each bucket's bottom-``B`` is a plain slice, and
+  the final ``argpartition`` runs over at most ``l × B`` pre-cut entries
+  instead of the full multiset).
+* :func:`merge_prefix_parts` — the provably-complete merge: every global
+  reference ranked strictly below the lowest truncation boundary is present
+  in some part, so cutting the concatenated multiset at that boundary yields
+  a **true rank prefix** of the full colliding view.  The returned
+  :class:`PrefixView` carries the certification flag the samplers use to
+  decide whether their answer is provable from the prefix alone.
+* :class:`PrefixBudgetController` — the self-tuning gather budget: batches
+  open at the smallest limit that certified ~7/8 of the previous batch
+  (outliers escalate in cheap shared rounds instead of inflating every
+  gather), a whole batch certifying in round one probes one step down
+  immediately, and every fourth tuned batch probes down regardless so
+  long-running serving tracks workload drift back *down* as well as up.
+  Every move is a deterministic, order-insensitive function of the per-round
+  certification counts, so both executors produce the **same budget
+  sequence** for the same batch stream.
+
+The merge's correctness rests on the rank domain being exchangeable: ranks
+are i.i.d. draws from the fixed ``2^62`` domain shared by every shard, so
+"bottom ``B`` by rank" composes across shards exactly (see the
+:mod:`repro.engine.sharded` module docstring for the full argument).
+
+For samplers that replay a *per-bucket* scan rather than a rank-ordered one
+(:class:`~repro.core.standard_lsh.StandardLSHSampler`), the gather can also
+carry per-reference table ids and per-table bucket sizes
+(``with_tables=True``).  Because the kept multiset is downward-closed in
+rank at every cut stage, each probed bucket's surviving members form a rank
+prefix of that bucket in scan order, and a bucket whose surviving count
+equals its full (liveness-filtered) size is provably complete — the sampler
+can replay its exact bucket-by-bucket scan on complete buckets and refuse
+the moment it reaches a truncated one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "PrefixBudgetController",
+    "PrefixView",
+    "bounded_shard_prefix",
+    "merge_prefix_parts",
+    "split_budget",
+]
+
+#: Minimum per-shard slice of a split global budget: below this the fixed
+#: per-shard gather overheads dominate and the boundary cut discards most of
+#: what was gathered.
+_MIN_PER_SHARD = 32
+
+
+class PrefixView(tuple):
+    """A rank-sorted candidate prefix, unpackable as ``(ranks, indices)``.
+
+    Subclasses :class:`tuple` so every existing consumer of the bare
+    ``(ranks, indices)`` view shape keeps working unchanged; the optional
+    per-table metadata rides along as attributes:
+
+    Attributes
+    ----------
+    ranks, indices:
+        The rank-sorted (ascending) candidate multiset — a true rank prefix
+        of the full colliding view.
+    table_ids:
+        Per-reference probing table index (aligned with ``indices``), or
+        ``None`` when the gather ran without table metadata.
+    table_sizes:
+        Per-table full (liveness-filtered, pre-exclusion) colliding bucket
+        sizes summed over all shards, or ``None``.  A bucket whose members
+        appear ``table_sizes[t]`` times in the view is provably complete.
+    """
+
+    ranks: np.ndarray
+    indices: np.ndarray
+    table_ids: Optional[np.ndarray]
+    table_sizes: Optional[np.ndarray]
+
+    def __new__(
+        cls,
+        ranks: np.ndarray,
+        indices: np.ndarray,
+        table_ids: Optional[np.ndarray] = None,
+        table_sizes: Optional[np.ndarray] = None,
+    ) -> "PrefixView":
+        view = super().__new__(cls, (ranks, indices))
+        view.ranks = ranks
+        view.indices = indices
+        view.table_ids = table_ids
+        view.table_sizes = table_sizes
+        return view
+
+    @classmethod
+    def empty(cls, num_tables: Optional[int] = None) -> "PrefixView":
+        """The empty (complete) view, with zeroed table sizes when asked."""
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.intp),
+            table_ids=None if num_tables is None else np.empty(0, dtype=np.int64),
+            table_sizes=None if num_tables is None else np.zeros(num_tables, dtype=np.int64),
+        )
+
+
+def bounded_shard_prefix(shard, keys, limit: int, with_tables: bool = False):
+    """One shard's contribution to a bounded rank-prefix gather.
+
+    Returns the bottom-*limit* of the shard's liveness-filtered colliding
+    multiset by rank as ``(local_indices, ranks, boundary)`` — ``boundary``
+    is ``None`` when nothing was truncated, and the whole return is ``None``
+    when the shard holds no colliding references.  With ``with_tables`` the
+    tuple grows to ``(local_indices, ranks, boundary, table_ids,
+    table_sizes)`` where ``table_sizes[t]`` is the full liveness-filtered
+    size of the shard's bucket in table ``t`` (before any truncation).
+
+    The bounded cost comes from the :class:`~repro.lsh.tables.Bucket`
+    invariant that ranked buckets are stored sorted ascending by rank:
+
+    * each bucket's bottom-``limit`` is a plain O(1) slice, so dropping a
+      bucket's tail can never drop a bottom-``limit`` member of the union
+      (anything past a bucket's ``limit``-th member has ``limit`` smaller
+      ranks ahead of it in that bucket alone);
+    * the final ``argpartition`` then runs over at most ``l * limit``
+      pre-cut entries instead of the full colliding multiset.
+
+    The kept multiset — and therefore the boundary, ``max`` of the kept
+    ranks — is byte-identical to the uncut recipe; only the gather-side cost
+    changes from O(multiset) to O(tables * limit).  Every cut stage keeps a
+    downward-closed set of ranks, which is what makes the per-bucket
+    completeness accounting of ``with_tables`` sound.
+    """
+    alive = shard._alive if shard._pending else None
+    shard_ranks: List[np.ndarray] = []
+    shard_indices: List[np.ndarray] = []
+    shard_tables: List[np.ndarray] = []
+    table_sizes = np.zeros(len(keys), dtype=np.int64) if with_tables else None
+    truncated = False
+    for table_index, (table, key) in enumerate(zip(shard._tables, keys)):
+        bucket = table.get(key)
+        if bucket is None or not bucket.indices.size:
+            continue
+        ranks = bucket.ranks
+        indices = bucket.indices
+        if alive is not None:
+            keep = alive[indices]
+            if not keep.all():
+                ranks = ranks[keep]
+                indices = indices[keep]
+                if not ranks.size:
+                    continue
+        if with_tables:
+            table_sizes[table_index] = ranks.size
+        if ranks.size > limit:
+            truncated = True
+            ranks = ranks[:limit]
+            indices = indices[:limit]
+        shard_ranks.append(ranks)
+        shard_indices.append(indices)
+        if with_tables:
+            shard_tables.append(np.full(ranks.size, table_index, dtype=np.int64))
+    if not shard_ranks:
+        return None
+    ranks = np.concatenate(shard_ranks) if len(shard_ranks) > 1 else shard_ranks[0]
+    locals_ = (
+        np.concatenate(shard_indices) if len(shard_indices) > 1 else shard_indices[0]
+    )
+    table_ids = None
+    if with_tables:
+        table_ids = (
+            np.concatenate(shard_tables) if len(shard_tables) > 1 else shard_tables[0]
+        )
+    boundary = None
+    if ranks.size > limit:
+        keep = np.argpartition(ranks, limit - 1)[:limit]
+        ranks = ranks[keep]
+        locals_ = locals_[keep]
+        if with_tables:
+            table_ids = table_ids[keep]
+        boundary = int(ranks.max())
+    elif truncated:
+        # Every bucket tail dropped above had >= limit smaller ranks ahead
+        # of it, so the union is still an exact prefix — but not the whole
+        # multiset, so it must carry its completeness boundary.
+        boundary = int(ranks.max())
+    if with_tables:
+        return locals_, ranks, boundary, table_ids, table_sizes
+    return locals_, ranks, boundary
+
+
+def merge_prefix_parts(
+    shard_parts: Sequence[Tuple[int, tuple]],
+    globals_of: Callable[[int], np.ndarray],
+    num_tables: Optional[int] = None,
+) -> Tuple[PrefixView, bool]:
+    """Merge per-shard gather parts into a certified global rank prefix.
+
+    *shard_parts* is ``[(shard_index, part), ...]`` with each part as
+    produced by :func:`bounded_shard_prefix` (non-``None``); *globals_of*
+    maps a shard index to its local→global slot translation array.  Pass
+    *num_tables* iff the parts carry table metadata (``with_tables``) — a
+    shard absent from *shard_parts* held no colliding references, so it
+    contributes zero to every table size.
+
+    Returns ``(view, complete)``: references at the lowest truncation
+    boundary rank itself may be missing from other truncated shards, so the
+    merged multiset is cut strictly below it, after which every surviving
+    reference is provably present — the view is a true global rank prefix,
+    restored to ascending rank order by a stable sort.  ``complete`` means
+    no shard truncated and the view *is* the full colliding view.
+    """
+    rank_parts: List[np.ndarray] = []
+    index_parts: List[np.ndarray] = []
+    tid_parts: List[np.ndarray] = []
+    sizes_total = (
+        np.zeros(num_tables, dtype=np.int64) if num_tables is not None else None
+    )
+    boundary: Optional[int] = None
+    for shard_index, part in shard_parts:
+        locals_, ranks, shard_boundary = part[0], part[1], part[2]
+        if shard_boundary is not None:
+            boundary = (
+                shard_boundary if boundary is None else min(boundary, shard_boundary)
+            )
+        rank_parts.append(ranks)
+        index_parts.append(globals_of(shard_index)[locals_])
+        if num_tables is not None:
+            tid_parts.append(part[3])
+            sizes_total += part[4]
+    if not rank_parts:
+        return PrefixView.empty(num_tables), True
+    ranks = np.concatenate(rank_parts) if len(rank_parts) > 1 else rank_parts[0]
+    indices = np.concatenate(index_parts) if len(index_parts) > 1 else index_parts[0]
+    table_ids = None
+    if num_tables is not None:
+        table_ids = np.concatenate(tid_parts) if len(tid_parts) > 1 else tid_parts[0]
+    complete = boundary is None
+    if not complete:
+        keep = ranks < boundary
+        ranks = ranks[keep]
+        indices = indices[keep]
+        if table_ids is not None:
+            table_ids = table_ids[keep]
+    order = np.argsort(ranks, kind="stable")
+    view = PrefixView(
+        ranks[order],
+        indices[order],
+        table_ids=None if table_ids is None else table_ids[order],
+        table_sizes=sizes_total,
+    )
+    return view, complete
+
+
+def split_budget(limit: int, n_fitted: int, floor: int = _MIN_PER_SHARD) -> int:
+    """Split a **global** prefix budget evenly across *n_fitted* shards.
+
+    Ceiling division, floored at *floor*: the merged view depth — and with
+    it gather bytes and the per-query merge/argsort work — tracks the global
+    budget rather than ``n_shards`` times it.  A skewed shard can truncate
+    early and force an escalation, but the boundary cut keeps every merged
+    view a provably exact global rank prefix at any split.
+    """
+    return max(-(-int(limit) // int(n_fitted)), floor)
+
+
+class PrefixBudgetController:
+    """Self-tuning opening budget for the rank-prefix gather.
+
+    Tracks the workload's *certifying depth*, not its deepest straggler: the
+    next batch opens at the smallest budget that certified ~7/8 of the
+    previous batch's queries — outliers escalate in cheap shared widened
+    rounds instead of inflating every future gather.  The quantile follows
+    the cost model: a query that fails round one wastes one bounded certify
+    scan and joins a shared widened round, while a budget one step too deep
+    doubles every query's gather and merge work — so paying escalations for
+    up to ~12% of queries is cheaper than over-gathering for all of them.
+
+    Certification alone can never reveal a *smaller* sufficient budget
+    (rounds only ever observe limits at or above the opening one), so any
+    budget clearing the quantile in round one is a fixed point — including
+    ones a full step too deep.  Two decay paths fix that: when a whole batch
+    certified in round one, probe one step down immediately; and on every
+    *probe_every*-th tuned batch, probe one step down regardless, so
+    long-running serving tracks workload drift back down as well as up.  A
+    probe that undershoots costs one batch a cheap escalation round, and the
+    quantile pick recovers the depth next batch.
+
+    The controller also knows when *not* to prefix: a batch whose quantile
+    depth lands beyond :attr:`cap` marks the regime hopeless (the prefix
+    path would escalate for a fixed fraction of every batch, forever) and
+    switches attempts off entirely — :meth:`attempt_prefix` then lets one
+    probe batch through every *probe_every* batches so the decision stays
+    reversible under workload drift.
+
+    Every move is a deterministic function of per-round ``(limit,
+    certified_count)`` pairs — counts, not orderings — so thread and process
+    executors produce identical budget sequences for the same batch stream.
+    The state is injectable (*start*) and observable (:meth:`state_dict`)
+    for the cross-executor equivalence tests.
+    """
+
+    def __init__(
+        self,
+        floor: int = 128,
+        cap: int = 4096,
+        probe_every: int = 4,
+        start: Optional[int] = None,
+    ):
+        if floor < 1:
+            raise InvalidParameterError(f"floor must be >= 1, got {floor}")
+        if cap < floor:
+            raise InvalidParameterError(
+                f"cap must be >= floor, got cap={cap} floor={floor}"
+            )
+        if probe_every < 1:
+            raise InvalidParameterError(f"probe_every must be >= 1, got {probe_every}")
+        self.floor = int(floor)
+        self.cap = int(cap)
+        self.probe_every = int(probe_every)
+        #: The opening budget of the next batch's gather round.
+        self.limit = self._clamp(self.floor if start is None else int(start))
+        #: Batches that certified at least one query (the probe-down clock).
+        self.batches_tuned = 0
+        #: Whether the prefix path is switched off for this workload regime
+        #: (certifying depth beyond :attr:`cap` — see :meth:`observe_batch`).
+        self.disabled = False
+        self._disabled_batches = 0
+
+    def _clamp(self, value: int) -> int:
+        return min(max(int(value), self.floor), self.cap)
+
+    def observe_batch(
+        self, certified_per_round: Sequence[Tuple[int, int]], opening: int
+    ) -> None:
+        """Retune from one batch's ``(limit, certified_count)`` rounds.
+
+        *opening* is the budget the batch's first round ran at (normally
+        :attr:`limit` as it stood when the batch started).  Batches that
+        certified nothing leave the budget untouched — they carry no depth
+        signal.
+        """
+        total = sum(count for _, count in certified_per_round)
+        if not total:
+            return
+        self.batches_tuned += 1
+        if len(certified_per_round) == 1:
+            # The whole batch certified at the opening budget: probe down.
+            tuned = max(int(opening) // 2, self.floor)
+            self.disabled = False
+        else:
+            cumulative = 0
+            tuned = certified_per_round[-1][0]
+            for round_limit, count in certified_per_round:
+                cumulative += count
+                if cumulative * 8 >= total * 7:
+                    tuned = round_limit
+                    break
+            if tuned > self.cap:
+                # The workload's certifying depth lives beyond the cap —
+                # e.g. classical bucket replay over buckets far larger than
+                # any sane budget.  Opening at the (clamped) cap would drag
+                # >= 1/8 of every future batch through escalation rounds
+                # forever, strictly worse than the merged-bucket path those
+                # queries end on anyway.  Switch the prefix path off; the
+                # probe clock (:meth:`attempt_prefix`) keeps re-testing the
+                # regime so a workload shift can switch it back on.
+                self.disabled = True
+                self._disabled_batches = 0
+            else:
+                self.disabled = False
+                if self.batches_tuned % self.probe_every == 0:
+                    tuned = max(tuned // 2, self.floor)
+        self.limit = self._clamp(tuned)
+
+    def attempt_prefix(self) -> bool:
+        """Whether the next batch should try the prefix path at all.
+
+        ``True`` whenever the controller is enabled.  While disabled, every
+        *probe_every*-th batch still returns ``True`` — a probe batch whose
+        certification profile lets :meth:`observe_batch` re-evaluate the
+        regime — and the rest skip straight to the merged-bucket path.
+        Call exactly once per batch: the skip clock advances on each call.
+        """
+        if not self.disabled:
+            return True
+        self._disabled_batches += 1
+        return self._disabled_batches % self.probe_every == 0
+
+    def observe_escalation(self, certified_limit: int) -> None:
+        """Raise the opening budget to a depth a serial escalation needed."""
+        self.limit = self._clamp(max(self.limit, int(certified_limit)))
+
+    def state_dict(self) -> dict:
+        """The controller's full state (test/diagnostic surface)."""
+        return {
+            "limit": self.limit,
+            "batches_tuned": self.batches_tuned,
+            "floor": self.floor,
+            "cap": self.cap,
+            "probe_every": self.probe_every,
+            "disabled": self.disabled,
+            "disabled_batches": self._disabled_batches,
+        }

@@ -5,7 +5,7 @@ ShardedEngine`'s thread-pool shards to worker **processes**, the pooled-memory
 -pod shape: one authoritative index in the parent, per-shard replicas in
 workers that read the dataset's columnar buffers zero-copy through
 ``multiprocessing.shared_memory`` (:meth:`DatasetStore.to_shared
-<repro.data.store.DatasetStore.to_shared>`), and a small length-prefixed
+<repro.store.base.DatasetStore.to_shared>`), and a small length-prefixed
 message protocol carrying query batches, mutation deltas and raw-bucket
 manifests between them.
 
@@ -22,21 +22,27 @@ the parent-drawn ranks — as a fire-and-forget ``MUTATE`` frame, so replica
 buckets evolve bit-identically (shard-local self-compaction triggers from
 identical thresholds).
 
-**Why answers stay byte-identical.**  Worker gathers replicate the exact
-per-shard computation of :meth:`ShardedLSHTables.colliding_prefix_view
-<repro.engine.sharded.ShardedLSHTables.colliding_prefix_view>` and the parent
-merges them with the same boundary/cut/sort code, so every gathered view is a
-*true rank prefix* of the full colliding view.  The prefix scan
-(:meth:`~repro.core.fair_nns.PermutationFairSampler.sample_detailed_from_prefix`)
-reads chunks at absolute positions of the deduplicated sequence and refuses
-to answer unless the chunk provably fits the prefix — therefore *any* true
-prefix that certifies yields the same result and the same per-query counters,
-which lets this engine run a smaller initial gather budget than the thread
-engine without perturbing a byte of output.  Non-prefix work (multi-draw
-requests, samplers without prefix support) runs on the parent against merged
-buckets primed from worker ``BUCKETS`` replies via the exact
-:class:`~repro.engine.sharded._MergedTableView` merge recipe — and the
-parent's authoritative shards remain the fallback for anything unprimed.
+**Why answers stay byte-identical.**  Worker gathers run the exact shared
+per-shard computation (:func:`repro.engine.gather.bounded_shard_prefix` —
+the same function :meth:`ShardedLSHTables.colliding_prefix_view
+<repro.engine.sharded.ShardedLSHTables.colliding_prefix_view>` runs locally)
+and the parent merges them with the shared boundary/cut/sort code
+(:func:`repro.engine.gather.merge_prefix_parts`), so every gathered view is
+a *true rank prefix* of the full colliding view.  Prefix-certifying
+samplers (:meth:`~repro.core.base.LSHNeighborSampler.
+sample_detailed_from_prefix` / :meth:`~repro.core.base.LSHNeighborSampler.
+sample_k_from_prefix`) refuse to answer unless their scan provably fits the
+prefix — therefore *any* true prefix that certifies yields the same result
+and the same per-query counters, whatever gather budget produced it.  The
+whole prefix/certify/escalate loop, including the self-tuning budget
+controller, lives in :class:`~repro.engine.sharded.ShardedEngine` and
+:mod:`repro.engine.gather`; this engine only overrides *where* gathers and
+bucket fetches execute.  Non-prefix work (multi-draw requests of samplers
+without a k-aware prefix form, samplers without prefix support) runs on the
+parent against merged buckets primed from worker ``BUCKETS`` replies via
+the exact :class:`~repro.engine.sharded._MergedTableView` merge recipe —
+and the parent's authoritative shards remain the fallback for anything
+unprimed.
 
 **Supervision.**  A :class:`WorkerSupervisor` owns worker lifecycle: each
 worker is spawned from a *baseline* (a pickled snapshot of its shard) plus a
@@ -67,11 +73,16 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import multiprocessing
 import numpy as np
 
-from repro.data.store import DatasetStore
-from repro.engine.batch import BatchQueryEngine, build_tables
+from repro.engine.batch import build_tables
 from repro.engine.dynamic import DynamicLSHTables, MutationDelta
-from repro.engine.requests import QueryRequest, QueryResponse
+from repro.engine.gather import (
+    PrefixView,
+    bounded_shard_prefix,
+    merge_prefix_parts,
+    split_budget,
+)
 from repro.engine.sharded import _MERGED_CACHE_LIMIT, ShardedEngine, ShardedLSHTables
+from repro.store import DatasetStore
 from repro.exceptions import WorkerCrashedError
 from repro.lsh.tables import Bucket
 from repro.testing.faults import FaultPlan
@@ -192,93 +203,44 @@ def _apply_op(shard: DynamicLSHTables, op: str, args: tuple) -> None:
     shard.discard_delta()
 
 
-def _shard_prefix_part(shard: DynamicLSHTables, keys, limit: int):
-    """One shard's contribution to a bounded rank-prefix gather.
-
-    Produces the same ``(local_indices, ranks, boundary)`` as the per-shard
-    loop body of :meth:`ShardedLSHTables.colliding_prefix_view` — the
-    bottom-*limit* of the liveness-filtered colliding multiset by rank,
-    ``boundary=None`` when nothing was truncated, ``None`` when the shard
-    holds no colliding references — but exploits the :class:`Bucket`
-    invariant that ranked buckets are stored sorted ascending by rank:
-
-    * each bucket's bottom-``limit`` is a plain O(1) slice, so dropping a
-      bucket's tail can never drop a bottom-``limit`` member of the union
-      (anything past a bucket's ``limit``-th member has ``limit`` smaller
-      ranks ahead of it in that bucket alone);
-    * the final ``argpartition`` then runs over at most ``l * limit``
-      pre-cut entries instead of the full colliding multiset.
-
-    The kept multiset — and therefore the boundary, ``max`` of the kept
-    ranks — is byte-identical to the uncut recipe; only the worker-side
-    cost changes from O(multiset) to O(tables * limit).
-    """
-    alive = shard._alive if shard._pending else None
-    shard_ranks: List[np.ndarray] = []
-    shard_indices: List[np.ndarray] = []
-    truncated = False
-    for table, key in zip(shard._tables, keys):
-        bucket = table.get(key)
-        if bucket is None or not bucket.indices.size:
-            continue
-        ranks = bucket.ranks
-        indices = bucket.indices
-        if alive is not None:
-            keep = alive[indices]
-            if not keep.all():
-                ranks = ranks[keep]
-                indices = indices[keep]
-                if not ranks.size:
-                    continue
-        if ranks.size > limit:
-            truncated = True
-            ranks = ranks[:limit]
-            indices = indices[:limit]
-        shard_ranks.append(ranks)
-        shard_indices.append(indices)
-    if not shard_ranks:
-        return None
-    ranks = np.concatenate(shard_ranks) if len(shard_ranks) > 1 else shard_ranks[0]
-    locals_ = (
-        np.concatenate(shard_indices) if len(shard_indices) > 1 else shard_indices[0]
-    )
-    boundary = None
-    if ranks.size > limit:
-        keep = np.argpartition(ranks, limit - 1)[:limit]
-        ranks = ranks[keep]
-        locals_ = locals_[keep]
-        boundary = int(ranks.max())
-    elif truncated:
-        # Every bucket tail dropped above had >= limit smaller ranks ahead
-        # of it, so the union is still an exact prefix — but not the whole
-        # multiset, so it must carry its completeness boundary.
-        boundary = int(ranks.max())
-    return locals_, ranks, boundary
+# The per-shard bounded gather itself lives in repro.engine.gather
+# (bounded_shard_prefix) — shared verbatim with the thread executor's local
+# colliding_prefix_view, so worker replies are byte-identical to local parts
+# by construction.
 
 
-def _pack_query_reply(parts: List[Optional[tuple]]) -> dict:
-    """Pack per-query gather parts into three flat arrays for the wire.
+def _pack_query_reply(parts: List[Optional[tuple]], with_tables: bool = False) -> dict:
+    """Pack per-query gather parts into a few flat arrays for the wire.
 
     A 300-query reply would otherwise pickle ~600 small ndarrays; packing
     them into one ``indices`` and one ``ranks`` array (plus a per-query
     ``sizes`` vector, ``-1`` marking a ``None`` part) makes the reply two
     big buffer copies.  ``boundaries`` stays a plain list — it is small and
-    mixes ``None`` with ints.
+    mixes ``None`` with ints.  With *with_tables* (gathers for samplers that
+    replay a per-bucket scan) the reply also carries the concatenated
+    per-reference ``table_ids`` (sliced exactly like ``ranks``) and one
+    ``(l,)`` row of full per-table bucket sizes per non-``None`` part,
+    stacked in part order.
     """
     sizes = np.empty(len(parts), dtype=np.int64)
     boundaries: List[Optional[int]] = [None] * len(parts)
     rank_chunks: List[np.ndarray] = []
     index_chunks: List[np.ndarray] = []
+    tid_chunks: List[np.ndarray] = []
+    size_rows: List[np.ndarray] = []
     for position, part in enumerate(parts):
         if part is None:
             sizes[position] = -1
             continue
-        locals_, ranks, boundary = part
+        locals_, ranks, boundary = part[0], part[1], part[2]
         sizes[position] = ranks.size
         boundaries[position] = boundary
         rank_chunks.append(ranks)
         index_chunks.append(locals_)
-    return {
+        if with_tables:
+            tid_chunks.append(part[3])
+            size_rows.append(part[4])
+    reply = {
         "type": "QUERY_OK",
         "sizes": sizes,
         "boundaries": boundaries,
@@ -289,13 +251,24 @@ def _pack_query_reply(parts: List[Optional[tuple]]) -> dict:
             np.concatenate(index_chunks) if index_chunks else np.empty(0, dtype=np.intp)
         ),
     }
+    if with_tables:
+        reply["table_ids"] = (
+            np.concatenate(tid_chunks) if tid_chunks else np.empty(0, dtype=np.int64)
+        )
+        reply["table_sizes"] = (
+            np.stack(size_rows) if size_rows else np.empty((0, 0), dtype=np.int64)
+        )
+    return reply
 
 
 def _unpack_query_reply(reply: dict) -> List[Optional[tuple]]:
     """Invert :func:`_pack_query_reply` into per-query part views.
 
-    The slices are views over the two big reply arrays — no copies; the
-    downstream merge concatenates them into fresh arrays anyway.
+    The slices are views over the big reply arrays — no copies; the
+    downstream merge concatenates them into fresh arrays anyway.  Table
+    metadata, when present, is re-attached: ``table_ids`` slices like
+    ``ranks``, and the stacked ``table_sizes`` rows are consumed in
+    non-``None`` part order.
     """
     sizes = reply["sizes"]
     boundaries = reply["boundaries"]
@@ -304,16 +277,36 @@ def _unpack_query_reply(reply: dict) -> List[Optional[tuple]]:
     starts = ends - lengths
     ranks = reply["ranks"]
     indices = reply["indices"]
-    return [
-        None
-        if sizes[position] < 0
-        else (
-            indices[starts[position] : ends[position]],
-            ranks[starts[position] : ends[position]],
-            boundaries[position],
+    table_ids = reply.get("table_ids")
+    if table_ids is None:
+        return [
+            None
+            if sizes[position] < 0
+            else (
+                indices[starts[position] : ends[position]],
+                ranks[starts[position] : ends[position]],
+                boundaries[position],
+            )
+            for position in range(len(sizes))
+        ]
+    table_sizes = reply["table_sizes"]
+    parts: List[Optional[tuple]] = []
+    row = 0
+    for position in range(len(sizes)):
+        if sizes[position] < 0:
+            parts.append(None)
+            continue
+        parts.append(
+            (
+                indices[starts[position] : ends[position]],
+                ranks[starts[position] : ends[position]],
+                boundaries[position],
+                table_ids[starts[position] : ends[position]],
+                table_sizes[row],
+            )
         )
-        for position in range(len(sizes))
-    ]
+        row += 1
+    return parts
 
 
 def _fault_due(plan: Optional[FaultPlan], queries: int, mutations: int) -> bool:
@@ -381,11 +374,14 @@ def _worker_main(
                 if _fault_due(fault, queries_served, -1):
                     active, fault = fault, None
                     _run_fault(active)
+                with_tables = frame.get("with_tables", False)
                 parts = [
-                    _shard_prefix_part(shard, keys, limit) if shard._fitted else None
+                    bounded_shard_prefix(shard, keys, limit, with_tables=with_tables)
+                    if shard._fitted
+                    else None
                     for keys, limit in frame["queries"]
                 ]
-                _send_frame(conn, _pack_query_reply(parts))
+                _send_frame(conn, _pack_query_reply(parts, with_tables=with_tables))
             elif ftype == "BUCKETS":
                 buckets = []
                 if shard._fitted:
@@ -750,28 +746,29 @@ class ProcessShardedEngine(ShardedEngine):
     BatchQueryEngine` serving exactly, at every shard count, for every
     registered sampler, through churn and through worker crashes.
 
-    Request flow per batch: single-draw prefix-scan queries are gathered in
-    **one** ``QUERY`` round trip per worker (the whole batch in one frame —
-    IPC cost amortizes across the batch), then answered serially in batch
-    order so sampler RNG streams match unsharded serving; queries whose
-    prefix fails to certify escalate with targeted per-query rounds (×4
-    budget).  Everything else answers on the parent from merged buckets
+    Request flow per batch: prefix-eligible queries are gathered in **one**
+    ``QUERY`` round trip per worker (the whole batch in one frame — IPC cost
+    amortizes across the batch) and certified by the *shared*
+    prefix/certify/escalate loop of :class:`~repro.engine.sharded.
+    ShardedEngine` — shared widened rounds for RNG-free samplers, serial
+    batch-order answering otherwise, the same
+    :class:`~repro.engine.gather.PrefixBudgetController` tuning the opening
+    budget.  Everything else answers on the parent from merged buckets
     primed via ``BUCKETS`` rounds.  A worker crash mid-batch raises
     :class:`~repro.exceptions.WorkerCrashedError` after the supervisor has
     already restarted and replayed — the engine is immediately serviceable.
 
-    The initial prefix budget is deliberately smaller than the thread
-    engine's (``128`` vs ``512``): any certifying true rank prefix yields
-    identical bytes (see the module docstring), and the smaller gather keeps
-    worker replies tight on shallow workloads.  Deep workloads do not pay an
-    escalation round per query for it: escalations of RNG-free samplers are
-    batched into whole widened rounds, and the adaptive ``_prefix_hint``
-    opens later batches at whatever limit the workload proved to need
-    (capped at :data:`_PREFIX_HINT_MAX` per shard).
+    Because any certifying true rank prefix yields identical bytes (see the
+    module docstring), sharing the budget controller costs nothing in
+    output: both executors open every batch at the same tuned budget and
+    produce the same budget sequence for the same batch stream — only
+    *where* the bounded gather executes differs.
     """
 
-    _PREFIX_LIMIT = 128
-    _PREFIX_HINT_MAX = 4096
+    #: Non-prefix deterministic queries answer serially on the parent:
+    #: merged buckets are already primed via worker rounds, and the serial
+    #: loop beats thread-chunk scheduling overhead.
+    _parallel_fallback = False
 
     def __init__(
         self,
@@ -783,6 +780,8 @@ class ProcessShardedEngine(ShardedEngine):
         max_workers: Optional[int] = None,
         reply_timeout: float = 30.0,
         fault_injector=None,
+        prefix_budget: Optional[int] = None,
+        prefix_budget_cap: Optional[int] = None,
     ):
         super().__init__(
             sampler,
@@ -791,6 +790,8 @@ class ProcessShardedEngine(ShardedEngine):
             sampler_name=sampler_name,
             spec=spec,
             max_workers=max_workers,
+            prefix_budget=prefix_budget,
+            prefix_budget_cap=prefix_budget_cap,
         )
         tables: ShardedLSHTables = self.tables
         # Build the columnar store before export so workers attach the same
@@ -799,14 +800,6 @@ class ProcessShardedEngine(ShardedEngine):
         self._supervisor = WorkerSupervisor(
             tables, reply_timeout=reply_timeout, fault_injector=fault_injector
         )
-        # Deterministic adaptive start for the rank-prefix ladder: when a
-        # batch needed escalation, later batches open at the limit that
-        # certified it, trading slightly larger gather replies for whole
-        # extra IPC rounds.  Any certifying prefix yields identical answers
-        # and response stats, so this only moves engine-level escalation
-        # counters (which are a deterministic function of the workload).
-        self._prefix_hint = self._PREFIX_LIMIT
-        self._batches_tuned = 0
         self._synced_worker_counters = {
             "worker_restarts": 0,
             "mutations_replayed": 0,
@@ -903,57 +896,38 @@ class ProcessShardedEngine(ShardedEngine):
     # ------------------------------------------------------------------
     # Worker-backed gathering
     # ------------------------------------------------------------------
-    def _merged_prefix(self, shard_parts) -> Tuple[tuple, bool]:
-        """Merge per-shard gather parts exactly like ``colliding_prefix_view``."""
-        tables: ShardedLSHTables = self.tables
-        rank_parts: List[np.ndarray] = []
-        index_parts: List[np.ndarray] = []
-        boundary: Optional[int] = None
-        for shard_index, (locals_, ranks, shard_boundary) in shard_parts:
-            if shard_boundary is not None:
-                boundary = (
-                    shard_boundary if boundary is None else min(boundary, shard_boundary)
-                )
-            rank_parts.append(ranks)
-            index_parts.append(tables._shard_globals(shard_index)[locals_])
-        if not rank_parts:
-            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.intp)), True
-        ranks = np.concatenate(rank_parts) if len(rank_parts) > 1 else rank_parts[0]
-        indices = np.concatenate(index_parts) if len(index_parts) > 1 else index_parts[0]
-        complete = boundary is None
-        if not complete:
-            keep = ranks < boundary
-            ranks = ranks[keep]
-            indices = indices[keep]
-        order = np.argsort(ranks, kind="stable")
-        return (ranks[order], indices[order]), complete
-
     def _gather_prefixes(
         self,
         positions: Sequence[int],
-        keys_per_query: Sequence[List[Hashable]],
+        keys_per_query,
         limit: int,
-    ) -> Dict[int, Tuple[tuple, bool]]:
+    ) -> Dict[int, Tuple[PrefixView, bool]]:
         """One ``QUERY`` round gathering rank prefixes at global budget *limit*.
 
-        *limit* is a **global** prefix budget: it is split evenly across the
-        fitted shards (each shard surfaces its bottom-``limit/n`` by rank),
-        so the merged view depth — and with it reply bytes and the parent's
-        per-query merge/argsort work — tracks the budget rather than
-        ``n_shards`` times it.  A skewed shard can truncate early and force
-        an escalation, but the boundary cut keeps every returned view a
-        provably exact global rank prefix at any split.
+        The worker-backed override of :meth:`ShardedEngine._gather_prefixes
+        <repro.engine.sharded.ShardedEngine._gather_prefixes>`: the same
+        :func:`~repro.engine.gather.split_budget` split across fitted shards
+        (each worker surfaces its bottom-``limit/n`` by rank via the shared
+        :func:`~repro.engine.gather.bounded_shard_prefix`), one broadcast
+        frame per round, and the shared
+        :func:`~repro.engine.gather.merge_prefix_parts` merge — so the
+        merged views are byte-identical to locally gathered ones.  A skewed
+        shard can truncate early and force an escalation, but the boundary
+        cut keeps every returned view a provably exact global rank prefix
+        at any split.
         """
         tables: ShardedLSHTables = self.tables
         fitted = tables._fitted_shards()
-        views: Dict[int, Tuple[tuple, bool]] = {}
+        with_tables = getattr(self.sampler, "prefix_scan_needs_tables", False)
+        views: Dict[int, Tuple[PrefixView, bool]] = {}
         if not fitted:
-            empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.intp))
+            empty = PrefixView.empty(tables.l if with_tables else None)
             return {position: (empty, True) for position in positions}
-        per_shard = max(-(-int(limit) // len(fitted)), 32)
+        per_shard = split_budget(limit, len(fitted))
         frame = {
             "type": "QUERY",
             "queries": [(list(keys_per_query[p]), per_shard) for p in positions],
+            "with_tables": with_tables,
         }
         replies = self._supervisor.gather_round(fitted, frame)
         parts_by_shard = {
@@ -966,7 +940,11 @@ class ProcessShardedEngine(ShardedEngine):
                 for shard_index in fitted
                 if parts_by_shard[shard_index][offset] is not None
             ]
-            views[position] = self._merged_prefix(shard_parts)
+            views[position] = merge_prefix_parts(
+                shard_parts,
+                tables._shard_globals,
+                num_tables=tables.l if with_tables else None,
+            )
         return views
 
     def _prime_via_workers(self, keys_per_query: Sequence[List[Hashable]]) -> None:
@@ -1035,207 +1013,13 @@ class ProcessShardedEngine(ShardedEngine):
     # ------------------------------------------------------------------
     # Batched execution
     # ------------------------------------------------------------------
-    def _execute(
-        self,
-        distinct: Sequence[QueryRequest],
-        keys_per_query: Optional[Sequence[List[Hashable]]],
-    ) -> List[QueryResponse]:
-        tables: ShardedLSHTables = self.tables
-        if keys_per_query is None:
-            keys_per_query = [tables.query_keys(request.query) for request in distinct]
-        tables.point_store
-        prefix_scan = self._use_prefix_scan()
-        if prefix_scan:
-            to_prime = [
-                keys
-                for request, keys in zip(distinct, keys_per_query)
-                if request.k != 1
-            ]
-        else:
-            to_prime = list(keys_per_query)
-        merges_before = tables.merged_buckets
-        try:
-            if to_prime:
-                self._prime_via_workers(to_prime)
-            return self._answer_all(distinct, keys_per_query)
-        finally:
-            with self._stats_lock:
-                self.stats.shard_merges += tables.merged_buckets - merges_before
-            self._sync_worker_stats()
+    # The batch loop itself — prefix eligibility, shared-round escalation,
+    # budget retuning, serial batch-order answering for RNG samplers — is
+    # ShardedEngine's, unchanged.  Only the two executor hooks differ: how
+    # merged buckets are primed, and what syncs after a batch.
 
-    def _answer_all(
-        self,
-        distinct: Sequence[QueryRequest],
-        keys_per_query: Sequence[List[Hashable]],
-    ) -> List[QueryResponse]:
-        views: Dict[int, Tuple[tuple, bool]] = {}
-        answered: Dict[int, QueryResponse] = {}
-        start_limit = self._prefix_hint
-        if self._use_prefix_scan():
-            positions = [
-                position for position, request in enumerate(distinct) if request.k == 1
-            ]
-            if positions:
-                views = self._gather_prefixes(positions, keys_per_query, start_limit)
-                if getattr(self.sampler, "deterministic_queries", False):
-                    answered = self._answer_prefixes_batched(
-                        positions, distinct, keys_per_query, views, start_limit
-                    )
-                    views = {}
-        # Serial, in batch order: gathers above are RNG-free and the batched
-        # path only ran for samplers without query-time randomness, so this
-        # is the first point any sampler RNG advances — exactly as unsharded
-        # serving orders it.  (On top of determinism, the serial loop beats
-        # thread-chunk scheduling overhead on single-core hosts.)
-        return [
-            answered[position]
-            if position in answered
-            else self._answer_prefix(
-                position, request, keys_per_query[position], views[position], start_limit
-            )
-            if position in views
-            else BatchQueryEngine._answer(self, position, request)
-            for position, request in enumerate(distinct)
-        ]
+    def _prime(self, to_prime: List[List[Hashable]]) -> None:
+        self._prime_via_workers(to_prime)
 
-    def _answer_prefixes_batched(
-        self,
-        positions: Sequence[int],
-        distinct: Sequence[QueryRequest],
-        keys_per_query: Sequence[List[Hashable]],
-        views: Dict[int, Tuple[tuple, bool]],
-        start_limit: int,
-    ) -> Dict[int, QueryResponse]:
-        """Escalate whole *rounds* instead of one round trip per query.
-
-        Only valid for samplers without query-time randomness: their answers
-        are pure functions of the (provably exact) prefix view, so queries
-        can be certified out of batch order and every query that refuses to
-        certify at the current limit joins one shared widened ``QUERY``
-        round.  A position whose *complete* view still would not certify is
-        left out of the result and takes the merged-view fallback in batch
-        order.
-        """
-        answered: Dict[int, QueryResponse] = {}
-        pending = list(positions)
-        limit = start_limit
-        certified_per_round: List[Tuple[int, int]] = []
-        scans = 1
-        while pending:
-            failed: List[int] = []
-            certified = 0
-            for position in pending:
-                view, complete = views[position]
-                request = distinct[position]
-                result = self.sampler.sample_detailed_from_prefix(
-                    request.query, view, complete, exclude_index=request.exclude_index
-                )
-                if result is not None:
-                    certified += 1
-                    with self._stats_lock:
-                        self.stats.prefix_scans += 1
-                        self.stats.prefix_escalations += scans - 1
-                    answered[position] = QueryResponse(
-                        request_index=position,
-                        indices=[] if result.index is None else [int(result.index)],
-                        value=result.value,
-                        stats=result.stats,
-                        sampler=self.sampler_name,
-                    )
-                elif not complete:
-                    failed.append(position)
-                # else: complete view refused — merged-view fallback later.
-            certified_per_round.append((limit, certified))
-            if not failed:
-                break
-            limit *= 2
-            scans += 1
-            views.update(self._gather_prefixes(failed, keys_per_query, limit))
-            pending = failed
-        self._retune_prefix_hint(certified_per_round, start_limit)
-        return answered
-
-    def _retune_prefix_hint(
-        self, certified_per_round: Sequence[Tuple[int, int]], start_limit: int
-    ) -> None:
-        """Track the workload's certifying depth, not its deepest straggler.
-
-        The next batch opens at the smallest budget that certified ~7/8 of
-        this batch's queries — outliers escalate in cheap batched rounds
-        instead of inflating every future gather.  The quantile follows the
-        cost model: a query that fails round one wastes one bounded certify
-        scan and joins a *shared* widened round, while a budget one step too
-        deep doubles every query's reply bytes and merge work — so paying
-        escalations for up to ~12% of queries is cheaper than over-gathering
-        for all of them.  Certification alone can never reveal a *smaller*
-        sufficient budget (rounds only ever observe limits at or above the
-        opening one), so any budget clearing the quantile in round one is a
-        fixed point — including ones a full step too deep.  Two decay paths fix that: when a whole batch certified in
-        round one, probe one step down immediately; and on every fourth
-        tuned batch, probe one step down regardless, so long-running serving
-        tracks workload drift back *down* as well as up.  A probe that undershoots
-        costs one batch a cheap escalation round, and the P95 pick recovers
-        the depth next batch.  Every move is a deterministic function of the
-        (seeded) workload.
-        """
-        total = sum(count for _, count in certified_per_round)
-        if not total:
-            return
-        self._batches_tuned += 1
-        if len(certified_per_round) == 1:
-            tuned = max(start_limit // 2, self._PREFIX_LIMIT)
-        else:
-            cumulative = 0
-            tuned = certified_per_round[-1][0]
-            for round_limit, count in certified_per_round:
-                cumulative += count
-                if cumulative * 8 >= total * 7:
-                    tuned = round_limit
-                    break
-            if self._batches_tuned % 4 == 0:
-                tuned = max(tuned // 2, self._PREFIX_LIMIT)
-        self._prefix_hint = min(
-            max(tuned, self._PREFIX_LIMIT), self._PREFIX_HINT_MAX
-        )
-
-    def _answer_prefix(
-        self,
-        position: int,
-        request: QueryRequest,
-        keys: List[Hashable],
-        gathered: Tuple[tuple, bool],
-        start_limit: int,
-    ) -> QueryResponse:
-        view, complete = gathered
-        limit = start_limit
-        scans = 1
-        while True:
-            result = self.sampler.sample_detailed_from_prefix(
-                request.query, view, complete, exclude_index=request.exclude_index
-            )
-            if result is not None:
-                with self._stats_lock:
-                    self.stats.prefix_scans += 1
-                    self.stats.prefix_escalations += scans - 1
-                if scans > 1:
-                    self._prefix_hint = min(
-                        max(self._prefix_hint, limit), self._PREFIX_HINT_MAX
-                    )
-                return QueryResponse(
-                    request_index=position,
-                    indices=[] if result.index is None else [int(result.index)],
-                    value=result.value,
-                    stats=result.stats,
-                    sampler=self.sampler_name,
-                )
-            if complete:
-                # Even the full view would not certify (a prefix-capable
-                # sampler keeping the base refusal): take the merged-view
-                # fallback rather than escalating forever.
-                break
-            limit *= 2
-            scans += 1
-            view, complete = self._gather_prefixes([position], {position: keys}, limit)[
-                position
-            ]
-        return BatchQueryEngine._answer(self, position, request)
+    def _after_batch(self) -> None:
+        self._sync_worker_stats()

@@ -174,6 +174,12 @@ class EngineStats:
         overwritten, not accumulated — every time the engine reports stats,
         so they always equal the store's own
         :meth:`~repro.store.base.DatasetStore.cache_stats` numbers.
+    prefix_budget:
+        Mirror of the sharded engines' live self-tuned opening prefix
+        budget (the total bottom-by-rank references a batch's first gather
+        requests, before any per-query escalation).  Refreshed — overwritten,
+        not accumulated — every time a sharded engine reports stats; 0 for
+        unsharded engines.
     """
 
     queries_served: int = 0
@@ -196,6 +202,7 @@ class EngineStats:
     store_cache_hits: int = 0
     store_cache_misses: int = 0
     store_bytes_fetched: int = 0
+    prefix_budget: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """The counters as a plain JSON-serializable dict.

@@ -15,8 +15,8 @@ experiment is a config value, not new wiring code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.exceptions import InvalidParameterError
 from repro.spec import DistanceSpec, LSHSpec, SamplerSpec

@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.core.base import NeighborSampler
 from repro.distances.base import Measure
-from repro.distances.ball import ball_indices
 from repro.exceptions import InvalidParameterError
 from repro.fairness.frequencies import OutputFrequencies, SimilarityBucketedFrequencies
 from repro.fairness.metrics import (

@@ -21,7 +21,7 @@ constants (see the ablation benchmark).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 

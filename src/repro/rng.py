@@ -10,7 +10,7 @@ same query answers.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

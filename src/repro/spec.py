@@ -336,6 +336,12 @@ class EngineSpec(_JsonRoundTrip):
         ``backend="remote"`` serves the corpus out-of-core from a format-v5
         snapshot.  Persisted in snapshots so checkpoints and
         :meth:`~repro.api.FairNN.recover` come back on the same tier.
+    prefix_budget, prefix_budget_cap:
+        Opening total rank-prefix gather budget for sharded engines and the
+        ceiling the self-tuning controller may widen it to (see
+        :class:`~repro.engine.gather.PrefixBudgetController`).  ``None``
+        (the default) keeps the engine defaults; ignored when
+        ``n_shards == 1``.
     """
 
     samplers: Dict[str, SamplerSpec] = field(default_factory=dict)
@@ -349,6 +355,8 @@ class EngineSpec(_JsonRoundTrip):
     executor: str = "thread"
     wal_fsync: str = "interval"
     store: Optional[StoreSpec] = None
+    prefix_budget: Optional[int] = None
+    prefix_budget_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.samplers, Mapping) or not self.samplers:
@@ -402,6 +410,23 @@ class EngineSpec(_JsonRoundTrip):
                     f"EngineSpec.store must be a StoreSpec, backend name, or None, "
                     f"got {type(self.store).__name__}"
                 )
+        for knob in ("prefix_budget", "prefix_budget_cap"):
+            value = getattr(self, knob)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise InvalidParameterError(
+                    f"EngineSpec.{knob} must be an int >= 1 or None, got {value!r}"
+                )
+        if (
+            self.prefix_budget is not None
+            and self.prefix_budget_cap is not None
+            and self.prefix_budget_cap < self.prefix_budget
+        ):
+            raise InvalidParameterError(
+                "EngineSpec.prefix_budget_cap must be >= prefix_budget, got "
+                f"{self.prefix_budget_cap} < {self.prefix_budget}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -430,6 +455,8 @@ class EngineSpec(_JsonRoundTrip):
             "executor": self.executor,
             "wal_fsync": self.wal_fsync,
             "store": None if self.store is None else self.store.to_dict(),
+            "prefix_budget": self.prefix_budget,
+            "prefix_budget_cap": self.prefix_budget_cap,
         }
 
     @classmethod
@@ -449,6 +476,8 @@ class EngineSpec(_JsonRoundTrip):
                 "executor",
                 "wal_fsync",
                 "store",
+                "prefix_budget",
+                "prefix_budget_cap",
             ),
             "EngineSpec",
         )
@@ -470,6 +499,14 @@ class EngineSpec(_JsonRoundTrip):
                 None
                 if data.get("store") is None
                 else StoreSpec.from_dict(data["store"])
+            ),
+            prefix_budget=(
+                None if data.get("prefix_budget") is None else int(data["prefix_budget"])
+            ),
+            prefix_budget_cap=(
+                None
+                if data.get("prefix_budget_cap") is None
+                else int(data["prefix_budget_cap"])
             ),
         )
 

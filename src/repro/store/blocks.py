@@ -39,7 +39,7 @@ import pathlib
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

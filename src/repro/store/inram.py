@@ -2,7 +2,7 @@
 
 These are the original concrete stores the vectorized candidate-evaluation
 pipeline was built on (relocated here from ``repro.data.store``, which
-re-exports them compatibly):
+re-exports them compatibly under a deprecation warning):
 
 * **dense vector data** lives in a single C-contiguous ``float64`` matrix
   (:class:`DenseStore`), so a batch of candidate rows is one fancy-indexing

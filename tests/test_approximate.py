@@ -1,13 +1,11 @@
 """Tests for the approximate-neighborhood sampler and its Section 6.2 failure mode."""
 
-import numpy as np
 import pytest
 
 from repro.core import ApproximateNeighborhoodSampler
 from repro.data import clustered_neighborhood_instance
-from repro.distances import JaccardSimilarity
 from repro.exceptions import NotFittedError
-from repro.lsh import MinHashFamily, OneBitMinHashFamily
+from repro.lsh import MinHashFamily
 from repro.lsh.params import select_parameters
 
 
@@ -78,7 +76,6 @@ class TestClusteredNeighborhoodUnfairness:
             recall=0.95, max_expected_far_collisions=5.0,
         )
         counts = {"X": 0, "Y": 0, "Z": 0, "cluster": 0, "none": 0}
-        cluster = set(instance.cluster_indices)
         # Whether the cluster floods the buckets is fixed per construction, so
         # the sampling probabilities are averaged over many constructions.
         repetitions = 50

@@ -1,7 +1,6 @@
 """Tests for brute-force ball queries and the Q3 cost-ratio helper."""
 
 import numpy as np
-import pytest
 
 from repro.distances import EuclideanDistance, JaccardSimilarity
 from repro.distances.ball import ball_indices, ball_size, cost_ratio, neighborhood_sizes

@@ -1,6 +1,5 @@
 """Tests for the experiment harness (Q1, Q2, Q3) using fast configurations."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import PermutationFairSampler
-from repro.distances import JaccardSimilarity
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.fairness.metrics import total_variation_from_uniform
 from repro.lsh import MinHashFamily

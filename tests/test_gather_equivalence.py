@@ -1,0 +1,343 @@
+"""The unified gather layer: primitives, budget controller, executor parity.
+
+Three layers of guarantees for :mod:`repro.engine.gather`, the rank-prefix
+core both sharded executors share:
+
+1. **Primitive correctness** — :func:`~repro.engine.gather.
+   bounded_shard_prefix` / :func:`~repro.engine.gather.merge_prefix_parts`
+   produce true, certified global rank prefixes (with sound per-table
+   completeness metadata), and :class:`~repro.engine.gather.PrefixView`
+   stays unpackable as the bare ``(ranks, indices)`` tuple.
+2. **Controller determinism** — :class:`~repro.engine.gather.
+   PrefixBudgetController` is a pure, order-insensitive function of the
+   per-round certification counts: injectable state, exact tuning moves,
+   probe-down clock.
+3. **Executor parity** — for the same batch stream, the thread and process
+   executors return byte-identical responses *and* walk the exact same
+   controller state sequence, for single draws, ``k``-draws and the
+   bucket-replaying standard-LSH sampler alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchQueryEngine, ShardedEngine
+from repro.engine.gather import (
+    PrefixBudgetController,
+    PrefixView,
+    bounded_shard_prefix,
+    merge_prefix_parts,
+    split_budget,
+)
+from repro.engine.procpool import ProcessShardedEngine
+from repro.engine.requests import QueryRequest
+from repro.exceptions import InvalidParameterError
+
+from repro import MinHashFamily
+from repro.core import StandardLSHSampler
+
+from test_sharded import SET_PARAMS, _assert_identical, _make_sampler
+
+
+def _build_sampler(name, seed=7):
+    """Like ``_make_sampler`` but rank-enabled for standard LSH.
+
+    The classical sampler does not need ranks to answer, but only tables
+    built *with* ranks expose the bounded rank-prefix gather — the serving
+    configuration under test here.
+    """
+    if name == "standard_lsh":
+        return StandardLSHSampler(MinHashFamily(), seed=seed, use_ranks=True, **SET_PARAMS)
+    return _make_sampler(name, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def hub_dataset():
+    rng = np.random.default_rng(11)
+    core = set(range(8))
+    return [
+        frozenset(core | {int(x) for x in rng.choice(range(8, 300), size=10, replace=False)})
+        for _ in range(160)
+    ]
+
+
+# ----------------------------------------------------------------------
+class TestGatherPrimitives:
+    def test_prefix_view_unpacks_as_bare_tuple(self):
+        ranks = np.array([1, 2, 3], dtype=np.int64)
+        indices = np.array([7, 8, 9], dtype=np.intp)
+        view = PrefixView(ranks, indices)
+        unpacked_ranks, unpacked_indices = view
+        assert unpacked_ranks is ranks and unpacked_indices is indices
+        assert isinstance(view, tuple) and len(view) == 2
+        assert view.table_ids is None and view.table_sizes is None
+
+    def test_empty_view_carries_zeroed_table_sizes_when_asked(self):
+        bare = PrefixView.empty()
+        assert bare.ranks.size == 0 and bare.table_sizes is None
+        tabled = PrefixView.empty(num_tables=5)
+        assert tabled.table_ids.size == 0
+        assert np.array_equal(tabled.table_sizes, np.zeros(5, dtype=np.int64))
+
+    def test_split_budget_is_ceiling_division_with_floor(self):
+        assert split_budget(128, 4) == 32
+        assert split_budget(130, 4) == 33
+        assert split_budget(128, 1) == 128
+        # Tiny splits are floored: below it the per-shard overheads dominate.
+        assert split_budget(64, 8) == 32
+        assert split_budget(64, 8, floor=4) == 8
+
+    def test_bounded_gather_merges_to_a_true_certified_prefix(self, hub_dataset):
+        sampler = _make_sampler("permutation")
+        engine = ShardedEngine.build(sampler, hub_dataset, n_shards=3)
+        tables = engine.tables
+        query = hub_dataset[0]
+        full_ranks, full_indices = tables.colliding_view(query)
+        order = np.argsort(full_ranks, kind="stable")
+        full_ranks, full_indices = full_ranks[order], full_indices[order]
+
+        keys = tables.query_keys(query)
+        for limit in (4, 16, 10_000):
+            parts = []
+            for shard_index in engine.tables._fitted_shards():
+                part = bounded_shard_prefix(tables.shards[shard_index], keys, limit)
+                if part is not None:
+                    parts.append((shard_index, part))
+            view, complete = merge_prefix_parts(parts, tables._shard_globals)
+            ranks, indices = view
+            # A true prefix: byte-identical head of the full rank-sorted view.
+            assert np.array_equal(ranks, full_ranks[: ranks.size])
+            assert np.array_equal(indices, full_indices[: indices.size])
+            if complete:
+                assert ranks.size == full_ranks.size
+
+    def test_with_tables_metadata_accounts_per_bucket_completeness(self, hub_dataset):
+        sampler = _build_sampler("standard_lsh")
+        engine = ShardedEngine.build(sampler, hub_dataset, n_shards=3)
+        tables = engine.tables
+        query = hub_dataset[0]
+        keys = tables.query_keys(query)
+        view, complete = tables.colliding_prefix_view(
+            None, 10_000, keys=keys, with_tables=True
+        )
+        assert complete
+        # At a generous limit every bucket survives whole: the per-table
+        # reference counts must equal the recorded full bucket sizes, which
+        # in turn must equal the merged buckets' actual sizes.
+        for table_index in range(tables.num_tables):
+            in_view = int(np.count_nonzero(view.table_ids == table_index))
+            assert in_view == int(view.table_sizes[table_index])
+        truncated, complete = tables.colliding_prefix_view(
+            None, 2, keys=keys, with_tables=True
+        )
+        assert not complete
+        # Truncation may only ever *shrink* a bucket's surviving count, and
+        # the recorded full sizes must not change.
+        assert np.array_equal(truncated.table_sizes, view.table_sizes)
+        for table_index in range(tables.num_tables):
+            in_view = int(np.count_nonzero(truncated.table_ids == table_index))
+            assert in_view <= int(truncated.table_sizes[table_index])
+
+
+# ----------------------------------------------------------------------
+class TestPrefixBudgetController:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PrefixBudgetController(floor=0)
+        with pytest.raises(InvalidParameterError):
+            PrefixBudgetController(floor=128, cap=64)
+        with pytest.raises(InvalidParameterError):
+            PrefixBudgetController(probe_every=0)
+
+    def test_injected_start_is_clamped(self):
+        assert PrefixBudgetController(floor=128, cap=4096).limit == 128
+        assert PrefixBudgetController(floor=128, cap=4096, start=512).limit == 512
+        assert PrefixBudgetController(floor=128, cap=4096, start=7).limit == 128
+        assert PrefixBudgetController(floor=128, cap=4096, start=10_000).limit == 4096
+
+    def test_batch_certifying_nothing_is_a_no_op(self):
+        controller = PrefixBudgetController(start=512)
+        controller.observe_batch([(512, 0), (1024, 0)], opening=512)
+        assert controller.limit == 512
+        assert controller.batches_tuned == 0
+
+    def test_single_round_batch_probes_down(self):
+        controller = PrefixBudgetController(floor=128, start=1024)
+        controller.observe_batch([(1024, 20)], opening=1024)
+        assert controller.limit == 512
+        # ... but never below the floor.
+        controller = PrefixBudgetController(floor=128, start=128)
+        controller.observe_batch([(128, 20)], opening=128)
+        assert controller.limit == 128
+
+    def test_multi_round_batch_settles_on_the_seven_eighths_quantile(self):
+        controller = PrefixBudgetController(floor=128)
+        # 24 of 26 certified by the 256 round: 24/26 >= 7/8 -> tune to 256,
+        # leaving the one straggler that needed 512 to escalation.
+        controller.observe_batch([(128, 20), (256, 4), (512, 2)], opening=128)
+        assert controller.limit == 256
+        # A fatter tail pushes the quantile a round deeper.
+        controller = PrefixBudgetController(floor=128)
+        controller.observe_batch([(128, 10), (256, 6), (512, 10)], opening=128)
+        assert controller.limit == 512
+
+    def test_probe_down_clock_fires_every_nth_tuned_batch(self):
+        controller = PrefixBudgetController(floor=128, probe_every=4)
+        rounds = [(128, 10), (256, 16)]
+        for _ in range(3):
+            controller.observe_batch(rounds, opening=128)
+            assert controller.limit == 256
+        controller.observe_batch(rounds, opening=128)  # 4th tuned batch
+        assert controller.limit == 128
+        assert controller.batches_tuned == 4
+
+    def test_escalation_raises_to_certified_depth_clamped(self):
+        controller = PrefixBudgetController(floor=128, cap=4096, start=256)
+        controller.observe_escalation(1024)
+        assert controller.limit == 1024
+        controller.observe_escalation(512)  # never lowers
+        assert controller.limit == 1024
+        controller.observe_escalation(1 << 20)
+        assert controller.limit == 4096
+
+    def test_demand_beyond_cap_disables_prefix_attempts(self):
+        controller = PrefixBudgetController(floor=128, cap=4096, probe_every=4)
+        assert controller.attempt_prefix()
+        # 7/8 of the batch only certified at 8192 — beyond the cap, so the
+        # prefix path would escalate for most queries of every future batch.
+        controller.observe_batch([(128, 1), (8192, 30)], opening=128)
+        assert controller.disabled
+        assert controller.limit == 4096  # clamped, for the probe batches
+        # The skip clock lets one probe batch through every probe_every.
+        assert [controller.attempt_prefix() for _ in range(8)] == (
+            [False, False, False, True] * 2
+        )
+        # A probe still finding beyond-cap depth stays disabled...
+        controller.observe_batch([(4096, 2), (16384, 30)], opening=4096)
+        assert controller.disabled
+        # ... while a healthy probe re-enables immediately.
+        controller.observe_batch([(4096, 30)], opening=4096)
+        assert not controller.disabled
+        assert controller.attempt_prefix()
+
+    def test_replay_determinism_via_state_dict(self):
+        stream = [
+            ([(128, 3), (256, 9)], 128),
+            ([(256, 12)], 256),
+            ([(128, 1), (256, 2), (512, 9)], 128),
+            ([(512, 30)], 512),
+        ]
+        def run():
+            controller = PrefixBudgetController(floor=128, cap=4096, probe_every=4)
+            states = []
+            for rounds, opening in stream:
+                controller.observe_batch(rounds, opening)
+                states.append(controller.state_dict())
+            return states
+        assert run() == run()
+
+
+# ----------------------------------------------------------------------
+def _batch_stream(dataset):
+    """A mixed multi-batch stream: cold start, repeats, k-draws, churn-free.
+
+    Built once so both executors consume the exact same requests in the
+    exact same batch boundaries.
+    """
+    hub = list(dataset[:20])
+    return [
+        hub[:12],                                        # cold batch
+        hub[:12],                                        # warmed repeat
+        [QueryRequest(q, k=3, replacement=False) for q in hub[5:15]],
+        [QueryRequest(q, k=2, replacement=True) for q in hub[:8]] + hub[15:20],
+        hub[8:20],
+    ]
+
+
+class TestExecutorGatherEquivalence:
+    """Thread and process executors share one gather brain.
+
+    Identical answers alone would tolerate divergent budget dynamics (a
+    wrong budget costs work, not bytes) — so the controller's full state is
+    compared after every batch too.
+    """
+
+    @pytest.mark.parametrize("sampler_name", ["permutation", "standard_lsh"])
+    def test_byte_identical_answers_and_budget_sequences(
+        self, hub_dataset, sampler_name
+    ):
+        stream = _batch_stream(hub_dataset)
+
+        def serve(engine, close=False):
+            answers, budgets = [], []
+            try:
+                for batch in stream:
+                    answers.append(engine.run(list(batch)))
+                    budget = getattr(engine, "_budget", None)
+                    budgets.append(None if budget is None else budget.state_dict())
+                counters = engine.stats.as_dict()
+            finally:
+                if close:
+                    engine.close()
+            return answers, budgets, counters
+
+        reference, _, _ = serve(BatchQueryEngine.build(_build_sampler(sampler_name), hub_dataset))
+        threaded, thread_budgets, thread_counters = serve(
+            ShardedEngine.build(_build_sampler(sampler_name), hub_dataset, n_shards=4)
+        )
+        processed, process_budgets, process_counters = serve(
+            ProcessShardedEngine.build(
+                _build_sampler(sampler_name), hub_dataset, n_shards=4
+            ),
+            close=True,
+        )
+        for ref_batch, thread_batch, process_batch in zip(reference, threaded, processed):
+            _assert_identical(ref_batch, thread_batch)
+            _assert_identical(ref_batch, process_batch)
+        # Same controller, same moves: the budget sequences match exactly.
+        assert thread_budgets == process_budgets
+        # And the gather did the answering: the prefix path certified work on
+        # both executors, with identical certification/escalation profiles.
+        assert thread_counters["prefix_scans"] > 0
+        for counter in ("prefix_scans", "prefix_escalations", "shard_merges"):
+            assert thread_counters[counter] == process_counters[counter]
+
+    def test_disabled_controller_routes_batches_to_merged_buckets(self, hub_dataset):
+        """A disabled regime skips the prefix path wholesale — and probes back.
+
+        Answers must stay byte-identical either way (the merged-bucket path
+        is the reference semantics); only the counters may move.
+        """
+        reference = BatchQueryEngine.build(
+            _make_sampler("permutation"), hub_dataset
+        ).run(list(hub_dataset[:10]))
+        engine = ShardedEngine.build(_make_sampler("permutation"), hub_dataset, n_shards=2)
+        try:
+            engine._budget.disabled = True
+            # probe_every=4: three straight batches skip the prefix path...
+            for _ in range(3):
+                _assert_identical(reference, engine.run(list(hub_dataset[:10])))
+            assert engine.stats.prefix_scans == 0
+            assert engine.stats.shard_merges > 0
+            # ... and the fourth is a probe: this workload certifies within
+            # the cap, so the controller switches the prefix path back on.
+            _assert_identical(reference, engine.run(list(hub_dataset[:10])))
+            assert engine.stats.prefix_scans > 0
+            assert not engine._budget.disabled
+            _assert_identical(reference, engine.run(list(hub_dataset[:10])))
+        finally:
+            engine.close()
+
+    def test_configured_budget_seeds_the_controller(self, hub_dataset):
+        built = ShardedEngine.build(_make_sampler("permutation"), hub_dataset, n_shards=2)
+        built.close()
+        engine = ShardedEngine(built.sampler, prefix_budget=256, prefix_budget_cap=512)
+        try:
+            assert engine._budget.limit == 256
+            assert engine._budget.cap == 512
+        finally:
+            engine.close()
+        with pytest.raises(InvalidParameterError):
+            ShardedEngine(built.sampler, prefix_budget=512, prefix_budget_cap=256)

@@ -1,6 +1,5 @@
 """Tests for LSH parameter selection (K, L, rho)."""
 
-import math
 
 import pytest
 

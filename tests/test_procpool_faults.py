@@ -21,7 +21,6 @@ ProcessShardedEngine` is pinned here end to end:
 
 from __future__ import annotations
 
-import dataclasses
 import threading
 
 import numpy as np
@@ -179,7 +178,6 @@ class TestSupervisorHealth:
         dataset, queries, _, _ = _workload(rng)
         reference, engine = _build_pair(dataset)
         try:
-            expected = reference.run(queries)
             pid_before = engine.supervisor.worker_pids()[1]
             engine.inject_fault(
                 FaultPlan(shard_index=1, kill_after_mutations=1, mode="kill")

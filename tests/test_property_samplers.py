@@ -9,7 +9,6 @@ must uphold the same contract regardless of the input:
 * the exact sampler and the LSH samplers agree on neighborhood membership.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

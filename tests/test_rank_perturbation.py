@@ -1,6 +1,5 @@
 """Tests for the Appendix A rank-perturbation sampler (single repeated query)."""
 
-import numpy as np
 import pytest
 
 from repro.core import RankPerturbationSampler

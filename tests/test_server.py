@@ -31,7 +31,6 @@ import urllib.request
 import numpy as np
 import pytest
 
-import repro
 from repro import (
     CapacityModel,
     FairNN,
@@ -49,7 +48,6 @@ from repro.exceptions import (
 from repro.server import ServingHandle, SnapshotSwapper, SwapInProgressError
 from repro.server.app import decode_point, encode_point, point_kind
 from repro.server.client import ServerHTTPError
-from repro.spec import LSHSpec, SamplerSpec
 
 from test_spec_api import CANONICAL_SPECS
 

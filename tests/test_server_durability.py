@@ -136,9 +136,6 @@ class TestDurableServer:
         dataset = _dataset()
         extra = _dataset(seed=60, n=5)
         queries = dataset[:4] + extra[:2]
-        requests = [
-            {"query": _encode(q), "k": 3, "replacement": False} for q in queries
-        ]
 
         nn = FairNN.from_spec(SPEC).serve(
             dataset, data_dir=tmp_path / "d", fsync="off"

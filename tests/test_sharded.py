@@ -11,7 +11,6 @@ churn phase that crosses compaction sweeps.
 from __future__ import annotations
 
 import json
-import pathlib
 
 import numpy as np
 import pytest
@@ -291,11 +290,19 @@ class TestShardedTables:
         to the full merged view once the prefix is complete, not escalate
         forever."""
         from repro.core import StandardLSHSampler
+        from repro.core.base import LSHNeighborSampler
 
-        sampler = StandardLSHSampler(MinHashFamily(), seed=7, use_ranks=True, **SET_PARAMS)
-        # Flag the instance without providing a prefix implementation (the
-        # base sample_detailed_from_prefix always returns None).
-        sampler.supports_rank_prefix_scan = True
+        class FlaggedWithoutOverride(StandardLSHSampler):
+            # Declare the capability but strip the real prefix replayers back
+            # to the base always-refuse implementations.
+            supports_rank_prefix_scan = True
+            prefix_scan_needs_tables = False
+            sample_detailed_from_prefix = LSHNeighborSampler.sample_detailed_from_prefix
+            sample_k_from_prefix = LSHNeighborSampler.sample_k_from_prefix
+
+        sampler = FlaggedWithoutOverride(
+            MinHashFamily(), seed=7, use_ranks=True, **SET_PARAMS
+        )
         engine = ShardedEngine.build(sampler, small_set_dataset, n_shards=2)
         responses = engine.run(list(small_set_dataset[:5]))
         assert len(responses) == 5

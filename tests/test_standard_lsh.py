@@ -1,6 +1,5 @@
 """Tests for the standard (biased) LSH query baseline."""
 
-import numpy as np
 import pytest
 
 from repro.core import ExactUniformSampler, StandardLSHSampler

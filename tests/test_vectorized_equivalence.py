@@ -5,7 +5,7 @@ Two layers of guarantees, both required by the pipeline's contract
 
 1. **Kernel equivalence** — for every measure, the batched
    :meth:`~repro.distances.base.Measure.values_at` kernel over a columnar
-   :mod:`repro.data.store` matches a loop over the scalar
+   :mod:`repro.store` matches a loop over the scalar
    :meth:`~repro.distances.base.Measure.value` to 1e-12 (and, because the
    scalar implementations share the kernels' einsum recipes, bitwise) across
    dtypes and shapes.
@@ -39,7 +39,7 @@ from repro.core import (
 )
 from repro.core.evaluator import vectorized_kernels_enabled
 from repro.data import make_store
-from repro.data.store import DenseStore, SetStore
+from repro.store import DenseStore, SetStore
 from repro.distances import (
     AngularDistance,
     CosineSimilarity,

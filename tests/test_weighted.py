@@ -1,6 +1,5 @@
 """Tests for the weighted fair sampler (the paper's future-work extension)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
